@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper's
+evaluation section.  Results are printed (visible with ``pytest -s``)
+and also written to ``benchmarks/results/<experiment>.txt`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the regenerated
+evaluation on disk.
+
+Scale note: datasets are the synthetic Table-1 analogs (see
+``repro.bench.datasets`` and DESIGN.md); baseline time budgets are
+scaled from the paper's 12/24-hour limits down to tens of seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# The paper gives baselines 12-24 hours on 80 threads; we give the
+# pure-Python baselines tens of seconds on small analogs.  Contigra
+# itself needs no budget (it finishes in seconds everywhere).
+BASELINE_TIME_LIMIT = 30.0
+CONTIGRA_TIME_LIMIT = 120.0
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a report block and persist it under benchmarks/results/."""
+    banner = f"\n===== {experiment} =====\n{text}\n"
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+
+
+def run_once(benchmark, workload):
+    """Run a whole-experiment callable once under pytest-benchmark."""
+    return benchmark.pedantic(workload, rounds=1, iterations=1)
+
+
+def ratio_cell(numerator: float, denominator: float) -> str:
+    if denominator <= 0:
+        return "-"
+    return f"{numerator / denominator:.1f}x"
+
+
+def pct(value: float) -> str:
+    return f"{value:.0%}"
+
+
+def join_lines(lines: Sequence[str]) -> str:
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Ablation: task fusion (VTask cache sharing) on and off.
+
+No paper figure isolates fusion alone (Fig 12 attributes NSQ gains to
+it, Fig 13 isolates promotion), so this ablation completes the matrix
+DESIGN.md calls out: identical MQC workloads with VTasks either fused
+into the parent task's cache or handed throwaway caches.
+
+Expected shape: fusion raises cache hits and removes recomputed set
+intersections; results never change.
+"""
+
+from repro.apps import maximal_quasi_cliques
+from repro.bench import dataset, dataset_keys, format_table
+
+from _common import emit, run_once
+
+GAMMA = 0.7
+MAX_SIZE = 6
+
+
+def run_experiment() -> str:
+    rows = []
+    for key in dataset_keys():
+        graph = dataset(key)
+        fused = maximal_quasi_cliques(
+            graph, GAMMA, MAX_SIZE, enable_fusion=True
+        )
+        unfused = maximal_quasi_cliques(
+            graph, GAMMA, MAX_SIZE, enable_fusion=False
+        )
+        assert fused.all_sets() == unfused.all_sets()
+        rows.append(
+            (
+                key,
+                f"{fused.elapsed:.2f}",
+                f"{unfused.elapsed:.2f}",
+                f"{fused.stats.cache_hit_rate:.1%}",
+                f"{unfused.stats.cache_hit_rate:.1%}",
+                fused.stats.set_intersections,
+                unfused.stats.set_intersections,
+            )
+        )
+    return format_table(
+        ["dataset", "fused(s)", "unfused(s)", "hit rate fused",
+         "hit rate unfused", "intersections fused",
+         "intersections unfused"],
+        rows,
+        title=(
+            f"Ablation: task fusion on/off "
+            f"(MQC, gamma={GAMMA}, size<={MAX_SIZE})"
+        ),
+    )
+
+
+def test_ablation_fusion(benchmark):
+    table = run_once(benchmark, run_experiment)
+    emit("ablation_fusion", table)

@@ -1,0 +1,39 @@
+"""Table 1: the evaluation datasets (synthetic analogs).
+
+Regenerates the dataset table with the analog statistics side by side
+with the paper's originals.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.bench import dataset, spec, dataset_keys, format_table, table1_rows
+
+from _common import emit, run_once
+
+
+def build_table() -> str:
+    rows = []
+    for key in dataset_keys():
+        s = spec(key)
+        g = dataset(key)
+        rows.append(
+            (
+                s.paper_name,
+                g.num_vertices,
+                g.num_edges,
+                g.num_labels,
+                f"{s.paper_vertices}/{s.paper_edges}/{s.paper_labels}",
+                s.description,
+            )
+        )
+    return format_table(
+        ["Data Graph", "Vertices", "Edges", "Labels",
+         "paper V/E/labels", "family"],
+        rows,
+        title="Table 1: datasets (synthetic analogs of the paper's graphs)",
+    )
+
+
+def test_table1(benchmark):
+    table = run_once(benchmark, build_table)
+    emit("table1_datasets", table)
+    assert "Amazon" in table

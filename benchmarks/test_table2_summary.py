@@ -1,0 +1,120 @@
+"""Table 2: summary of Contigra's performance.
+
+Aggregates speedup ranges per application over compact runs (a subset
+of datasets, so the summary bench stays fast; the full sweeps live in
+the per-figure benchmarks).
+
+Paper shape: MQC 12-41700x vs TThinker; NSQ 5.6-379x and KWS
+21-16000x vs Peregrine+; unconstrained QCs 2.4-7.2x.
+"""
+
+from repro.apps import (
+    frequent_and_rare_keywords,
+    keyword_search,
+    maximal_quasi_cliques,
+    mine_quasi_cliques,
+    mine_quasi_cliques_fused,
+)
+from repro.apps.nsq import nested_subgraph_query, paper_query_triangles
+from repro.baselines import (
+    TThinkerConfig,
+    posthoc_kws,
+    posthoc_nsq,
+    tthinker_mqc,
+)
+from repro.bench import dataset, format_table, timed_run
+
+from _common import BASELINE_TIME_LIMIT, emit, run_once
+
+DATASETS = ("amazon", "mico")
+
+
+def _ratio(ours, baseline):
+    if not ours.ok:
+        return None
+    floor = baseline.seconds if baseline.ok else BASELINE_TIME_LIMIT
+    return floor / max(ours.seconds, 1e-9), baseline.ok
+
+
+def _format_range(ratios):
+    if not ratios:
+        return "-"
+    los = min(r for r, _ in ratios)
+    his = max(r for r, _ in ratios)
+    exact = all(ok for _, ok in ratios)
+    prefix = "" if exact else ">="
+
+    def fmt(value: float) -> str:
+        return f"{value:.0f}" if value >= 10 else f"{value:.1f}"
+
+    return f"{prefix}{fmt(los)}-{fmt(his)}x"
+
+
+def run_experiment() -> str:
+    mqc_ratios, nsq_ratios, kws_ratios, qc_ratios = [], [], [], []
+    config = TThinkerConfig(
+        memory_budget_bytes=256 * 1024,
+        storage_budget_bytes=640 * 1024,
+        time_limit=BASELINE_TIME_LIMIT,
+    )
+    for key in DATASETS:
+        graph = dataset(key)
+        ours = timed_run(lambda: maximal_quasi_cliques(graph, 0.8, 6))
+        theirs = timed_run(lambda: tthinker_mqc(graph, 0.8, 6, config=config))
+        ratio = _ratio(ours, theirs)
+        if ratio:
+            mqc_ratios.append(ratio)
+
+        p_m, p_plus = paper_query_triangles()
+        ours = timed_run(lambda: nested_subgraph_query(graph, p_m, p_plus))
+        theirs = timed_run(
+            lambda: posthoc_nsq(
+                graph, p_m, p_plus, time_limit=BASELINE_TIME_LIMIT
+            )
+        )
+        ratio = _ratio(ours, theirs)
+        if ratio:
+            nsq_ratios.append(ratio)
+
+        if graph.is_labeled:
+            keywords, _ = frequent_and_rare_keywords(graph)
+            ours = timed_run(
+                lambda: keyword_search(
+                    graph, keywords, 5, collect_workload_stats=False
+                )
+            )
+            theirs = timed_run(
+                lambda: posthoc_kws(
+                    graph, keywords, 5, time_limit=BASELINE_TIME_LIMIT
+                )
+            )
+            ratio = _ratio(ours, theirs)
+            if ratio:
+                kws_ratios.append(ratio)
+
+        ours = timed_run(lambda: mine_quasi_cliques_fused(graph, 0.6, 6))
+        theirs = timed_run(lambda: mine_quasi_cliques(graph, 0.6, 6))
+        ratio = _ratio(ours, theirs)
+        if ratio:
+            qc_ratios.append(ratio)
+
+    rows = [
+        ("Maximal Quasi-Cliques", "TThinker", "12-41700x",
+         _format_range(mqc_ratios)),
+        ("Nested Subgraph Queries", "Peregrine+", "5.6-379x",
+         _format_range(nsq_ratios)),
+        ("Keyword Search", "Peregrine+", "21-16000x",
+         _format_range(kws_ratios)),
+        ("Quasi-Cliques (no constraint)", "Peregrine+", "2.4-7.2x",
+         _format_range(qc_ratios)),
+    ]
+    return format_table(
+        ["Application", "Baseline", "paper speedup", "measured speedup"],
+        rows,
+        title=f"Table 2: performance summary (datasets: {DATASETS})",
+    )
+
+
+def test_table2(benchmark):
+    table = run_once(benchmark, run_experiment)
+    emit("table2_summary", table)

@@ -1,0 +1,98 @@
+"""Table 3: maximal quasi-cliques, Contigra vs TThinker.
+
+Per gamma in {0.6, 0.7, 0.8}: execution time of Contigra and the
+budgeted TThinker simulation on every dataset, with the paper's
+failure vocabulary (TLE / OOM / OOS) and lower-bound speedups.
+
+Paper shape: Contigra completes everything; TThinker completes only
+the two small unlabeled graphs and dies on the rest (storage or
+memory), with speedups of 12x up to >=10^4x.  Also checks the §8.4.1
+counter claims: a large share of VTasks and ETasks canceled.
+"""
+
+from repro.apps import maximal_quasi_cliques
+from repro.baselines import TThinkerConfig, tthinker_mqc
+from repro.bench import dataset, dataset_keys, format_table, speedup, timed_run
+
+from _common import BASELINE_TIME_LIMIT, CONTIGRA_TIME_LIMIT, emit, run_once
+
+MAX_SIZE = 6
+# Scaled-down 64 GB RAM / disk: calibrated so the small unlabeled
+# analogs fit and the larger labeled ones exceed a budget, like the
+# paper's Table 3 (which failure fires first depends on the analog's
+# task/candidate balance; EXPERIMENTS.md discusses the two cells where
+# the type differs from the paper).
+TTHINKER_CONFIG = TThinkerConfig(
+    memory_budget_bytes=256 * 1024,
+    storage_budget_bytes=640 * 1024,
+    time_limit=BASELINE_TIME_LIMIT,
+)
+
+
+def run_experiment() -> str:
+    blocks = []
+    summary = []
+    for gamma in (0.6, 0.7, 0.8):
+        rows = []
+        for key in dataset_keys():
+            graph = dataset(key)
+            ours = timed_run(
+                lambda: maximal_quasi_cliques(
+                    graph, gamma, MAX_SIZE, time_limit=CONTIGRA_TIME_LIMIT
+                )
+            )
+            theirs = timed_run(
+                lambda: tthinker_mqc(
+                    graph, gamma, MAX_SIZE, config=TTHINKER_CONFIG
+                )
+            )
+            agree = ""
+            if ours.ok and theirs.ok:
+                agree = (
+                    "yes"
+                    if ours.value.all_sets() == theirs.value.maximal
+                    else "NO!"
+                )
+            cancel = (
+                f"{ours.stats.get('vtask_cancel_rate', 0):.0%}"
+                if ours.ok
+                else "-"
+            )
+            rows.append(
+                (
+                    key,
+                    ours.cell(),
+                    theirs.cell(),
+                    speedup(ours, theirs, BASELINE_TIME_LIMIT),
+                    ours.count if ours.ok else "-",
+                    cancel,
+                    agree,
+                )
+            )
+            if ours.ok:
+                summary.append((gamma, key, ours))
+        blocks.append(
+            format_table(
+                ["dataset", "Contigra(s)", "TThinker", "speedup",
+                 "maximal", "VT-canceled", "results agree"],
+                rows,
+                title=f"Table 3 (gamma={gamma}): maximal quasi-cliques, "
+                f"size<={MAX_SIZE}",
+            )
+        )
+    # §8.4.1 counter claims on the completed runs.
+    peak_cancel = max(
+        (o.stats.get("vtask_cancel_rate", 0.0) for _, _, o in summary),
+        default=0.0,
+    )
+    blocks.append(
+        f"\npaper §8.4.1: 'up to 76.7% of VTasks ... canceled' | "
+        f"measured peak VTask cancel rate: {peak_cancel:.1%}"
+    )
+    return "\n\n".join(blocks)
+
+
+def test_table3(benchmark):
+    table = run_once(benchmark, run_experiment)
+    emit("table3_mqc", table)
+    assert "NO!" not in table

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: mine with containment constraints in a dozen lines.
+
+Builds a small co-authorship-style graph, mines maximal quasi-cliques
+with Contigra, and contrasts the result with the unconstrained run —
+the exact distinction Figure 1 of the paper illustrates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import maximal_quasi_cliques, mine_quasi_cliques
+from repro.graph import community_graph
+
+
+def main() -> None:
+    # Planted communities are rich in dense subgraphs — the natural
+    # habitat of quasi-cliques.
+    graph = community_graph(
+        num_communities=8,
+        community_size=8,
+        intra_probability=0.7,
+        inter_edges=2,
+        seed=7,
+        name="quickstart",
+    )
+    print(f"data graph: {graph}")
+
+    gamma, max_size = 0.8, 5
+
+    plain = mine_quasi_cliques(graph, gamma, max_size)
+    print(
+        f"\nall gamma={gamma} quasi-cliques up to size {max_size}: "
+        f"{plain.count}"
+    )
+    for size in sorted(plain.by_size):
+        print(f"  size {size}: {len(plain.by_size[size])}")
+
+    result = maximal_quasi_cliques(graph, gamma, max_size)
+    print(f"\nmaximal quasi-cliques: {result.count}")
+    for size in sorted(result.by_size):
+        print(f"  size {size}: {len(result.by_size[size])}")
+
+    stats = result.stats
+    print("\nwhat Contigra did under the hood:")
+    print(f"  matches validated during exploration: {stats.matches_checked}")
+    print(f"  VTasks run: {stats.vtasks_started}")
+    print(f"  VTasks canceled by lateral dependencies: "
+          f"{stats.vtasks_canceled_lateral}")
+    print(f"  VTask results promoted to ETasks: {stats.promotions}")
+    print(f"  ETask re-explorations canceled: {stats.etasks_canceled}")
+    print(f"  cache hit rate: {stats.cache_hit_rate:.1%}")
+
+    smallest = min(result.all_sets(), key=len)
+    print(f"\nexample maximal quasi-clique: {sorted(smallest)}")
+
+    # Every result can be certificate-checked against its definition.
+    from repro.apps import verify_maximal_quasi_cliques
+
+    violations = verify_maximal_quasi_cliques(
+        graph, result.all_sets(), gamma, max_size
+    )
+    print(f"self-verification: "
+          f"{'OK' if not violations else violations[:3]}")
+
+
+if __name__ == "__main__":
+    main()

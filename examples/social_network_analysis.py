@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Community-core discovery: an end-to-end MQC use case.
+
+The paper motivates maximal quasi-cliques with social network analysis
+(tracking communities [21, 32]): the maximal gamma-quasi-cliques of a
+friendship graph are its cohesive cores.  This example builds a
+two-era "friendship network" (the second era rewires part of the
+first), mines maximal quasi-cliques in both eras, and reports which
+community cores persisted, dissolved, or emerged — a miniature of the
+community-evolution studies MQC serves.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import random
+
+from repro.apps import maximal_quasi_cliques
+from repro.graph import GraphBuilder, community_graph
+
+
+def rewire(graph, fraction: float, seed: int):
+    """Return a copy of ``graph`` with a fraction of edges re-targeted."""
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    keep = [e for e in edges if rng.random() > fraction]
+    builder = GraphBuilder(name=f"{graph.name}-era2")
+    for v in graph.vertices():
+        builder.add_vertex(v)
+    builder.add_edges(keep)
+    for _ in range(len(edges) - len(keep)):
+        u = rng.randrange(graph.num_vertices)
+        w = rng.randrange(graph.num_vertices)
+        builder.add_edge(u, w)
+    return builder.build()
+
+
+def main() -> None:
+    era1 = community_graph(
+        10, 9, intra_probability=0.75, inter_edges=2, seed=3, name="era1"
+    )
+    era2 = rewire(era1, fraction=0.25, seed=4)
+    print(f"era 1: {era1}\nera 2: {era2}\n")
+
+    gamma, max_size = 0.75, 5
+    cores1 = maximal_quasi_cliques(era1, gamma, max_size).all_sets()
+    cores2 = maximal_quasi_cliques(era2, gamma, max_size).all_sets()
+
+    persisted = cores1 & cores2
+    dissolved = cores1 - cores2
+    emerged = cores2 - cores1
+    print(f"community cores (maximal gamma={gamma} quasi-cliques, "
+          f"size <= {max_size}):")
+    print(f"  era 1: {len(cores1)}   era 2: {len(cores2)}")
+    print(f"  persisted: {len(persisted)}")
+    print(f"  dissolved: {len(dissolved)}")
+    print(f"  emerged:   {len(emerged)}")
+
+    # Communities that only *shrank* still overlap heavily: report the
+    # dissolved cores that survive as subsets of some era-2 core.
+    shrunk = sum(
+        1
+        for core in dissolved
+        if any(core & other and len(core & other) >= len(core) - 1
+               for other in cores2)
+    )
+    print(f"  of the dissolved, still present nearly intact: {shrunk}")
+
+    if persisted:
+        example = max(persisted, key=len)
+        print(f"\nmost stable core across eras: {sorted(example)}")
+
+
+if __name__ == "__main__":
+    main()

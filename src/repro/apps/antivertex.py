@@ -1,0 +1,79 @@
+"""Anti-vertex queries (paper §2.2, ref [26]).
+
+An anti-vertex marks a pattern position whose *presence* in the data
+invalidates a match: "match P, but only where no data vertex completes
+the anti-vertex's edges".  The paper models this as a containment
+constraint — ``P^M`` is the pattern without the anti-vertex, ``P^+``
+the pattern with a regular vertex in its place — and that is exactly
+the lowering performed here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.runtime import ContigraResult
+from ..graph.graph import Graph
+from ..patterns.pattern import Pattern
+from .nsq import nested_subgraph_query
+
+
+def lower_anti_vertices(pattern: Pattern) -> Tuple[Pattern, List[Pattern]]:
+    """Split a pattern with anti-vertices into its NSQ equivalent.
+
+    Returns ``(p_m, p_plus_list)``: ``p_m`` is the pattern restricted
+    to regular vertices; each anti-vertex yields one containing
+    pattern where it is materialized as a regular vertex.  Multiple
+    anti-vertices lower to one constraint each (a match is invalid if
+    *any* anti-vertex can be realized, matching [26]'s semantics).
+    """
+    if not pattern.has_anti_vertices:
+        raise ValueError("pattern has no anti-vertices")
+    regular = [
+        v for v in pattern.vertices() if v not in pattern.anti_vertices
+    ]
+    p_m = pattern.subpattern(regular)
+    if not p_m.is_connected():
+        raise ValueError(
+            "regular part of the pattern must be connected "
+            "(disconnected targets have no exploration plan)"
+        )
+    p_plus_list: List[Pattern] = []
+    for anti in sorted(pattern.anti_vertices):
+        keep = regular + [anti]
+        materialized = pattern.subpattern(keep)
+        # Clear the anti flag: in P^+ the vertex is an ordinary vertex.
+        p_plus_list.append(
+            Pattern(
+                materialized.num_vertices,
+                materialized.edges,
+                labels=list(materialized.labels)
+                if materialized.is_labeled
+                else None,
+                name=f"{pattern.name or 'anti'}-materialized-{anti}",
+            )
+        )
+    return p_m, p_plus_list
+
+
+def anti_vertex_query(
+    graph: Graph,
+    pattern: Pattern,
+    induced: bool = False,
+    time_limit: Optional[float] = None,
+    **engine_options,
+) -> ContigraResult:
+    """Match a pattern containing anti-vertices.
+
+    Lowers to an NSQ (see :func:`lower_anti_vertices`) and runs it on
+    the Contigra engine.
+    """
+    p_m, p_plus_list = lower_anti_vertices(pattern)
+    return nested_subgraph_query(
+        graph,
+        p_m,
+        p_plus_list,
+        induced=induced,
+        time_limit=time_limit,
+        **engine_options,
+    )

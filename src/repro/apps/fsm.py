@@ -1,0 +1,145 @@
+"""Frequent labeled-subgraph mining (paper §1's FSM workload, lite).
+
+Finds labeled patterns of up to ``max_size`` vertices whose *domain
+support* meets a threshold.  Support is MNI (minimum node image): the
+smallest, over pattern vertices, of the number of distinct data
+vertices appearing at that position across all matches — the standard
+anti-monotone support measure used by graph mining systems.
+
+The miner runs level-wise on the shared connected-set tree: one pass
+classifies every connected set of each size by its labeled canonical
+key while accumulating per-position vertex images.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graph.graph import Graph
+from ..mining.subsets import explore_connected_sets
+from ..patterns.pattern import Pattern
+
+
+class FrequentPattern:
+    """One frequent labeled pattern with its support evidence."""
+
+    __slots__ = ("pattern", "support", "match_count")
+
+    def __init__(self, pattern: Pattern, support: int, match_count: int):
+        self.pattern = pattern
+        self.support = support
+        self.match_count = match_count
+
+    def __repr__(self) -> str:
+        return (
+            f"FrequentPattern(k={self.pattern.num_vertices}, "
+            f"support={self.support}, matches={self.match_count})"
+        )
+
+
+def _canonical_labeled(graph: Graph, vertex_set: List[int]) -> Tuple[
+    tuple, Pattern, Dict[int, int]
+]:
+    """Canonical key + pattern + canonical position map for a data set.
+
+    The position map sends each data vertex to the pattern vertex it
+    occupies under the canonicalizing permutation, so MNI images can
+    be accumulated consistently across matches.
+    """
+    import itertools
+
+    ordered = sorted(vertex_set)
+    position = {v: i for i, v in enumerate(ordered)}
+    edges = frozenset(
+        (position[u], position[w]) if position[u] < position[w]
+        else (position[w], position[u])
+        for u in ordered
+        for w in graph.neighbors(u)
+        if w in position and u < w
+    )
+    labels = [graph.label(v) for v in ordered]
+    k = len(ordered)
+    best_key: Optional[tuple] = None
+    best_perm: Optional[tuple] = None
+    for perm in itertools.permutations(range(k)):
+        perm_edges = tuple(
+            sorted(
+                (perm[a], perm[b]) if perm[a] < perm[b] else (perm[b], perm[a])
+                for a, b in edges
+            )
+        )
+        perm_labels = [0] * k
+        for old in range(k):
+            perm_labels[perm[old]] = labels[old] if labels[old] is not None else -1
+        key = (k, perm_edges, tuple(perm_labels))
+        if best_key is None or key < best_key:
+            best_key = key
+            best_perm = perm
+    assert best_key is not None and best_perm is not None
+    pattern = Pattern(
+        k,
+        [tuple(sorted((best_perm[a], best_perm[b]))) for a, b in edges],
+        labels=[labels[old] for old in _inverse(best_perm)],
+    )
+    vertex_to_position = {
+        v: best_perm[position[v]] for v in ordered
+    }
+    return best_key, pattern, vertex_to_position
+
+
+def _inverse(perm: Tuple[int, ...]) -> List[int]:
+    inverse = [0] * len(perm)
+    for old, new in enumerate(perm):
+        inverse[new] = old
+    return inverse
+
+
+def frequent_subgraphs(
+    graph: Graph,
+    min_support: int,
+    max_size: int,
+    min_size: int = 2,
+) -> List[FrequentPattern]:
+    """Mine labeled patterns with MNI support >= ``min_support``.
+
+    Returns frequent patterns sorted by size then descending support.
+    Raises ``ValueError`` on unlabeled graphs (label-free FSM
+    degenerates to motif counting — use :mod:`repro.apps.motifs`).
+    """
+    if not graph.is_labeled:
+        raise ValueError("frequent subgraph mining requires a labeled graph")
+    if min_support < 1:
+        raise ValueError("min_support must be >= 1")
+
+    images: Dict[tuple, List[Set[int]]] = {}
+    patterns: Dict[tuple, Pattern] = {}
+    match_counts: Dict[tuple, int] = {}
+
+    def visit(current) -> bool:
+        size = len(current)
+        if size >= min_size:
+            key, pattern, vertex_to_position = _canonical_labeled(
+                graph, list(current)
+            )
+            if key not in images:
+                images[key] = [set() for _ in range(size)]
+                patterns[key] = pattern
+                match_counts[key] = 0
+            match_counts[key] += 1
+            for v, pos in vertex_to_position.items():
+                images[key][pos].add(v)
+        return size < max_size
+
+    explore_connected_sets(graph, max_size, visit)
+
+    results = []
+    for key, position_images in images.items():
+        support = min(len(s) for s in position_images)
+        if support >= min_support:
+            results.append(
+                FrequentPattern(patterns[key], support, match_counts[key])
+            )
+    results.sort(
+        key=lambda fp: (fp.pattern.num_vertices, -fp.support)
+    )
+    return results

@@ -1,0 +1,412 @@
+"""Minimal Keyword Search (paper §2.2, §7, evaluated in §8.5).
+
+KWS mines connected subgraphs of up to ``max_size`` vertices whose
+labels cover a keyword set ``W``, under the minimality constraint: a
+match must not contain a smaller connected subgraph that also covers
+``W``.
+
+Contigra's treatment (paper §7) drives this implementation:
+
+* **Pattern workload.**  :func:`keyword_patterns` enumerates the
+  labeled target patterns — every connected structure of size
+  ``len(W)..max_size`` with the keywords placed injectively and
+  wildcards (merged labels) elsewhere; with three keywords and
+  ``max_size = 5`` this yields the paper's "up to 287 patterns".
+* **Virtual state-space analysis.**  Each pattern is bucketed SKIP /
+  NO-CHECK / EAGER before exploration
+  (:func:`repro.core.statespace.classify_all`); the SKIP bucket is the
+  paper's "273 of 287 patterns ... completely skipped".
+* **Exploration with promotion.**  Matches are explored on the shared
+  connected-set tree (:mod:`repro.mining.subsets`): an RL-Path
+  matching at level ``k`` is the promoted starting state for level
+  ``k + 1`` ("when an RL-Path to level k matches, its ETask gets
+  promoted to patterns in level k+1", §8.5).  Disabling promotion
+  re-explores each level from scratch, reproducing the ETask-count
+  ablation.
+* **Eager filtering.**  The first time a branch's subgraph covers
+  ``W``, every extension is non-minimal, so the RL-Path is canceled
+  on the spot; per-match data checks run only for EAGER-class
+  matches.  RL-Path ordering (Fig 18) controls the order in which the
+  violating states of a match are probed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core import statespace
+from ..core.ordering import resolve_strategy
+from ..errors import TimeLimitExceeded
+from ..graph.graph import Graph
+from ..mining.stats import ConstraintStats
+from ..mining.subsets import explore_connected_sets
+from ..patterns.pattern import Pattern
+from ..patterns.structures import connected_structures
+
+import itertools
+
+
+# ----------------------------------------------------------------------
+# Pattern workload
+# ----------------------------------------------------------------------
+
+
+def keyword_patterns(
+    keywords: Sequence[int], max_size: int
+) -> List[Pattern]:
+    """All labeled KWS target patterns for ``keywords`` up to ``max_size``.
+
+    Keywords are placed injectively on distinct vertices; remaining
+    vertices carry the wildcard label (they stand for the merged
+    non-keyword labels).  Patterns are deduplicated canonically.
+    """
+    keyword_list = list(dict.fromkeys(keywords))
+    if not keyword_list:
+        raise ValueError("need at least one keyword")
+    if max_size < len(keyword_list):
+        raise ValueError("max_size smaller than the keyword count")
+    results: List[Pattern] = []
+    seen: Set[tuple] = set()
+    for size in range(len(keyword_list), max_size + 1):
+        for structure in connected_structures(size):
+            for positions in itertools.permutations(
+                range(size), len(keyword_list)
+            ):
+                labels: List[Optional[int]] = [None] * size
+                for keyword, position in zip(keyword_list, positions):
+                    labels[position] = keyword
+                candidate = structure.with_labels(labels)
+                key = candidate.canonical_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                results.append(candidate)
+    return results
+
+
+def classify_workload(
+    keywords: Sequence[int], max_size: int
+) -> Dict[str, List[Pattern]]:
+    """State-space classification of the whole pattern workload (§7)."""
+    return statespace.classify_all(
+        keyword_patterns(keywords, max_size), keywords
+    )
+
+
+# ----------------------------------------------------------------------
+# Data-side pattern classification (memoized per labeled shape)
+# ----------------------------------------------------------------------
+
+
+class _MatchClassifier:
+    """Maps a matched vertex set to its pattern's state-space class.
+
+    The mined pattern of a match keeps keyword labels where the data
+    has them and wildcards elsewhere (merged labels, §2.3), so the
+    class depends only on the structure plus keyword placement.  The
+    memo key is the *exact* labeled shape in sorted-vertex form —
+    cheap to build (O(edges)), and exact-form equality implies
+    isomorphism, so entries are merely duplicated across isomorphic
+    forms instead of being re-derived per match.  (Keying by canonical
+    form would compute a factorial-cost canonicalization per match,
+    which dwarfs the classification itself.)
+    """
+
+    def __init__(self, keywords: FrozenSet[int]) -> None:
+        self._keywords = keywords
+        self._classes: Dict[tuple, str] = {}
+
+    def classify(self, graph: Graph, vertex_set: Sequence[int]) -> str:
+        ordered = sorted(vertex_set)
+        position = {v: i for i, v in enumerate(ordered)}
+        edges = []
+        labels: List[Optional[int]] = []
+        for v in ordered:
+            lab = graph.label(v)
+            labels.append(lab if lab in self._keywords else None)
+            for w in graph.neighbors(v):
+                if w > v and w in position:
+                    edges.append((position[v], position[w]))
+        key = (len(ordered), tuple(edges), tuple(labels))
+        cached = self._classes.get(key)
+        if cached is None:
+            cached = self._classify_shape(len(ordered), edges, labels)
+            self._classes[key] = cached
+        return cached
+
+    def _classify_shape(
+        self,
+        n: int,
+        edges: Sequence[tuple],
+        labels: Sequence[Optional[int]],
+    ) -> str:
+        """Bitmask re-derivation of §7's three-way bucketing.
+
+        Semantically identical to
+        :func:`repro.core.statespace.classify_minimality` (a property
+        test asserts this) but works on adjacency bitmasks instead of
+        Pattern objects — this runs once per labeled shape on the
+        mining hot path, where object construction dominates.
+        """
+        adjacency = [0] * n
+        for a, b in edges:
+            adjacency[a] |= 1 << b
+            adjacency[b] |= 1 << a
+        possible_violation = False
+        for mask in range(1, (1 << n) - 1):  # proper non-empty subsets
+            # connectivity by bitmask BFS
+            start = mask & -mask
+            seen = start
+            frontier = start
+            while frontier:
+                reached = 0
+                probe = frontier
+                while probe:
+                    low = probe & -probe
+                    reached |= adjacency[low.bit_length() - 1]
+                    probe ^= low
+                frontier = reached & mask & ~seen
+                seen |= frontier
+            if seen != mask:
+                continue
+            definite = set()
+            wildcards = 0
+            probe = mask
+            while probe:
+                low = probe & -probe
+                lab = labels[low.bit_length() - 1]
+                if lab is None:
+                    wildcards += 1
+                else:
+                    definite.add(lab)
+                probe ^= low
+            missing = self._keywords - definite
+            if not missing:
+                return statespace.SKIP
+            if len(missing) <= wildcards:
+                possible_violation = True
+        return statespace.EAGER if possible_violation else statespace.NO_CHECK
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+
+class KeywordSearchResult:
+    """Minimal covers plus work counters and workload statistics."""
+
+    def __init__(self) -> None:
+        self.minimal: Set[FrozenSet[int]] = set()
+        self.stats = ConstraintStats()
+        self.elapsed = 0.0
+        self.patterns_total = 0
+        self.patterns_skipped = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.minimal)
+
+    @property
+    def pattern_skip_ratio(self) -> float:
+        if self.patterns_total == 0:
+            return 0.0
+        return self.patterns_skipped / self.patterns_total
+
+    def __repr__(self) -> str:
+        return f"KeywordSearchResult({self.count} minimal covers)"
+
+
+# ----------------------------------------------------------------------
+# The Contigra KWS explorer
+# ----------------------------------------------------------------------
+
+
+def _ordered_cover_check(
+    graph: Graph,
+    vertex_set: Sequence[int],
+    keywords: FrozenSet[int],
+    size_limit: int,
+    ascending: bool,
+    stats: ConstraintStats,
+) -> bool:
+    """Probe violating states in strategy order (Fig 18's knob).
+
+    Identical outcome to
+    :func:`repro.core.statespace.has_connected_cover_smaller_than`,
+    but the subset sizes are scanned smallest-first (``ascending``,
+    the sparse-first analog) or largest-first; the early exit makes
+    the probe count — and hence the work — order-dependent.
+    """
+    members = list(dict.fromkeys(vertex_set))
+    sizes = range(len(keywords), min(size_limit, len(members)) + 1)
+    # Smaller violating states are sparser than larger ones, so the
+    # strategy maps to the size scan direction.  (Sorting *within* a
+    # size by induced density was tried and reverted: it costs more
+    # than the early exits it buys at this scale.)
+    for size in sizes if ascending else reversed(sizes):
+        for subset in itertools.combinations(members, size):
+            stats.constraint_checks += 1
+            if statespace.covers(graph, subset, keywords) and (
+                graph.is_connected_subset(subset)
+            ):
+                return True
+    return False
+
+
+def keyword_search(
+    graph: Graph,
+    keywords: Iterable[int],
+    max_size: int,
+    enable_promotion: bool = True,
+    enable_eager_filter: bool = True,
+    enable_elimination: bool = True,
+    rl_strategy: str = "heuristic",
+    time_limit: Optional[float] = None,
+    collect_workload_stats: bool = True,
+) -> KeywordSearchResult:
+    """Mine minimal keyword covers with Contigra (§7 pipeline).
+
+    The three toggles ablate the paper's techniques: ``promotion``
+    (level-to-level reuse), ``eager_filter`` (RL-Path cancellation at
+    the first cover), ``elimination`` (state-space SKIP/NO-CHECK
+    classification).  All settings return identical minimal covers;
+    only the work differs.
+    """
+    keyword_set = frozenset(keywords)
+    if not graph.is_labeled:
+        raise ValueError("keyword search requires a labeled graph")
+    result = KeywordSearchResult()
+    stats = result.stats
+    classifier = _MatchClassifier(keyword_set)
+    start = time.monotonic()
+    deadline = start + time_limit if time_limit is not None else None
+    # The KWS workload always spans sparse (tree) and dense (clique)
+    # structures, so Fig 9's decision tree lands in the "mixed
+    # targets" branch: decide by data-graph density.  Resolving on two
+    # representative targets avoids materializing the full pattern
+    # workload just to pick an ordering.
+    from ..patterns.library import clique as _clique, path as _path
+
+    representatives = [_path(max_size - 1), _clique(max_size)]
+    ascending = resolve_strategy(rl_strategy, representatives, graph)
+
+    def handle_cover(current: Sequence[int]) -> None:
+        """Classify a covering match and emit if minimal."""
+        stats.matches_found += 1
+        if enable_elimination:
+            cls = classifier.classify(graph, current)
+            if cls == statespace.SKIP:
+                stats.etasks_skipped += 1
+                return
+            if cls == statespace.NO_CHECK:
+                result.minimal.add(frozenset(current))
+                return
+        stats.matches_checked += 1
+        if not _ordered_cover_check(
+            graph,
+            current,
+            keyword_set,
+            size_limit=len(current) - 1,
+            ascending=ascending,
+            stats=stats,
+        ):
+            result.minimal.add(frozenset(current))
+
+    def visit(current: Sequence[int]) -> bool:
+        if deadline is not None and time.monotonic() > deadline:
+            raise TimeLimitExceeded(
+                time_limit, time.monotonic() - start  # type: ignore[arg-type]
+            )
+        found = {
+            lab
+            for lab in (graph.label(v) for v in current)
+            if lab in keyword_set
+        }
+        if len(found) == len(keyword_set):
+            handle_cover(current)
+            if enable_eager_filter:
+                # Any extension contains this cover: cancel the RL-Path.
+                stats.eager_filter_cuts += 1
+                return False
+            return len(current) < max_size
+        if enable_elimination:
+            # Virtual state-space skip, coverage side: every pattern
+            # this branch could still match needs one vertex per
+            # missing keyword; prune when the size cap can't fit them
+            # (the paper's "ETasks targeting these patterns are
+            # completely skipped", applied to the non-covering side).
+            missing = len(keyword_set) - len(found)
+            if len(current) + missing > max_size:
+                stats.etasks_skipped += 1
+                return False
+        return len(current) < max_size
+
+    if enable_promotion:
+        explore_connected_sets(graph, max_size, visit, stats=stats)
+    else:
+        # Without promotion each level's patterns are explored from
+        # scratch: sizes re-walk their whole prefix trees.
+        for size in range(len(keyword_set), max_size + 1):
+
+            def visit_at(current: Sequence[int], size=size) -> bool:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeLimitExceeded(
+                        time_limit, time.monotonic() - start  # type: ignore[arg-type]
+                    )
+                is_cover = statespace.covers(graph, current, keyword_set)
+                if len(current) == size:
+                    if is_cover:
+                        handle_cover(current)
+                    return False
+                if is_cover and enable_eager_filter:
+                    stats.eager_filter_cuts += 1
+                    return False
+                return True
+
+            explore_connected_sets(graph, size, visit_at, stats=stats)
+
+    if collect_workload_stats:
+        buckets = classify_workload(sorted(keyword_set), max_size)
+        result.patterns_total = sum(len(g) for g in buckets.values())
+        result.patterns_skipped = len(buckets[statespace.SKIP])
+    result.elapsed = time.monotonic() - start
+    return result
+
+
+_PATTERN_CACHE: Dict[Tuple[FrozenSet[int], int], List[Pattern]] = {}
+
+
+def keyword_patterns_cached(
+    keyword_set: FrozenSet[int], max_size: int
+) -> List[Pattern]:
+    """Memoized :func:`keyword_patterns` (used for strategy resolution)."""
+    key = (keyword_set, max_size)
+    cached = _PATTERN_CACHE.get(key)
+    if cached is None:
+        cached = keyword_patterns(sorted(keyword_set), max_size)
+        _PATTERN_CACHE[key] = cached
+    return cached
+
+
+def frequent_and_rare_keywords(
+    graph: Graph, count: int = 3
+) -> Tuple[List[int], List[int]]:
+    """The paper's MF / LF keyword sets (§8.5): the ``count`` most
+    frequent labels and ``count`` less frequent ones.
+
+    "Less frequent" follows the paper's spirit — rare but present; we
+    take the rarest labels that still occur at least twice so queries
+    are satisfiable.
+    """
+    freq = graph.label_frequencies()
+    if len(freq) < count:
+        raise ValueError(f"graph has fewer than {count} distinct labels")
+    ranked = sorted(freq.items(), key=lambda item: (-item[1], item[0]))
+    most_frequent = [label for label, _ in ranked[:count]]
+    rare_pool = [label for label, n in reversed(ranked) if n >= 2]
+    less_frequent = rare_pool[:count]
+    if len(less_frequent) < count:
+        less_frequent = [label for label, _ in ranked[-count:]]
+    return most_frequent, less_frequent

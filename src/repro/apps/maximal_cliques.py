@@ -1,0 +1,85 @@
+"""Maximal cliques — the MQC special case with gamma = 1 (paper §2.2).
+
+Provided both as a Contigra workload (cliques of sizes
+``[min_size, max_size]`` with maximality constraints) and as a
+Bron–Kerbosch reference implementation used as an oracle in tests and
+as an independent sanity check for the constraint machinery.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+from ..graph.graph import Graph
+from .mqc import MaximalQuasiCliqueResult, maximal_quasi_cliques
+
+
+def maximal_cliques_contigra(
+    graph: Graph,
+    max_size: int,
+    min_size: int = 3,
+    time_limit: Optional[float] = None,
+    **engine_options,
+) -> MaximalQuasiCliqueResult:
+    """Maximal cliques via the Contigra MQC pipeline (gamma = 1)."""
+    return maximal_quasi_cliques(
+        graph,
+        gamma=1.0,
+        max_size=max_size,
+        min_size=min_size,
+        time_limit=time_limit,
+        **engine_options,
+    )
+
+
+def bron_kerbosch(graph: Graph) -> Set[FrozenSet[int]]:
+    """All maximal cliques (unbounded size), with pivoting."""
+    results: Set[FrozenSet[int]] = set()
+
+    def expand(r: Set[int], p: Set[int], x: Set[int]) -> None:
+        if not p and not x:
+            results.add(frozenset(r))
+            return
+        pivot = max(
+            p | x, key=lambda v: len(p & graph.neighbor_set(v))
+        )
+        for v in list(p - graph.neighbor_set(pivot)):
+            neighbors = graph.neighbor_set(v)
+            expand(r | {v}, p & neighbors, x & neighbors)
+            p.discard(v)
+            x.add(v)
+
+    expand(set(), set(graph.vertices()), set())
+    return results
+
+
+def maximal_cliques_reference(
+    graph: Graph, max_size: int, min_size: int = 3
+) -> Set[FrozenSet[int]]:
+    """Size-capped maximality, matching the Contigra workload semantics.
+
+    A clique of size in ``[min_size, max_size]`` counts as maximal iff
+    no strictly larger clique *within the cap* contains it.  Cliques
+    maximal in the unbounded sense but larger than the cap are
+    excluded; cliques of exactly ``max_size`` sitting inside larger
+    cliques still count (the capped workload cannot see beyond the
+    cap).  Derived from Bron–Kerbosch output by re-capping.
+    """
+    import itertools
+
+    capped: Set[FrozenSet[int]] = set()
+    for clique in bron_kerbosch(graph):
+        if min_size <= len(clique) <= max_size:
+            capped.add(clique)
+        elif len(clique) > max_size:
+            # Every max_size-subset of an oversized maximal clique is a
+            # clique of exactly the cap, not contained in any clique of
+            # size <= max_size other than itself.
+            for subset in itertools.combinations(sorted(clique), max_size):
+                capped.add(frozenset(subset))
+    # Drop entries strictly inside a larger capped entry.
+    return {
+        c
+        for c in capped
+        if not any(c < other for other in capped if len(other) > len(c))
+    }

@@ -1,0 +1,90 @@
+"""Motif counting — the classic unconstrained workload (paper §1).
+
+Counts induced occurrences of every connected ``size``-vertex motif.
+Two independent implementations are provided; they must agree, which
+the tests exploit:
+
+* :func:`motif_counts` — pattern-aware: one ETask sweep per canonical
+  structure (how Peregrine counts motifs);
+* :func:`motif_counts_esu` — pattern-oblivious: a single ESU pass over
+  connected vertex sets, classifying each by canonical key (how
+  pattern-oblivious systems do it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..graph.graph import Graph
+from ..mining.engine import MiningEngine
+from ..mining.subsets import explore_connected_sets
+from ..patterns.pattern import Pattern
+from ..patterns.structures import connected_structures
+
+
+def motif_counts(graph: Graph, size: int) -> Dict[str, int]:
+    """Induced motif counts by structure name (``s<k>.<i>``)."""
+    engine = MiningEngine(graph, induced=True)
+    return {
+        structure.name: engine.explore(
+            structure, _counter()
+        ).result()
+        for structure in connected_structures(size)
+    }
+
+
+def _counter():
+    from ..mining.processors import CountProcessor
+
+    return CountProcessor()
+
+
+def motif_counts_esu(graph: Graph, size: int) -> Dict[str, int]:
+    """Same counts via one pattern-oblivious connected-set sweep."""
+    by_key = {
+        structure.canonical_key(): structure.name
+        for structure in connected_structures(size)
+    }
+    counts = {name: 0 for name in by_key.values()}
+
+    def visit(current) -> bool:
+        if len(current) == size:
+            key = _induced_key(graph, current)
+            counts[by_key[key]] += 1
+            return False
+        return True
+
+    explore_connected_sets(graph, size, visit)
+    return counts
+
+
+def _induced_key(graph: Graph, vertex_set) -> tuple:
+    ordered = sorted(vertex_set)
+    position = {v: i for i, v in enumerate(ordered)}
+    edges = [
+        (position[u], position[w])
+        for u in ordered
+        for w in graph.neighbors(u)
+        if w in position and u < w
+    ]
+    return Pattern(len(ordered), edges).canonical_key()
+
+
+def motif_significance(
+    graph: Graph, size: int, reference_counts: Dict[str, int]
+) -> Dict[str, float]:
+    """Ratio of each motif's count to a reference graph's count.
+
+    The usual motif-analysis read-out: which shapes are over- or
+    under-represented relative to a null model.  Reference counts of
+    zero yield ``inf`` when present here, 1.0 when absent in both.
+    """
+    counts = motif_counts(graph, size)
+    ratios: Dict[str, float] = {}
+    for name, count in counts.items():
+        reference = reference_counts.get(name, 0)
+        if reference == 0:
+            ratios[name] = float("inf") if count else 1.0
+        else:
+            ratios[name] = count / reference
+    return ratios

@@ -1,0 +1,104 @@
+"""Maximal Quasi-Cliques (paper §2.2, evaluated in §8.4 / Table 3).
+
+Mines gamma-quasi-cliques of sizes ``[min_size, max_size]`` that are
+maximal within that range (the paper mines "quasi-cliques up to size 6
+that are maximal").  The heavy lifting is the generic
+:class:`~repro.core.runtime.ContigraEngine`; this module builds the
+workload — quasi-clique patterns per size and the maximality
+constraint set — and shapes the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from ..core.constraints import maximality_constraints
+from ..core.runtime import ContigraEngine, ContigraResult
+from ..graph.graph import Graph
+from ..patterns.quasicliques import quasi_clique_patterns_up_to
+
+
+class MaximalQuasiCliqueResult:
+    """Maximal quasi-clique vertex sets, grouped by size."""
+
+    def __init__(self, raw: ContigraResult) -> None:
+        self.raw = raw
+        self.by_size: Dict[int, Set[FrozenSet[int]]] = {}
+        for vertex_set in raw.vertex_sets():
+            self.by_size.setdefault(len(vertex_set), set()).add(vertex_set)
+
+    @property
+    def count(self) -> int:
+        return sum(len(group) for group in self.by_size.values())
+
+    def all_sets(self) -> Set[FrozenSet[int]]:
+        return {s for group in self.by_size.values() for s in group}
+
+    @property
+    def stats(self):
+        return self.raw.stats
+
+    @property
+    def elapsed(self) -> float:
+        return self.raw.elapsed
+
+    def __repr__(self) -> str:
+        sizes = {size: len(group) for size, group in sorted(self.by_size.items())}
+        return f"MaximalQuasiCliqueResult({self.count} maximal, {sizes})"
+
+
+def build_mqc_engine(
+    graph: Graph,
+    gamma: float,
+    max_size: int,
+    min_size: int = 3,
+    enable_fusion: bool = True,
+    enable_promotion: bool = True,
+    enable_lateral: bool = True,
+    rl_strategy: str = "heuristic",
+    time_limit: Optional[float] = None,
+) -> ContigraEngine:
+    """Construct the Contigra engine for an MQC workload.
+
+    Exposed separately from :func:`maximal_quasi_cliques` so ablation
+    benchmarks (Figs 13, 14, 16) can flip individual toggles.
+    """
+    patterns_by_size = quasi_clique_patterns_up_to(
+        max_size, gamma, min_size=min_size
+    )
+    constraint_set = maximality_constraints(patterns_by_size, induced=True)
+    return ContigraEngine(
+        graph,
+        constraint_set,
+        enable_fusion=enable_fusion,
+        enable_promotion=enable_promotion,
+        enable_lateral=enable_lateral,
+        rl_strategy=rl_strategy,
+        time_limit=time_limit,
+    )
+
+
+def maximal_quasi_cliques(
+    graph: Graph,
+    gamma: float,
+    max_size: int,
+    min_size: int = 3,
+    time_limit: Optional[float] = None,
+    **engine_options,
+) -> MaximalQuasiCliqueResult:
+    """Mine maximal gamma-quasi-cliques with Contigra.
+
+    ``engine_options`` forwards the runtime toggles
+    (``enable_fusion``, ``enable_promotion``, ``enable_lateral``,
+    ``rl_strategy``).  Raises
+    :class:`~repro.errors.TimeLimitExceeded` past ``time_limit``.
+    """
+    engine = build_mqc_engine(
+        graph,
+        gamma,
+        max_size,
+        min_size=min_size,
+        time_limit=time_limit,
+        **engine_options,
+    )
+    return MaximalQuasiCliqueResult(engine.run())

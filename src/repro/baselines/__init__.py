@@ -1,0 +1,41 @@
+"""Baselines: brute-force oracles, Peregrine+ post-hoc, TThinker sim."""
+
+from .naive import (
+    all_quasi_cliques,
+    connected_vertex_sets,
+    match_contained_in,
+    maximal_quasi_cliques,
+    minimal_keyword_covers,
+    nested_query_matches,
+    pattern_matches,
+)
+from .peregrine_plus import (
+    PostHocResult,
+    posthoc_kws,
+    posthoc_mqc,
+    posthoc_nsq,
+)
+from .tthinker import (
+    TThinkerAccounting,
+    TThinkerConfig,
+    TThinkerResult,
+    tthinker_mqc,
+)
+
+__all__ = [
+    "all_quasi_cliques",
+    "maximal_quasi_cliques",
+    "minimal_keyword_covers",
+    "nested_query_matches",
+    "pattern_matches",
+    "match_contained_in",
+    "connected_vertex_sets",
+    "PostHocResult",
+    "posthoc_mqc",
+    "posthoc_nsq",
+    "posthoc_kws",
+    "TThinkerConfig",
+    "TThinkerResult",
+    "TThinkerAccounting",
+    "tthinker_mqc",
+]

@@ -1,0 +1,33 @@
+"""Benchmark support: synthetic datasets, timed harness, text reports."""
+
+from .datasets import (
+    SPECS,
+    DatasetSpec,
+    dataset,
+    dataset_keys,
+    labeled_dataset_keys,
+    spec,
+    table1_rows,
+)
+from .harness import OK, OOM, OOS, TLE, RunOutcome, speedup, timed_run
+from .report import format_series, format_table, paper_vs_measured
+
+__all__ = [
+    "DatasetSpec",
+    "SPECS",
+    "dataset",
+    "dataset_keys",
+    "labeled_dataset_keys",
+    "spec",
+    "table1_rows",
+    "RunOutcome",
+    "timed_run",
+    "speedup",
+    "OK",
+    "TLE",
+    "OOM",
+    "OOS",
+    "format_table",
+    "format_series",
+    "paper_vs_measured",
+]

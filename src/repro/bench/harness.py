@@ -1,0 +1,110 @@
+"""Benchmark harness: timed runs with the paper's failure vocabulary.
+
+Experiments in the paper end in one of four ways: a time, TLE (over
+the time budget), OOM (out of memory), or OOS (out of storage).
+:func:`timed_run` executes a workload callable and maps our budget
+exceptions onto those outcomes, so benchmark tables can print the same
+cells Table 3 and Figs 12/15 use.  Speedups against a failed baseline
+are reported as lower bounds, as the paper does ("the speedups
+reported for these large graphs are only a lower bound").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import (
+    MemoryBudgetExceeded,
+    StorageBudgetExceeded,
+    TimeLimitExceeded,
+)
+
+OK = "ok"
+TLE = "TLE"
+OOM = "OOM"
+OOS = "OOS"
+
+
+@dataclass
+class RunOutcome:
+    """Result of one timed workload execution."""
+
+    status: str
+    seconds: float
+    value: Any = None
+    count: Optional[int] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    def cell(self) -> str:
+        """Table cell: a time for successes, the failure tag otherwise."""
+        if self.ok:
+            return f"{self.seconds:.2f}"
+        return self.status
+
+
+def timed_run(
+    workload: Callable[[], Any],
+    time_limit: Optional[float] = None,
+) -> RunOutcome:
+    """Run ``workload`` once, mapping budget failures to outcomes.
+
+    ``time_limit`` here is a harness-side backstop for workloads that
+    do not accept a deadline themselves; workloads that do should be
+    given the deadline directly (cooperative checks abort earlier).
+    """
+    start = time.monotonic()
+    try:
+        value = workload()
+    except TimeLimitExceeded:
+        return RunOutcome(TLE, time.monotonic() - start)
+    except MemoryBudgetExceeded:
+        return RunOutcome(OOM, time.monotonic() - start)
+    except StorageBudgetExceeded:
+        return RunOutcome(OOS, time.monotonic() - start)
+    seconds = time.monotonic() - start
+    outcome = RunOutcome(OK, seconds, value=value)
+    count = getattr(value, "count", None)
+    if isinstance(count, int):
+        outcome.count = count
+    stats = getattr(value, "stats", None)
+    if stats is not None and hasattr(stats, "as_dict"):
+        outcome.stats = stats.as_dict()
+    if time_limit is not None and seconds > time_limit:
+        outcome.status = TLE
+    return outcome
+
+
+def speedup(
+    ours: RunOutcome,
+    baseline: RunOutcome,
+    baseline_budget: Optional[float] = None,
+) -> str:
+    """Speedup cell: exact ratio, or a lower bound when baseline failed.
+
+    For a failed baseline the paper reports speedup against the budget
+    it burned before dying, marked as a lower bound.
+    """
+    if not ours.ok:
+        return "-"
+    if ours.seconds <= 0:
+        return "inf"
+    if baseline.ok:
+        return _fmt_ratio(baseline.seconds / ours.seconds)
+    floor = baseline.seconds
+    if baseline_budget is not None:
+        floor = max(floor, baseline_budget)
+    return ">=" + _fmt_ratio(floor / ours.seconds)
+
+
+def _fmt_ratio(ratio: float) -> str:
+    if ratio >= 1000:
+        return f"{ratio:.2e}x"
+    if ratio >= 10:
+        return f"{ratio:.0f}x"
+    return f"{ratio:.1f}x"

@@ -1,0 +1,126 @@
+"""Persistence for experiment outcomes.
+
+Benchmarks write human-readable tables; this module adds a
+machine-readable record so regression tooling (or a later paper-style
+plot) can consume runs without re-parsing text.  One JSON file per
+experiment, schema::
+
+    {
+      "experiment": "table3_mqc",
+      "created": "<iso timestamp>",
+      "rows": [{"dataset": ..., "status": ..., "seconds": ..., ...}],
+      "claims": [{"paper": "...", "measured": "..."}]
+    }
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+from typing import Dict, List, Optional
+
+from .harness import RunOutcome
+
+
+class ExperimentRecord:
+    """Accumulates rows and claims for one experiment, then saves."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+        self.rows: List[Dict] = []
+        self.claims: List[Dict[str, str]] = []
+
+    def add_row(self, **fields) -> None:
+        """Record one measurement row (plain JSON-serializable values)."""
+        self.rows.append(dict(fields))
+
+    def add_outcome(
+        self, label: str, outcome: RunOutcome, **extra
+    ) -> None:
+        """Record a :class:`RunOutcome` with its counters."""
+        row = {
+            "label": label,
+            "status": outcome.status,
+            "seconds": round(outcome.seconds, 4),
+            "count": outcome.count,
+        }
+        row.update({k: v for k, v in outcome.stats.items()})
+        row.update(extra)
+        self.rows.append(row)
+
+    def add_claim(self, paper: str, measured: str) -> None:
+        """Record one paper-vs-measured comparison."""
+        self.claims.append({"paper": paper, "measured": measured})
+
+    def to_dict(self) -> Dict:
+        return {
+            "experiment": self.experiment,
+            "created": datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(),
+            "rows": self.rows,
+            "claims": self.claims,
+        }
+
+    def save(self, directory: str) -> str:
+        """Write ``<directory>/<experiment>.json``; returns the path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.experiment}.json")
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, default=str)
+        return path
+
+
+def load_record(path: str) -> Dict:
+    """Load a saved experiment record (schema-checked lightly)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    for field in ("experiment", "rows", "claims"):
+        if field not in data:
+            raise ValueError(f"{path}: missing field {field!r}")
+    return data
+
+
+def compare_records(
+    old: Dict, new: Dict, tolerance: float = 0.5
+) -> List[str]:
+    """Regression check between two runs of the same experiment.
+
+    Returns human-readable differences: status changes always count;
+    timing changes only beyond ``tolerance`` (relative).  Rows are
+    matched by their ``label`` (or full identity when unlabeled).
+    """
+    if old["experiment"] != new["experiment"]:
+        raise ValueError("records belong to different experiments")
+    differences: List[str] = []
+    old_rows = {row.get("label", repr(row)): row for row in old["rows"]}
+    new_rows = {row.get("label", repr(row)): row for row in new["rows"]}
+    for label, old_row in old_rows.items():
+        new_row = new_rows.get(label)
+        if new_row is None:
+            differences.append(f"{label}: missing in new run")
+            continue
+        if old_row.get("status") != new_row.get("status"):
+            differences.append(
+                f"{label}: status {old_row.get('status')} -> "
+                f"{new_row.get('status')}"
+            )
+        old_seconds: Optional[float] = old_row.get("seconds")
+        new_seconds: Optional[float] = new_row.get("seconds")
+        if (
+            old_seconds and new_seconds
+            and abs(new_seconds - old_seconds) > tolerance * old_seconds
+        ):
+            differences.append(
+                f"{label}: time {old_seconds:.2f}s -> {new_seconds:.2f}s"
+            )
+        if old_row.get("count") != new_row.get("count"):
+            differences.append(
+                f"{label}: count {old_row.get('count')} -> "
+                f"{new_row.get('count')}"
+            )
+    for label in new_rows:
+        if label not in old_rows:
+            differences.append(f"{label}: new in this run")
+    return differences

@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro mqc --dataset dblp --gamma 0.8 --max-size 5
+    python -m repro kws --dataset mico --keywords mf --max-size 5
+    python -m repro nsq --dataset amazon --query triangles
+    python -m repro quasicliques --dataset dblp --gamma 0.6 --fused
+    python -m repro datasets
+
+Datasets are the synthetic Table-1 analogs; graphs can also be loaded
+from edge-list files with ``--graph path.txt [--labels path.labels]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from .apps import (
+    frequent_and_rare_keywords,
+    keyword_search,
+    maximal_quasi_cliques,
+    mine_quasi_cliques,
+    mine_quasi_cliques_fused,
+    nested_subgraph_query,
+)
+from .apps.nsq import paper_query_tailed_triangles, paper_query_triangles
+from .bench import dataset, dataset_keys, spec
+from .bench.report import format_table
+from .graph.graph import Graph
+from .graph.io import read_edge_list
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if args.graph:
+        return read_edge_list(args.graph, label_path=args.labels)
+    if args.dataset:
+        return dataset(args.dataset)
+    raise SystemExit("pass --dataset <key> or --graph <edge list file>")
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=dataset_keys(), help="synthetic dataset key"
+    )
+    parser.add_argument("--graph", help="edge-list file")
+    parser.add_argument("--labels", help="label file (with --graph)")
+    parser.add_argument(
+        "--time-limit", type=float, default=None,
+        help="abort after this many seconds",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+
+def _report(args: argparse.Namespace, payload: dict) -> None:
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+        return
+    for key, value in payload.items():
+        print(f"{key}: {value}")
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for key in dataset_keys():
+        s = spec(key)
+        g = dataset(key)
+        rows.append(
+            (key, s.paper_name, g.num_vertices, g.num_edges, g.num_labels)
+        )
+    print(
+        format_table(
+            ["key", "stands in for", "V", "E", "labels"],
+            rows,
+            title="Synthetic dataset analogs (see DESIGN.md)",
+        )
+    )
+    return 0
+
+
+def _cmd_mqc(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    result = maximal_quasi_cliques(
+        graph,
+        gamma=args.gamma,
+        max_size=args.max_size,
+        min_size=args.min_size,
+        time_limit=args.time_limit,
+    )
+    _report(
+        args,
+        {
+            "maximal_quasi_cliques": result.count,
+            "by_size": {
+                size: len(group)
+                for size, group in sorted(result.by_size.items())
+            },
+            "elapsed_seconds": round(result.elapsed, 3),
+            "vtasks": result.stats.vtasks_started,
+            "vtasks_canceled": result.stats.vtasks_canceled_lateral,
+            "promotions": result.stats.promotions,
+            "cache_hit_rate": round(result.stats.cache_hit_rate, 3),
+        },
+    )
+    return 0
+
+
+def _cmd_quasicliques(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    miner = mine_quasi_cliques_fused if args.fused else mine_quasi_cliques
+    result = miner(graph, args.gamma, args.max_size, min_size=args.min_size)
+    _report(
+        args,
+        {
+            "quasi_cliques": result.count,
+            "by_size": {
+                size: len(group)
+                for size, group in sorted(result.by_size.items())
+            },
+            "elapsed_seconds": round(result.elapsed, 3),
+            "mode": "fused" if args.fused else "per-pattern",
+        },
+    )
+    return 0
+
+
+def _cmd_kws(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    if args.keywords in ("mf", "lf"):
+        most_frequent, less_frequent = frequent_and_rare_keywords(graph)
+        keywords = most_frequent if args.keywords == "mf" else less_frequent
+    else:
+        keywords = [int(k) for k in args.keywords.split(",")]
+    result = keyword_search(
+        graph,
+        keywords,
+        args.max_size,
+        time_limit=args.time_limit,
+    )
+    _report(
+        args,
+        {
+            "keywords": keywords,
+            "minimal_covers": result.count,
+            "elapsed_seconds": round(result.elapsed, 3),
+            "patterns_total": result.patterns_total,
+            "patterns_skipped": result.patterns_skipped,
+            "matches_checked": result.stats.matches_checked,
+        },
+    )
+    return 0
+
+
+def _cmd_nsq(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    if args.query == "triangles":
+        p_m, p_plus = paper_query_triangles()
+    else:
+        p_m, p_plus = paper_query_tailed_triangles()
+    result = nested_subgraph_query(
+        graph, p_m, p_plus, time_limit=args.time_limit
+    )
+    _report(
+        args,
+        {
+            "query": args.query,
+            "valid_matches": result.count,
+            "elapsed_seconds": round(result.elapsed, 3),
+            "vtasks": result.stats.vtasks_started,
+        },
+    )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core import explain_workload, maximality_constraints
+    from .patterns import quasi_clique_patterns_up_to
+
+    graph = _load_graph(args)
+    constraint_set = maximality_constraints(
+        quasi_clique_patterns_up_to(
+            args.max_size, args.gamma, min_size=args.min_size
+        ),
+        induced=True,
+    )
+    print(explain_workload(graph, constraint_set))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Contigra reproduction: constrained graph mining",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the synthetic datasets")
+
+    mqc = sub.add_parser("mqc", help="maximal quasi-cliques")
+    _add_graph_arguments(mqc)
+    mqc.add_argument("--gamma", type=float, default=0.8)
+    mqc.add_argument("--max-size", type=int, default=5)
+    mqc.add_argument("--min-size", type=int, default=3)
+
+    qcs = sub.add_parser("quasicliques", help="unconstrained quasi-cliques")
+    _add_graph_arguments(qcs)
+    qcs.add_argument("--gamma", type=float, default=0.8)
+    qcs.add_argument("--max-size", type=int, default=5)
+    qcs.add_argument("--min-size", type=int, default=3)
+    qcs.add_argument("--fused", action="store_true",
+                     help="fusion+promotion mode (paper §5.4)")
+
+    kws = sub.add_parser("kws", help="minimal keyword search")
+    _add_graph_arguments(kws)
+    kws.add_argument(
+        "--keywords", default="mf",
+        help="'mf', 'lf', or comma-separated label ids",
+    )
+    kws.add_argument("--max-size", type=int, default=5)
+
+    nsq = sub.add_parser("nsq", help="nested subgraph queries")
+    _add_graph_arguments(nsq)
+    nsq.add_argument(
+        "--query", choices=("triangles", "tailed-triangles"),
+        default="triangles",
+    )
+
+    explain = sub.add_parser(
+        "explain", help="describe an MQC workload's plans and schedules"
+    )
+    _add_graph_arguments(explain)
+    explain.add_argument("--gamma", type=float, default=0.8)
+    explain.add_argument("--max-size", type=int, default=5)
+    explain.add_argument("--min-size", type=int, default=3)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "mqc": _cmd_mqc,
+        "quasicliques": _cmd_quasicliques,
+        "kws": _cmd_kws,
+        "nsq": _cmd_nsq,
+        "explain": _cmd_explain,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Containment constraints (paper §2.2).
+
+A containment constraint is a pair ⟨P^M, P^+⟩ constraining matches of
+``P^M``:
+
+* ``P^+`` larger (*successor* constraint): a match ``m1`` is permitted
+  iff no match ``m2`` for ``P^+`` contains ``m1``  — maximality-style.
+* ``P^+`` smaller (*predecessor* constraint): ``m1`` is permitted iff
+  no match ``m2`` for ``P^+`` is contained in ``m1`` — minimality-style.
+
+:class:`ConstraintSet` groups many constraints by their ``P^M`` and is
+what applications hand to the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..patterns.containment import classify_constraint, contains
+from ..patterns.pattern import Pattern
+
+
+class ContainmentConstraint:
+    """One ⟨P^M, P^+⟩ pair with matching semantics."""
+
+    __slots__ = ("p_m", "p_plus", "induced", "kind")
+
+    def __init__(
+        self, p_m: Pattern, p_plus: Pattern, induced: bool = False
+    ) -> None:
+        if p_m.has_anti_edges or p_plus.has_anti_edges:
+            raise ValueError(
+                "containment constraints do not support anti-edge "
+                "patterns; use induced matching or express the "
+                "non-adjacency as the constraint itself"
+            )
+        self.p_m = p_m
+        self.p_plus = p_plus
+        self.induced = induced
+        self.kind = classify_constraint(p_m, p_plus)
+        if not _related(p_m, p_plus, induced):
+            raise ValueError(
+                "constraint patterns are unrelated: neither contains the other"
+            )
+
+    @property
+    def is_successor(self) -> bool:
+        return self.kind == "successor"
+
+    @property
+    def is_predecessor(self) -> bool:
+        return self.kind == "predecessor"
+
+    @property
+    def gap(self) -> int:
+        """Level distance between the two patterns in the search tree."""
+        return abs(self.p_plus.num_vertices - self.p_m.num_vertices)
+
+    def __repr__(self) -> str:
+        names = (
+            self.p_m.name or f"P{self.p_m.num_vertices}",
+            self.p_plus.name or f"P{self.p_plus.num_vertices}",
+        )
+        return f"ContainmentConstraint({names[0]} vs {names[1]}, {self.kind})"
+
+
+def _related(p_m: Pattern, p_plus: Pattern, induced: bool) -> bool:
+    if p_plus.num_vertices > p_m.num_vertices:
+        return contains(p_m, p_plus, induced=induced)
+    return contains(p_plus, p_m, induced=induced)
+
+
+class ConstraintSet:
+    """All constraints of an application, indexed by target pattern.
+
+    ``patterns`` is the full set of match targets (the P^Ms); each may
+    carry successor and/or predecessor constraints.  Applications build
+    these via the helpers below or directly.
+    """
+
+    def __init__(
+        self,
+        patterns: Sequence[Pattern],
+        constraints: Iterable[ContainmentConstraint],
+        induced: bool = False,
+    ) -> None:
+        self.patterns = list(patterns)
+        self.induced = induced
+        self._by_target: Dict[tuple, List[ContainmentConstraint]] = {
+            p.structure_key(): [] for p in self.patterns
+        }
+        for constraint in constraints:
+            key = constraint.p_m.structure_key()
+            if key not in self._by_target:
+                raise ValueError(
+                    f"constraint target {constraint.p_m!r} is not a mined pattern"
+                )
+            self._by_target[key].append(constraint)
+
+    def constraints_for(self, pattern: Pattern) -> List[ContainmentConstraint]:
+        """Constraints whose ``P^M`` is ``pattern`` (empty if none)."""
+        return self._by_target.get(pattern.structure_key(), [])
+
+    def successor_constraints_for(
+        self, pattern: Pattern
+    ) -> List[ContainmentConstraint]:
+        return [c for c in self.constraints_for(pattern) if c.is_successor]
+
+    def predecessor_constraints_for(
+        self, pattern: Pattern
+    ) -> List[ContainmentConstraint]:
+        return [c for c in self.constraints_for(pattern) if c.is_predecessor]
+
+    @property
+    def all_constraints(self) -> List[ContainmentConstraint]:
+        return [c for group in self._by_target.values() for c in group]
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstraintSet({len(self.patterns)} patterns, "
+            f"{len(self.all_constraints)} constraints)"
+        )
+
+
+def maximality_constraints(
+    patterns_by_size: Dict[int, Sequence[Pattern]],
+    induced: bool = True,
+) -> ConstraintSet:
+    """Maximality: every pattern constrained by every larger containing one.
+
+    This is the MQC construction (paper §2.2): for each quasi-clique
+    pattern ``P_i^M`` of size ``k`` and each pattern ``P_j^+`` of size
+    ``k' > k`` that contains it, add ⟨P_i^M, P_j^+⟩.
+    """
+    sizes = sorted(patterns_by_size)
+    all_patterns = [p for size in sizes for p in patterns_by_size[size]]
+    constraints: List[ContainmentConstraint] = []
+    for size in sizes:
+        for p_m in patterns_by_size[size]:
+            for bigger_size in sizes:
+                if bigger_size <= size:
+                    continue
+                for p_plus in patterns_by_size[bigger_size]:
+                    if contains(p_m, p_plus, induced=induced):
+                        constraints.append(
+                            ContainmentConstraint(p_m, p_plus, induced=induced)
+                        )
+    return ConstraintSet(all_patterns, constraints, induced=induced)
+
+
+def nested_query_constraints(
+    p_m: Pattern,
+    p_plus_list: Sequence[Pattern],
+    induced: bool = False,
+) -> ConstraintSet:
+    """NSQ: one target pattern constrained by explicit larger patterns.
+
+    Containing patterns that structurally cannot contain ``p_m`` are
+    rejected loudly — a silent no-op constraint usually means the
+    caller passed the wrong pattern.
+    """
+    constraints = [
+        ContainmentConstraint(p_m, p_plus, induced=induced)
+        for p_plus in p_plus_list
+    ]
+    return ConstraintSet([p_m], constraints, induced=induced)
+
+
+def minimality_constraints(
+    patterns: Sequence[Pattern],
+    cover_predicate,
+    induced: bool = True,
+) -> ConstraintSet:
+    """Minimality: each pattern constrained by its covering subpatterns.
+
+    ``cover_predicate(pattern) -> bool`` decides whether a (sub)pattern
+    still satisfies the application's cover condition (e.g. "contains
+    all keywords").  For each mined pattern, every *proper connected*
+    subpattern satisfying the predicate yields a predecessor constraint.
+    """
+    from ..patterns.isomorphism import connected_subpatterns
+
+    constraints: List[ContainmentConstraint] = []
+    for pattern in patterns:
+        seen: set = set()
+        for subset in connected_subpatterns(
+            pattern, min_size=1, max_size=pattern.num_vertices - 1
+        ):
+            sub = pattern.subpattern(subset)
+            if not cover_predicate(sub):
+                continue
+            key = sub.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            constraints.append(
+                ContainmentConstraint(pattern, sub, induced=induced)
+            )
+    return ConstraintSet(patterns, constraints, induced=induced)

@@ -1,0 +1,97 @@
+"""Cross-task dependency modeling (paper §4).
+
+Containment constraints manifest as dependencies between exploration
+tasks:
+
+* **successor** — the constrained task depends on tasks exploring
+  deeper in the search tree (maximality);
+* **predecessor** — it depends on tasks at shallower depths
+  (minimality);
+* **lateral** — inferred by the system between VTasks spawned from the
+  same ETask, never specified by applications (§6).
+
+This module derives the dependency structure of a workload for
+planning, reporting, and tests; enforcement lives in the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..patterns.pattern import Pattern
+from .constraints import ConstraintSet
+
+SUCCESSOR = "successor"
+PREDECESSOR = "predecessor"
+LATERAL = "lateral"
+
+
+@dataclass
+class DependencyEdge:
+    """One dependency: tasks for ``source`` depend on tasks for ``target``."""
+
+    source: Pattern
+    target: Pattern
+    kind: str
+    gap: int
+
+
+@dataclass
+class DependencyGraph:
+    """The full dependency structure of a constrained workload."""
+
+    edges: List[DependencyEdge] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> List[DependencyEdge]:
+        return [e for e in self.edges if e.kind == kind]
+
+    def summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {SUCCESSOR: 0, PREDECESSOR: 0, LATERAL: 0}
+        for e in self.edges:
+            counts[e.kind] += 1
+        return counts
+
+    def lateral_groups(self) -> List[Tuple[Pattern, List[Pattern]]]:
+        """Per source pattern, the VTask targets that become laterally
+        dependent on each other (serialized by the runtime)."""
+        groups: Dict[tuple, Tuple[Pattern, List[Pattern]]] = {}
+        for e in self.of_kind(SUCCESSOR):
+            key = e.source.structure_key()
+            if key not in groups:
+                groups[key] = (e.source, [])
+            groups[key][1].append(e.target)
+        return [entry for entry in groups.values() if len(entry[1]) > 1]
+
+
+def derive_dependencies(constraint_set: ConstraintSet) -> DependencyGraph:
+    """Build the dependency graph implied by a constraint set.
+
+    Successor/predecessor edges map one-to-one from constraints;
+    lateral edges are inferred between the successor targets of a
+    common source (each pair is serialized, so we record the chain
+    rather than the quadratic pair set).
+    """
+    graph = DependencyGraph()
+    for constraint in constraint_set.all_constraints:
+        graph.edges.append(
+            DependencyEdge(
+                source=constraint.p_m,
+                target=constraint.p_plus,
+                kind=SUCCESSOR if constraint.is_successor else PREDECESSOR,
+                gap=constraint.gap,
+            )
+        )
+    for source, targets in DependencyGraph(
+        list(graph.edges)
+    ).lateral_groups():
+        for first, second in zip(targets, targets[1:]):
+            graph.edges.append(
+                DependencyEdge(
+                    source=second,
+                    target=first,
+                    kind=LATERAL,
+                    gap=0,
+                )
+            )
+    return graph

@@ -1,0 +1,124 @@
+"""RL-Path ordering heuristics (paper §5.2.2, Fig 9; inverted in §6).
+
+Bridging a gap between an ETask's pattern and a VTask's target opens
+several root-to-leaf path options, one per choice of intermediate
+patterns.  The decision tree:
+
+* all target patterns **dense** → try the *sparsest* intermediate
+  first (fewer intermediate matches to grind through);
+* all targets **sparse** → try the *densest* intermediate first
+  (sparse patterns match everywhere; dense intermediates focus the
+  search on the regions that can complete);
+* **mixed** targets → decide by data-graph density: dense data graph →
+  sparse-first, sparse data graph → dense-first.
+
+For *lateral* scheduling (§6) the goal flips — we want the VTask most
+likely to match **first**, so the prescribed decision is inverted.
+
+The density thresholds below are the only free parameters; the paper
+does not publish its cutoffs, so we pick conventional ones (a pattern
+at or above 0.66 edge density — e.g. any quasi-clique with gamma >=
+0.66 — counts as dense; a data graph above 0.01 counts as dense, which
+separates community-heavy graphs from citation-style sparse ones at
+our synthetic scale).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+from ..graph.graph import Graph
+from ..patterns.pattern import Pattern
+
+T = TypeVar("T")
+
+PATTERN_DENSE_THRESHOLD = 0.66
+GRAPH_DENSE_THRESHOLD = 0.01
+
+# Strategy names accepted by the runtime (Figs 16 and 18 sweep these).
+STRATEGIES = ("heuristic", "sparse-first", "dense-first", "anti-heuristic")
+
+
+def pattern_is_dense(pattern: Pattern) -> bool:
+    """Fig 9's pattern-density predicate."""
+    return pattern.density >= PATTERN_DENSE_THRESHOLD
+
+
+def graph_is_dense(graph: Graph) -> bool:
+    """Fig 9's data-graph density predicate."""
+    return graph.density >= GRAPH_DENSE_THRESHOLD
+
+
+def prefer_sparse_first(
+    targets: Sequence[Pattern], graph: Graph
+) -> bool:
+    """Evaluate the Fig 9 decision tree.
+
+    Returns True when the sparsest intermediate patterns should be
+    prioritized (and False for densest-first).
+    """
+    if not targets:
+        return True
+    dense_flags = [pattern_is_dense(p) for p in targets]
+    if all(dense_flags):
+        return True  # dense targets -> sparse intermediates first
+    if not any(dense_flags):
+        return False  # sparse targets -> dense intermediates first
+    # Mixed: dense data graph -> sparse first; sparse graph -> dense first.
+    return graph_is_dense(graph)
+
+
+def resolve_strategy(
+    strategy: str, targets: Sequence[Pattern], graph: Graph
+) -> bool:
+    """Map a strategy name to a sparse-first boolean decision."""
+    if strategy == "sparse-first":
+        return True
+    if strategy == "dense-first":
+        return False
+    if strategy == "heuristic":
+        return prefer_sparse_first(targets, graph)
+    if strategy == "anti-heuristic":
+        return not prefer_sparse_first(targets, graph)
+    raise ValueError(f"unknown RL-path ordering strategy {strategy!r}")
+
+
+def order_by_density(
+    items: Sequence[T],
+    density_of: Callable[[T], float],
+    sparse_first: bool,
+) -> List[T]:
+    """Stable sort of ``items`` by density (ascending iff sparse_first)."""
+    return sorted(
+        items,
+        key=lambda item: (density_of(item) if sparse_first else -density_of(item)),
+    )
+
+
+def order_exploration_paths(
+    paths: Sequence[T],
+    density_of: Callable[[T], float],
+    strategy: str,
+    targets: Sequence[Pattern],
+    graph: Graph,
+) -> List[T]:
+    """Order bridge RL-Paths per §5.2.2 (minimize intermediate work)."""
+    sparse_first = resolve_strategy(strategy, targets, graph)
+    return order_by_density(paths, density_of, sparse_first)
+
+
+def order_validation_targets(
+    targets_with_density: Sequence[T],
+    density_of: Callable[[T], float],
+    strategy: str,
+    target_patterns: Sequence[Pattern],
+    graph: Graph,
+) -> List[T]:
+    """Order lateral VTasks per §6: *inverted* decision.
+
+    §5.2.2 minimizes matching likelihood; lateral scheduling wants the
+    most-likely-to-match VTask first so one match cancels the rest, so
+    the sparse/dense preference flips relative to the same strategy.
+    """
+    sparse_first = resolve_strategy(strategy, target_patterns, graph)
+    return order_by_density(targets_with_density, density_of, not sparse_first)

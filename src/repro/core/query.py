@@ -1,0 +1,132 @@
+"""Fluent query builder for containment-constrained matching.
+
+A thin, discoverable front end over the runtime — the shape a
+downstream user of a "nested MATCH" feature (paper §1's Cypher/GQL
+motivation) would reach for::
+
+    from repro.core.query import Query
+    from repro.patterns import triangle, house
+
+    result = (
+        Query(triangle())
+        .not_within(house())            # successor constraint
+        .induced(False)
+        .time_limit(30)
+        .run(graph)
+    )
+    for assignment in result.assignments():
+        ...
+
+``Query`` validates eagerly (bad constraints fail at build time, not
+run time) and builds a fresh :class:`~repro.core.runtime.ContigraEngine`
+per ``run``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..graph.graph import Graph
+from ..patterns.pattern import Pattern
+from .constraints import ConstraintSet, ContainmentConstraint
+from .runtime import ContigraEngine, ContigraResult
+
+
+class Query:
+    """Builder for a single-target containment-constrained query."""
+
+    def __init__(self, pattern: Pattern) -> None:
+        if pattern.has_anti_vertices:
+            raise ValueError(
+                "lower anti-vertex patterns first "
+                "(repro.apps.antivertex.lower_anti_vertices)"
+            )
+        if not pattern.is_connected():
+            raise ValueError("query patterns must be connected")
+        self._pattern = pattern
+        self._not_within: List[Pattern] = []
+        self._induced = False
+        self._time_limit: Optional[float] = None
+        self._rl_strategy = "heuristic"
+        self._fusion = True
+        self._lateral = True
+
+    # ------------------------------------------------------------------
+    # Builder steps (each returns self for chaining)
+    # ------------------------------------------------------------------
+
+    def not_within(self, containing: Pattern) -> "Query":
+        """Exclude matches contained in a match of ``containing``."""
+        if containing.num_vertices <= self._pattern.num_vertices:
+            raise ValueError(
+                "not_within requires a strictly larger pattern; "
+                "minimality-style constraints run on repro.apps.kws"
+            )
+        self._not_within.append(containing)
+        return self
+
+    def induced(self, flag: bool = True) -> "Query":
+        """Use vertex-induced matching semantics."""
+        self._induced = flag
+        return self
+
+    def time_limit(self, seconds: float) -> "Query":
+        """Abort with TimeLimitExceeded beyond ``seconds``."""
+        if seconds <= 0:
+            raise ValueError("time limit must be positive")
+        self._time_limit = seconds
+        return self
+
+    def rl_strategy(self, strategy: str) -> "Query":
+        """Override the RL-Path ordering strategy (Fig 9 knob)."""
+        self._rl_strategy = strategy
+        return self
+
+    def without_fusion(self) -> "Query":
+        """Disable VTask cache fusion (ablation)."""
+        self._fusion = False
+        return self
+
+    def without_lateral_cancellation(self) -> "Query":
+        """Disable lateral VTask cancellation (ablation)."""
+        self._lateral = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def build_constraints(self) -> ConstraintSet:
+        """The constraint set this query denotes (validates eagerly)."""
+        constraints = [
+            ContainmentConstraint(
+                self._pattern, containing, induced=self._induced
+            )
+            for containing in self._not_within
+        ]
+        return ConstraintSet(
+            [self._pattern], constraints, induced=self._induced
+        )
+
+    def run(self, graph: Graph) -> ContigraResult:
+        """Execute against a data graph."""
+        engine = ContigraEngine(
+            graph,
+            self.build_constraints(),
+            enable_fusion=self._fusion,
+            enable_lateral=self._lateral,
+            rl_strategy=self._rl_strategy,
+            time_limit=self._time_limit,
+        )
+        return engine.run()
+
+    def count(self, graph: Graph) -> int:
+        """Number of valid matches."""
+        return self.run(graph).count
+
+    def __repr__(self) -> str:
+        target = self._pattern.name or f"P{self._pattern.num_vertices}"
+        nots = ", ".join(
+            p.name or f"P{p.num_vertices}" for p in self._not_within
+        )
+        return f"Query({target} not within [{nots}], induced={self._induced})"

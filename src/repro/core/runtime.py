@@ -1,0 +1,304 @@
+"""The Contigra execution model (paper §3 and Algorithm 1 in full).
+
+:class:`ContigraEngine` runs successor-constrained workloads (MQC,
+NSQ, maximal cliques): ETasks explore the workload patterns smallest
+first, and every matching RL-Path triggers the fused, laterally
+scheduled VTask chain.  VTask matches invalidate the subgraph and —
+when the containing pattern is itself in the workload — promote into
+immediate processing of the containing subgraph, canceling the ETask
+work that would rediscover it.
+
+Predecessor-constrained workloads (keyword search) run on the
+dedicated explorer in :mod:`repro.apps.kws`, which is built on the
+virtual state-space analysis (§7); the two pipelines match the
+paper's own split (§5/§6 vs §7).
+
+Every toggle the paper ablates is a constructor flag:
+
+========================  ===========================================
+``enable_fusion``         share the set-operation cache with VTasks
+``enable_promotion``      process VTask matches immediately + registry
+``enable_lateral``        serial VTasks with cancellation (§6)
+``rl_strategy``           RL-Path ordering (Figs 9, 16, 18)
+========================  ===========================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import TimeLimitExceeded
+from ..graph.graph import Graph
+from ..mining.cache import SetOperationCache
+from ..mining.candidates import root_candidates
+from ..mining.etask import ETask
+from ..mining.match import Match
+from ..mining.stats import ConstraintStats
+from ..patterns.pattern import Pattern
+from ..patterns.plan import plan_for
+from ..patterns.symmetry import canonical_assignment
+from .constraints import ConstraintSet
+from .lateral import LateralScheduler
+from .promotion import PromotionRegistry
+from .vtask import ValidationTarget
+
+_DEADLINE_CHECK_INTERVAL = 256
+
+
+class ContigraResult:
+    """Valid (constraint-satisfying) matches plus run statistics.
+
+    Matches are stored as ``(pattern, canonical_assignment)`` pairs —
+    canonical meaning the lexicographically-minimal automorphic image,
+    so each subgraph match (orbit) appears exactly once even under
+    edge-induced semantics where one vertex set can host several
+    distinct matches.
+    """
+
+    def __init__(self) -> None:
+        self.valid: List[Tuple[Pattern, Tuple[int, ...]]] = []
+        self.stats = ConstraintStats()
+        self.elapsed: float = 0.0
+
+    @property
+    def count(self) -> int:
+        return len(self.valid)
+
+    def vertex_sets(self) -> List[FrozenSet[int]]:
+        return [frozenset(assignment) for _, assignment in self.valid]
+
+    def assignments(self) -> List[Tuple[int, ...]]:
+        return [assignment for _, assignment in self.valid]
+
+    def by_pattern(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for pattern, _ in self.valid:
+            name = pattern.name or f"P{pattern.num_vertices}"
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"ContigraResult({self.count} valid matches)"
+
+
+class ContigraEngine:
+    """Constraint-aware mining engine for successor dependencies."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        constraint_set: ConstraintSet,
+        enable_fusion: bool = True,
+        enable_promotion: bool = True,
+        enable_lateral: bool = True,
+        rl_strategy: str = "heuristic",
+        cache_entries: int = 200_000,
+        time_limit: Optional[float] = None,
+    ) -> None:
+        self.graph = graph
+        self.constraints = constraint_set
+        self.induced = constraint_set.induced
+        self.enable_fusion = enable_fusion
+        self.enable_promotion = enable_promotion
+        self.enable_lateral = enable_lateral
+        self.rl_strategy = rl_strategy
+        self.time_limit = time_limit
+        self.stats = ConstraintStats()
+        self._cache_entries = cache_entries
+        self._registry = PromotionRegistry()
+        self._deadline: Optional[float] = None
+        self._match_tick = 0
+        self._result: Optional[ContigraResult] = None
+        # Caches are scoped per rooted task, as in the paper's task
+        # state ⟨P, S, C⟩: fusion lets VTasks read/extend the live
+        # task's cache, promotion carries it into the containing
+        # subgraph's processing.  There is no global cross-task cache —
+        # that is exactly what promotion is for (Fig 10 / Fig 13).
+        self._task_cache: Optional[SetOperationCache] = None
+
+        unsupported = [
+            c for c in constraint_set.all_constraints if c.is_predecessor
+        ]
+        if unsupported:
+            raise ValueError(
+                "ContigraEngine handles successor constraints; run "
+                "predecessor (minimality) workloads on repro.apps.kws, "
+                f"got {unsupported[0]!r}"
+            )
+
+        # Pattern-level precomputation (paper §8.1: 0.1s–2s, amortized).
+        workload_keys = {
+            p.structure_key(): p for p in constraint_set.patterns
+        }
+        self._workload_pattern_for: Dict[tuple, Pattern] = workload_keys
+        # Patterns that can be promoted *into*: they appear as the P⁺
+        # of some constraint and are themselves mined.  Only their
+        # matches can be pre-registered by promotion, so only they pay
+        # the canonicalization + registry lookup per match.
+        self._promotable: set = {
+            c.p_plus.structure_key()
+            for c in constraint_set.all_constraints
+            if c.is_successor and c.p_plus.structure_key() in workload_keys
+        } if enable_promotion else set()
+        self._schedulers: Dict[tuple, LateralScheduler] = {}
+        for pattern in constraint_set.patterns:
+            targets = [
+                ValidationTarget(
+                    c.p_m,
+                    c.p_plus,
+                    graph,
+                    induced=self.induced,
+                    strategy=rl_strategy,
+                )
+                for c in constraint_set.successor_constraints_for(pattern)
+            ]
+            self._schedulers[pattern.structure_key()] = LateralScheduler(
+                targets,
+                graph,
+                strategy=rl_strategy,
+                enable_cancellation=enable_lateral,
+            )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, roots: Optional[Sequence[int]] = None) -> ContigraResult:
+        """Mine all workload patterns under their containment constraints.
+
+        ``roots`` restricts ETasks to the given root vertices — the
+        sharding hook used by :mod:`repro.core.parallel`.  Validation
+        (VTasks) is never restricted: a shard's matches are checked
+        against the whole graph, so per-shard results are exact for
+        the subgraphs their roots own.
+        """
+        start = time.monotonic()
+        self._deadline = (
+            start + self.time_limit if self.time_limit is not None else None
+        )
+        result = ContigraResult()
+        result.stats = self.stats
+        self._result = result
+        self._registry.clear()
+
+        # Smallest patterns first: their VTask promotions pre-populate
+        # the registry (and the cache) before larger patterns' ETasks
+        # run, which is where promotion pays off (§5.3).
+        ordered = sorted(
+            self.constraints.patterns,
+            key=lambda p: (p.num_vertices, -p.num_edges),
+        )
+        shard = set(roots) if roots is not None else None
+        for pattern in ordered:
+            plan = plan_for(pattern, induced=self.induced)
+            pattern_roots = root_candidates(self.graph, plan)
+            if shard is not None:
+                pattern_roots = [r for r in pattern_roots if r in shard]
+            for root in pattern_roots:
+                self._task_cache = SetOperationCache(
+                    max_entries=self._cache_entries, stats=self.stats
+                )
+                task = ETask(
+                    self.graph, plan, root, self._task_cache, self.stats,
+                    pattern=pattern,
+                )
+                task.run(self._on_etask_match)
+        self._task_cache = None
+        result.elapsed = time.monotonic() - start
+        return result
+
+    # ------------------------------------------------------------------
+    # Match handling (Algorithm 1 lines 2–19)
+    # ------------------------------------------------------------------
+
+    def _on_etask_match(self, match: Match) -> bool:
+        self._check_deadline()
+        if match.pattern.structure_key() not in self._promotable:
+            # Nothing can pre-register this pattern's matches (it is
+            # not a promotion target), and symmetry breaking already
+            # emits each match once — skip the registry entirely.
+            self._process_subgraph(match.pattern, match.assignment)
+            return False
+        canonical = canonical_assignment(match.assignment, match.pattern)
+        if self._registry.seen(match.pattern, canonical):
+            # Already handled through promotion: the from-scratch ETask
+            # work for this subgraph is canceled (§5.3).
+            self.stats.etasks_canceled += 1
+            return False
+        self._registry.mark(match.pattern, canonical)
+        self._process_subgraph(match.pattern, canonical)
+        return False
+
+    def _process_subgraph(
+        self, pattern: Pattern, assignment: Sequence[int]
+    ) -> None:
+        """Validate one subgraph match and emit/promote.
+
+        ``assignment`` is canonical when the match arrived through the
+        promotion path and raw (symmetry-broken, still unique per
+        orbit) when it came straight from an ETask.
+        """
+        assert self._result is not None
+        self.stats.matches_checked += 1
+        scheduler = self._schedulers[pattern.structure_key()]
+        cache = (
+            self._task_cache
+            if self.enable_fusion and self._task_cache is not None
+            else SetOperationCache(stats=self.stats)
+        )
+        violation = scheduler.validate(
+            assignment, self.graph, cache, self.stats
+        )
+        if violation is None:
+            # Results are stored canonically (idempotent for matches
+            # that arrived through the promotion path).
+            self._result.valid.append(
+                (pattern, canonical_assignment(assignment, pattern))
+            )
+            return
+        target, completion = violation
+        if not self.enable_promotion:
+            return
+        workload_pattern = self._workload_pattern_for.get(
+            target.p_plus.structure_key()
+        )
+        if workload_pattern is None:
+            # The containing pattern is not mined itself (NSQ-style
+            # constraints): nothing to promote into.
+            return
+        # Promote the VTask to an ETask (§5.3): beyond the matching
+        # RL-Path, "the remaining RL-Paths in the search tree also get
+        # explored" — every containing match reachable from this state
+        # is processed now, reusing the candidates the VTask cached
+        # (the Fig 10 "immediately finds another match without
+        # additional computation" effect), and registered so the
+        # from-scratch ETasks skip them later.
+        completions: List[Tuple[int, ...]] = []
+        target.enumerate_completions(
+            assignment, self.graph, cache, self.stats, completions.append
+        )
+        for found in completions:
+            canonical = canonical_assignment(found, workload_pattern)
+            if self._registry.seen(workload_pattern, canonical):
+                continue
+            self._registry.mark(workload_pattern, canonical)
+            self.stats.promotions += 1
+            self._process_subgraph(workload_pattern, canonical)
+
+    # ------------------------------------------------------------------
+    # Time budget
+    # ------------------------------------------------------------------
+
+    def _check_deadline(self) -> None:
+        if self._deadline is None:
+            return
+        self._match_tick += 1
+        if self._match_tick % _DEADLINE_CHECK_INTERVAL:
+            return
+        now = time.monotonic()
+        if now > self._deadline:
+            assert self.time_limit is not None
+            raise TimeLimitExceeded(
+                self.time_limit, now - (self._deadline - self.time_limit)
+            )

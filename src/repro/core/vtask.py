@@ -1,0 +1,356 @@
+"""Validation tasks (paper §5, Algorithm 2).
+
+A VTask ⟨P⁺, S^M, S, C⟩ searches for *one* match of a larger pattern
+``P⁺`` that contains the subgraph ``S^M`` an ETask just matched.  Three
+paper techniques are realized here:
+
+**Alignment (§5.2.1).**  Algorithm 2 permutes ``S`` through every
+``validPermutations(pattern(S))`` and then follows ``P⁺``'s exploration
+plan.  Enumerating *(permutation of S)* × *(plan prefix placement)* is
+exactly enumerating the embeddings of ``P^M`` into ``P⁺``, so we
+precompute those embeddings once per pattern pair.  Embeddings that
+differ by an automorphism of ``P⁺`` search identical data-completion
+spaces, so only one representative per Aut(P⁺)-orbit is kept — this is
+the precomputed "lookup table indexed by pattern combinations" of §8.1.
+Symmetry-breaking restrictions are *not* applied during validation
+(they were already consumed by the parent ETask and would wrongly
+prune containing matches — the Fig 7 discussion).
+
+**Gap bridging (§5.2.2).**  When ``P⁺`` is more than one level deeper
+than ``P^M``, the added vertices are bound one at a time; the induced
+subpattern after each step is the *intermediate pattern* of that
+RL-Path.  All connected extension orders are enumerated and ranked by
+the density heuristics of Fig 9 (``repro.core.ordering``).
+
+**Task fusion (§5.2).**  Candidates are computed through the shared
+:class:`~repro.mining.cache.SetOperationCache` of the parent engine,
+keyed by the semantic identity of each intersection — so a VTask
+re-deriving a set the ETask (or a sibling VTask) already computed hits
+the cache instead of recomputing, which is the measurable effect of
+fusing the tasks.  Disabling fusion hands each VTask a throwaway cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from ..mining.cache import SetOperationCache
+from ..mining.candidates import raw_intersection
+from ..mining.stats import ConstraintStats
+from ..patterns.automorphisms import automorphisms
+from ..patterns.isomorphism import subpattern_embeddings
+from ..patterns.pattern import Pattern
+from .ordering import order_exploration_paths
+
+
+class BridgeRecipe:
+    """One aligned RL-Path option: an embedding plus an extension order.
+
+    Attributes
+    ----------
+    embedding: tuple, ``embedding[v]`` = P⁺ vertex for P^M vertex ``v``.
+    order: P⁺ vertices to bind, in binding order.
+    anchors: per step, the P⁺ vertices (already bound before the step)
+        adjacent to the new vertex — their data images get intersected.
+    nonneighbors: per step, bound P⁺ vertices NOT adjacent to the new
+        vertex (enforced only under induced semantics).
+    intermediate_density: mean density of the intermediate patterns
+        along this RL-Path, the sort key for Fig 9 ordering.
+    """
+
+    __slots__ = (
+        "embedding",
+        "order",
+        "anchors",
+        "nonneighbors",
+        "intermediate_density",
+    )
+
+    def __init__(
+        self,
+        p_plus: Pattern,
+        embedding: Tuple[int, ...],
+        order: Tuple[int, ...],
+    ) -> None:
+        self.embedding = embedding
+        self.order = order
+        bound: List[int] = list(embedding)
+        anchors: List[Tuple[int, ...]] = []
+        nonneighbors: List[Tuple[int, ...]] = []
+        densities: List[float] = []
+        for v in order:
+            anchors.append(
+                tuple(u for u in bound if p_plus.has_edge(u, v))
+            )
+            nonneighbors.append(
+                tuple(u for u in bound if not p_plus.has_edge(u, v))
+            )
+            bound.append(v)
+            densities.append(p_plus.subpattern(bound).density)
+        if any(not a for a in anchors):
+            raise ValueError("extension order leaves a vertex unanchored")
+        self.anchors = tuple(anchors)
+        self.nonneighbors = tuple(nonneighbors)
+        self.intermediate_density = (
+            sum(densities) / len(densities) if densities else 0.0
+        )
+
+
+def _orbit_representative_embeddings(
+    p_m: Pattern, p_plus: Pattern, induced: bool
+) -> List[Tuple[int, ...]]:
+    """Embeddings of P^M into P⁺, deduplicated modulo Aut(P⁺)."""
+    p_plus_auts = automorphisms(p_plus)
+    seen: set = set()
+    representatives: List[Tuple[int, ...]] = []
+    for emb in subpattern_embeddings(p_m, p_plus, induced=induced):
+        image = tuple(emb[v] for v in p_m.vertices())
+        orbit_key = min(
+            tuple(sigma[x] for x in image) for sigma in p_plus_auts
+        )
+        if orbit_key in seen:
+            continue
+        seen.add(orbit_key)
+        representatives.append(image)
+    return representatives
+
+
+def _connected_extension_orders(
+    p_plus: Pattern, covered: Sequence[int], added: Sequence[int]
+) -> List[Tuple[int, ...]]:
+    """All orders of ``added`` where each vertex attaches to bound ones."""
+    orders: List[Tuple[int, ...]] = []
+    covered_set = set(covered)
+    for perm in itertools.permutations(added):
+        bound = set(covered_set)
+        valid = True
+        for v in perm:
+            if not any(p_plus.has_edge(v, u) for u in bound):
+                valid = False
+                break
+            bound.add(v)
+        if valid:
+            orders.append(perm)
+    return orders
+
+
+class ValidationTarget:
+    """Precomputed validation recipe for one ⟨P^M, P⁺⟩ constraint.
+
+    Construction is pattern-level only (cheap, done before exploration
+    begins); :meth:`run` is the per-match hot path.
+    """
+
+    def __init__(
+        self,
+        p_m: Pattern,
+        p_plus: Pattern,
+        graph: Graph,
+        induced: bool,
+        strategy: str = "heuristic",
+        dedup_embeddings: bool = True,
+        use_intersections: bool = True,
+    ) -> None:
+        """``dedup_embeddings=False`` keeps every embedding instead of one
+        per Aut(P⁺)-orbit; ``strategy="naive"`` keeps enumeration
+        order; ``use_intersections=False`` scans one anchor's adjacency
+        list and filters the rest edge-by-edge instead of intersecting
+        cached sets.  Together these model a hand-written
+        user-defined-function containment check that lacks Contigra's
+        precomputed alignment tables and fused caches (the Peregrine+
+        baseline of §8.2)."""
+        self.p_m = p_m
+        self.p_plus = p_plus
+        self.induced = induced
+        self.use_intersections = use_intersections
+        self.gap = p_plus.num_vertices - p_m.num_vertices
+        if self.gap < 1:
+            raise ValueError("validation target must be strictly larger")
+        if dedup_embeddings:
+            embeddings = _orbit_representative_embeddings(p_m, p_plus, induced)
+        else:
+            embeddings = [
+                tuple(emb[v] for v in p_m.vertices())
+                for emb in subpattern_embeddings(p_m, p_plus, induced=induced)
+            ]
+        recipes: List[BridgeRecipe] = []
+        for embedding in embeddings:
+            covered = list(embedding)
+            added = [v for v in p_plus.vertices() if v not in set(covered)]
+            orders = _connected_extension_orders(p_plus, covered, added)
+            candidates = [
+                BridgeRecipe(p_plus, embedding, order) for order in orders
+            ]
+            if strategy != "naive":
+                candidates = order_exploration_paths(
+                    candidates,
+                    density_of=lambda r: r.intermediate_density,
+                    strategy=strategy,
+                    targets=[p_plus],
+                    graph=graph,
+                )
+            # For a fixed embedding, DFS over any one connected order
+            # enumerates every completion, so only the heuristic's top
+            # pick is kept — the strategy decides *which* RL-Path runs,
+            # never how many (that is the entire effect Fig 16 sweeps).
+            recipes.append(candidates[0])
+        if strategy != "naive":
+            # Keep the globally heuristic-preferred recipes first.
+            recipes = order_exploration_paths(
+                recipes,
+                density_of=lambda r: r.intermediate_density,
+                strategy=strategy,
+                targets=[p_plus],
+                graph=graph,
+            )
+        self.recipes = recipes
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        assignment: Sequence[int],
+        graph: Graph,
+        cache: SetOperationCache,
+        stats: ConstraintStats,
+    ) -> Optional[Tuple[int, ...]]:
+        """Search for one P⁺ match containing the P^M match ``assignment``.
+
+        ``assignment[v]`` is the data vertex bound to P^M vertex ``v``.
+        Returns the full P⁺ assignment (indexed by P⁺ vertex) of the
+        first containing match found, or None — VTASK-MATCHED vs
+        NO-VTASK-MATCH in Algorithm 2.
+        """
+        stats.vtasks_started += 1
+        stats.constraint_checks += 1
+        for recipe in self.recipes:
+            bound: Dict[int, int] = {
+                p_plus_v: assignment[p_m_v]
+                for p_m_v, p_plus_v in enumerate(recipe.embedding)
+            }
+            completion = self._extend(recipe, 0, bound, graph, cache, stats)
+            if completion is not None:
+                stats.vtasks_matched += 1
+                return completion
+        return None
+
+    def enumerate_completions(
+        self,
+        assignment: Sequence[int],
+        graph: Graph,
+        cache: SetOperationCache,
+        stats: ConstraintStats,
+        emit,
+    ) -> None:
+        """Emit *every* P⁺ match containing the P^M match (no early exit).
+
+        Used by §5.4's generality mode (ETask-to-ETask fusion for
+        unconstrained workloads): each emitted completion is one
+        promoted match of the larger pattern.  ``emit`` receives the
+        full P⁺ assignment tuple; duplicates across embeddings are the
+        caller's to fold (one subgraph can contain several base-pattern
+        matches).
+        """
+        stats.vtasks_started += 1
+        for recipe in self.recipes:
+            bound: Dict[int, int] = {
+                p_plus_v: assignment[p_m_v]
+                for p_m_v, p_plus_v in enumerate(recipe.embedding)
+            }
+            self._extend_all(recipe, 0, bound, graph, cache, stats, emit)
+
+    def _extend_all(
+        self,
+        recipe: BridgeRecipe,
+        step: int,
+        bound: Dict[int, int],
+        graph: Graph,
+        cache: SetOperationCache,
+        stats: ConstraintStats,
+        emit,
+    ) -> None:
+        if step == len(recipe.order):
+            emit(tuple(bound[v] for v in self.p_plus.vertices()))
+            return
+        new_vertex = recipe.order[step]
+        for v in self._candidates(recipe, step, bound, graph, cache, stats):
+            bound[new_vertex] = v
+            self._extend_all(recipe, step + 1, bound, graph, cache, stats, emit)
+            del bound[new_vertex]
+
+    def _candidates(
+        self,
+        recipe: BridgeRecipe,
+        step: int,
+        bound: Dict[int, int],
+        graph: Graph,
+        cache: SetOperationCache,
+        stats: ConstraintStats,
+    ) -> List[int]:
+        """Valid data vertices for the step's P⁺ vertex, sorted.
+
+        The fused path intersects cached neighbor sets; the UDF-model
+        path (``use_intersections=False``) scans one adjacency list and
+        filters the rest by individual edge probes.
+        """
+        new_vertex = recipe.order[step]
+        anchor_data = [bound[u] for u in recipe.anchors[step]]
+        stats.candidate_computations += 1
+        if self.use_intersections:
+            pool = raw_intersection(graph, anchor_data, cache, stats)
+            rest: List[int] = []
+        else:
+            pool = graph.neighbor_set(anchor_data[0])
+            rest = anchor_data[1:]
+        label = self.p_plus.label(new_vertex)
+        used = set(bound.values())
+        selected: List[int] = []
+        for v in sorted(pool):
+            if v in used:
+                continue
+            if label is not None and graph.label(v) != label:
+                continue
+            if rest:
+                stats.extensions_attempted += 1
+                if not all(graph.has_edge(v, w) for w in rest):
+                    continue
+            if self.induced and any(
+                graph.has_edge(v, bound[u])
+                for u in recipe.nonneighbors[step]
+            ):
+                continue
+            selected.append(v)
+        return selected
+
+    def _extend(
+        self,
+        recipe: BridgeRecipe,
+        step: int,
+        bound: Dict[int, int],
+        graph: Graph,
+        cache: SetOperationCache,
+        stats: ConstraintStats,
+    ) -> Optional[Tuple[int, ...]]:
+        if step == len(recipe.order):
+            return tuple(bound[v] for v in self.p_plus.vertices())
+        if step > 0:
+            stats.bridge_steps += 1
+        new_vertex = recipe.order[step]
+        for v in self._candidates(recipe, step, bound, graph, cache, stats):
+            bound[new_vertex] = v
+            result = self._extend(recipe, step + 1, bound, graph, cache, stats)
+            if result is not None:
+                return result
+            del bound[new_vertex]
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"ValidationTarget({self.p_m.name or self.p_m.num_vertices} -> "
+            f"{self.p_plus.name or self.p_plus.num_vertices}, "
+            f"gap={self.gap}, recipes={len(self.recipes)})"
+        )

@@ -1,0 +1,47 @@
+"""Exceptions shared by the runtime, baselines, and benchmark harness."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for library errors."""
+
+
+class TimeLimitExceeded(ReproError):
+    """A run exceeded its wall-clock budget (the paper's TLE outcome)."""
+
+    def __init__(self, limit_seconds: float, elapsed: float) -> None:
+        super().__init__(
+            f"time limit exceeded: {elapsed:.2f}s elapsed, "
+            f"budget {limit_seconds:.2f}s"
+        )
+        self.limit_seconds = limit_seconds
+        self.elapsed = elapsed
+
+
+class MemoryBudgetExceeded(ReproError):
+    """A run exceeded its simulated memory budget (paper's OOM outcome).
+
+    The TThinker baseline buffers candidate matches for post-processing;
+    we account their bytes and fail like the paper's 64 GB machine did.
+    """
+
+    def __init__(self, budget_bytes: int, used_bytes: int) -> None:
+        super().__init__(
+            f"memory budget exceeded: {used_bytes} bytes used, "
+            f"budget {budget_bytes}"
+        )
+        self.budget_bytes = budget_bytes
+        self.used_bytes = used_bytes
+
+
+class StorageBudgetExceeded(ReproError):
+    """A run exceeded its simulated disk budget (paper's OOS outcome)."""
+
+    def __init__(self, budget_bytes: int, used_bytes: int) -> None:
+        super().__init__(
+            f"storage budget exceeded: {used_bytes} bytes spilled, "
+            f"budget {budget_bytes}"
+        )
+        self.budget_bytes = budget_bytes
+        self.used_bytes = used_bytes

@@ -1,0 +1,52 @@
+"""Data-graph substrate: immutable graphs, builders, generators, I/O."""
+
+from .algorithms import (
+    bfs_distances,
+    clustering_profile,
+    connected_components,
+    degeneracy_order,
+    is_clique,
+    k_core,
+    triangle_count,
+)
+from .builder import GraphBuilder, graph_from_edges
+from .digraph import (
+    DiGraph,
+    DiGraphBuilder,
+    directed_citation_graph,
+    directed_erdos_renyi,
+)
+from .generators import (
+    attach_labels,
+    community_graph,
+    disjoint_union,
+    erdos_renyi,
+    powerlaw_graph,
+)
+from .graph import Graph
+from .io import read_edge_list, write_edge_list, write_labels
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "DiGraphBuilder",
+    "directed_erdos_renyi",
+    "directed_citation_graph",
+    "GraphBuilder",
+    "graph_from_edges",
+    "erdos_renyi",
+    "powerlaw_graph",
+    "community_graph",
+    "attach_labels",
+    "disjoint_union",
+    "read_edge_list",
+    "write_edge_list",
+    "write_labels",
+    "connected_components",
+    "degeneracy_order",
+    "k_core",
+    "triangle_count",
+    "clustering_profile",
+    "bfs_distances",
+    "is_clique",
+]

@@ -1,0 +1,134 @@
+"""Classic graph algorithms used by the mining substrate and baselines.
+
+The TThinker-style baseline prunes sparse regions using k-cores and
+degeneracy ordering (as the Quick algorithm does); connectivity helpers
+back the keyword-search minimality semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .graph import Graph
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Connected components, each as a sorted vertex list."""
+    seen = [False] * graph.num_vertices
+    components: List[List[int]] = []
+    for start in graph.vertices():
+        if seen[start]:
+            continue
+        component = []
+        queue = deque([start])
+        seen[start] = True
+        while queue:
+            v = queue.popleft()
+            component.append(v)
+            for w in graph.neighbors(v):
+                if not seen[w]:
+                    seen[w] = True
+                    queue.append(w)
+        components.append(sorted(component))
+    return components
+
+
+def degeneracy_order(graph: Graph) -> Tuple[List[int], int]:
+    """Degeneracy (smallest-last) ordering.
+
+    Returns ``(order, degeneracy)`` where ``order`` removes a
+    minimum-degree vertex at each step.  Standard bucket-queue
+    implementation, O(n + m).
+    """
+    n = graph.num_vertices
+    degree = [graph.degree(v) for v in range(n)]
+    max_deg = max(degree, default=0)
+    buckets: List[Set[int]] = [set() for _ in range(max_deg + 1)]
+    for v in range(n):
+        buckets[degree[v]].add(v)
+    order: List[int] = []
+    removed = [False] * n
+    degeneracy = 0
+    current = 0
+    for _ in range(n):
+        while current <= max_deg and not buckets[current]:
+            current += 1
+        v = buckets[current].pop()
+        degeneracy = max(degeneracy, current)
+        order.append(v)
+        removed[v] = True
+        for w in graph.neighbors(v):
+            if not removed[w]:
+                buckets[degree[w]].discard(w)
+                degree[w] -= 1
+                buckets[degree[w]].add(w)
+        # Degrees only drop by one per removal, so back up one bucket.
+        current = max(0, current - 1)
+    return order, degeneracy
+
+
+def k_core(graph: Graph, k: int) -> Set[int]:
+    """Vertices of the maximal subgraph with minimum degree >= k."""
+    degree = {v: graph.degree(v) for v in graph.vertices()}
+    queue = deque(v for v, d in degree.items() if d < k)
+    removed: Set[int] = set()
+    while queue:
+        v = queue.popleft()
+        if v in removed:
+            continue
+        removed.add(v)
+        for w in graph.neighbors(v):
+            if w not in removed:
+                degree[w] -= 1
+                if degree[w] < k:
+                    queue.append(w)
+    return {v for v in graph.vertices() if v not in removed}
+
+
+def triangle_count(graph: Graph) -> int:
+    """Total number of triangles (ordered intersection counting)."""
+    count = 0
+    for u in graph.vertices():
+        higher = [w for w in graph.neighbors(u) if w > u]
+        higher_set = set(higher)
+        for v in higher:
+            for w in graph.neighbors(v):
+                if w > v and w in higher_set:
+                    count += 1
+    return count
+
+
+def clustering_profile(graph: Graph) -> Dict[str, float]:
+    """Summary stats used by the density heuristics and dataset reports."""
+    n = graph.num_vertices
+    return {
+        "vertices": float(n),
+        "edges": float(graph.num_edges),
+        "density": graph.density,
+        "max_degree": float(graph.max_degree),
+        "avg_degree": (2.0 * graph.num_edges / n) if n else 0.0,
+    }
+
+
+def bfs_distances(graph: Graph, source: int) -> Dict[int, int]:
+    """Unweighted shortest-path distances from ``source``."""
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            if w not in distances:
+                distances[w] = distances[v] + 1
+                queue.append(w)
+    return distances
+
+
+def is_clique(graph: Graph, vertex_set: Sequence[int]) -> bool:
+    """Whether ``vertex_set`` induces a complete subgraph."""
+    members = list(dict.fromkeys(vertex_set))
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if not graph.has_edge(u, v):
+                return False
+    return True

@@ -1,0 +1,98 @@
+"""Mutable builder producing immutable :class:`~repro.graph.graph.Graph`.
+
+The builder accepts edges in any order, drops duplicates and self
+loops, and can renumber arbitrary hashable vertex ids into the dense
+``0..n-1`` space the engine requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from .graph import Graph
+
+
+class GraphBuilder:
+    """Accumulates edges and labels, then :meth:`build`\\ s a Graph.
+
+    Vertex ids may be arbitrary hashable values; they are mapped to
+    dense integers in first-seen order (stable, so seeded generators
+    are reproducible).  Use :meth:`vertex_id` to look up the mapping.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self._name = name
+        self._ids: Dict[Hashable, int] = {}
+        self._adjacency: List[set] = []
+        self._labels: Dict[int, int] = {}
+
+    def _intern(self, vertex: Hashable) -> int:
+        dense = self._ids.get(vertex)
+        if dense is None:
+            dense = len(self._ids)
+            self._ids[vertex] = dense
+            self._adjacency.append(set())
+        return dense
+
+    def add_vertex(self, vertex: Hashable, label: Optional[int] = None) -> int:
+        """Ensure ``vertex`` exists; optionally set its label. Returns dense id."""
+        dense = self._intern(vertex)
+        if label is not None:
+            self._labels[dense] = label
+        return dense
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Add undirected edge ``{u, v}``; self loops and duplicates ignored."""
+        du = self._intern(u)
+        dv = self._intern(v)
+        if du == dv:
+            return
+        self._adjacency[du].add(dv)
+        self._adjacency[dv].add(du)
+
+    def add_edges(self, edges: Iterable[Tuple[Hashable, Hashable]]) -> None:
+        """Bulk :meth:`add_edge`."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def set_label(self, vertex: Hashable, label: int) -> None:
+        """Set the label of an existing or new vertex."""
+        self._labels[self._intern(vertex)] = label
+
+    def vertex_id(self, vertex: Hashable) -> int:
+        """Dense id assigned to ``vertex`` (KeyError if never added)."""
+        return self._ids[vertex]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._adjacency) // 2
+
+    def build(self) -> Graph:
+        """Produce the immutable graph.
+
+        If any vertex has a label, every unlabeled vertex receives the
+        fresh label ``-1`` so that the built graph is uniformly labeled.
+        """
+        adjacency = [sorted(neighbors) for neighbors in self._adjacency]
+        labels = None
+        if self._labels:
+            labels = [self._labels.get(v, -1) for v in range(len(adjacency))]
+        return Graph(adjacency, labels=labels, name=self._name)
+
+
+def graph_from_edges(
+    edges: Iterable[Tuple[Hashable, Hashable]],
+    labels: Optional[Dict[Hashable, int]] = None,
+    name: str = "",
+) -> Graph:
+    """One-shot convenience wrapper around :class:`GraphBuilder`."""
+    builder = GraphBuilder(name=name)
+    builder.add_edges(edges)
+    if labels:
+        for vertex, label in labels.items():
+            builder.set_label(vertex, label)
+    return builder.build()

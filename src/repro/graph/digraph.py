@@ -1,0 +1,208 @@
+"""Directed data graphs.
+
+The paper develops everything for undirected graphs "for ease of
+exposition" and notes the techniques apply to directed graphs (§2.1).
+This module provides the directed substrate: a :class:`DiGraph` with
+sorted out/in adjacency, a builder, and seeded generators.  Directed
+matching lives in :mod:`repro.mining.directed`.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class DiGraph:
+    """An immutable, simple directed graph.
+
+    ``out_adjacency[v]`` / ``in_adjacency[v]`` are sorted,
+    duplicate-free successor / predecessor lists; the two must be
+    transposes of each other (the builder guarantees this).
+    """
+
+    __slots__ = ("_out", "_in", "_labels", "_num_edges", "_name",
+                 "_out_sets", "_in_sets")
+
+    def __init__(
+        self,
+        out_adjacency: Sequence[Sequence[int]],
+        in_adjacency: Sequence[Sequence[int]],
+        labels: Optional[Sequence[int]] = None,
+        name: str = "",
+    ) -> None:
+        if len(out_adjacency) != len(in_adjacency):
+            raise ValueError("out/in adjacency sizes differ")
+        self._out: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(s) for s in out_adjacency
+        )
+        self._in: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(s) for s in in_adjacency
+        )
+        out_count = sum(len(s) for s in self._out)
+        in_count = sum(len(s) for s in self._in)
+        if out_count != in_count:
+            raise ValueError("adjacency is not a transpose pair")
+        self._num_edges = out_count
+        if labels is not None and len(labels) != len(self._out):
+            raise ValueError("labels length mismatch")
+        self._labels = tuple(labels) if labels is not None else None
+        self._name = name
+        self._out_sets: Optional[Tuple[frozenset, ...]] = None
+        self._in_sets: Optional[Tuple[frozenset, ...]] = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._out))
+
+    def successors(self, v: int) -> Tuple[int, ...]:
+        return self._out[v]
+
+    def predecessors(self, v: int) -> Tuple[int, ...]:
+        return self._in[v]
+
+    def out_degree(self, v: int) -> int:
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        return len(self._in[v])
+
+    def has_arc(self, u: int, v: int) -> bool:
+        """Whether the arc ``u -> v`` exists."""
+        row = self._out[u]
+        i = bisect_left(row, v)
+        return i < len(row) and row[i] == v
+
+    def arcs(self) -> Iterator[Tuple[int, int]]:
+        for u, row in enumerate(self._out):
+            for v in row:
+                yield (u, v)
+
+    def successor_set(self, v: int) -> frozenset:
+        if self._out_sets is None:
+            self._out_sets = tuple(frozenset(s) for s in self._out)
+        return self._out_sets[v]
+
+    def predecessor_set(self, v: int) -> frozenset:
+        if self._in_sets is None:
+            self._in_sets = tuple(frozenset(s) for s in self._in)
+        return self._in_sets[v]
+
+    @property
+    def is_labeled(self) -> bool:
+        return self._labels is not None
+
+    def label(self, v: int) -> Optional[int]:
+        return self._labels[v] if self._labels is not None else None
+
+    def __repr__(self) -> str:
+        tag = f" {self._name!r}:" if self._name else ""
+        return f"DiGraph({tag} |V|={self.num_vertices}, |A|={self.num_edges})"
+
+
+class DiGraphBuilder:
+    """Mutable builder for :class:`DiGraph` (dedup, interning)."""
+
+    def __init__(self, name: str = "") -> None:
+        self._name = name
+        self._ids: Dict[Hashable, int] = {}
+        self._out: List[set] = []
+        self._labels: Dict[int, int] = {}
+
+    def _intern(self, vertex: Hashable) -> int:
+        dense = self._ids.get(vertex)
+        if dense is None:
+            dense = len(self._ids)
+            self._ids[vertex] = dense
+            self._out.append(set())
+        return dense
+
+    def add_vertex(self, vertex: Hashable, label: Optional[int] = None) -> int:
+        dense = self._intern(vertex)
+        if label is not None:
+            self._labels[dense] = label
+        return dense
+
+    def add_arc(self, source: Hashable, target: Hashable) -> None:
+        """Add the arc ``source -> target`` (self loops ignored)."""
+        s = self._intern(source)
+        t = self._intern(target)
+        if s != t:
+            self._out[s].add(t)
+
+    def add_arcs(self, arcs: Iterable[Tuple[Hashable, Hashable]]) -> None:
+        for s, t in arcs:
+            self.add_arc(s, t)
+
+    def build(self) -> DiGraph:
+        n = len(self._out)
+        incoming: List[List[int]] = [[] for _ in range(n)]
+        for u, targets in enumerate(self._out):
+            for v in targets:
+                incoming[v].append(u)
+        labels = None
+        if self._labels:
+            labels = [self._labels.get(v, -1) for v in range(n)]
+        return DiGraph(
+            [sorted(s) for s in self._out],
+            [sorted(s) for s in incoming],
+            labels=labels,
+            name=self._name,
+        )
+
+
+def directed_erdos_renyi(
+    num_vertices: int,
+    arc_probability: float,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """Uniform random directed graph (each ordered pair independently)."""
+    rng = random.Random(seed)
+    builder = DiGraphBuilder(name=name)
+    for v in range(num_vertices):
+        builder.add_vertex(v)
+    for u in range(num_vertices):
+        for v in range(num_vertices):
+            if u != v and rng.random() < arc_probability:
+                builder.add_arc(u, v)
+    return builder.build()
+
+
+def directed_citation_graph(
+    num_vertices: int,
+    references_per_vertex: int = 3,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """Citation-style DAG-ish generator: new vertices cite older ones
+    preferentially (a directed analog of the Patents dataset)."""
+    rng = random.Random(seed)
+    builder = DiGraphBuilder(name=name)
+    builder.add_vertex(0)
+    endpoints: List[int] = [0]
+    for new in range(1, num_vertices):
+        builder.add_vertex(new)
+        cited = set()
+        wanted = min(references_per_vertex, new)
+        while len(cited) < wanted:
+            choice = endpoints[rng.randrange(len(endpoints))]
+            if choice != new:
+                cited.add(choice)
+        for old in cited:
+            builder.add_arc(new, old)
+            endpoints.append(old)
+        endpoints.append(new)
+    return builder.build()

@@ -1,0 +1,266 @@
+"""Immutable data-graph representation used by the mining substrate.
+
+The data graph is stored CSR-style: one flat tuple of sorted adjacency
+lists, indexed by vertex id.  Vertices are dense integers ``0..n-1``.
+Graphs are undirected and simple (no self loops, no parallel edges);
+the builder (:mod:`repro.graph.builder`) enforces this.
+
+Vertex labels are optional.  A labeled graph carries one integer label
+per vertex; unlabeled graphs report ``None`` for every vertex and
+``num_labels == 0``, matching the "Labels = 0" rows of Table 1 in the
+paper.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+
+class Graph:
+    """An immutable, undirected, simple data graph.
+
+    Parameters
+    ----------
+    adjacency:
+        One sorted, duplicate-free sequence of neighbor ids per vertex.
+        ``adjacency[v]`` must never contain ``v`` itself.
+    labels:
+        Optional per-vertex integer labels.  ``None`` means unlabeled.
+    name:
+        Optional human-readable dataset name, used in benchmark reports.
+    """
+
+    __slots__ = (
+        "_adj",
+        "_labels",
+        "_num_edges",
+        "_name",
+        "_label_index",
+        "_adj_sets",
+    )
+
+    def __init__(
+        self,
+        adjacency: Sequence[Sequence[int]],
+        labels: Optional[Sequence[int]] = None,
+        name: str = "",
+    ) -> None:
+        self._adj: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(neighbors) for neighbors in adjacency
+        )
+        if labels is not None and len(labels) != len(self._adj):
+            raise ValueError(
+                f"labels length {len(labels)} != vertex count {len(self._adj)}"
+            )
+        self._labels: Optional[Tuple[int, ...]] = (
+            tuple(labels) if labels is not None else None
+        )
+        degree_sum = sum(len(neighbors) for neighbors in self._adj)
+        if degree_sum % 2 != 0:
+            raise ValueError("adjacency is not symmetric (odd degree sum)")
+        self._num_edges = degree_sum // 2
+        self._name = name
+        self._label_index: Optional[dict] = None
+        self._adj_sets: Optional[Tuple[frozenset, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Dataset name (may be empty)."""
+        return self._name
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def vertices(self) -> range:
+        """All vertex ids, densely numbered from zero."""
+        return range(len(self._adj))
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbors of ``v``."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists (binary search)."""
+        if u == v:
+            return False
+        neighbors = self._adj[u]
+        if len(self._adj[v]) < len(neighbors):
+            neighbors, v = self._adj[v], u
+        i = bisect_left(neighbors, v)
+        return i < len(neighbors) and neighbors[i] == v
+
+    def neighbor_set(self, v: int) -> frozenset:
+        """Neighbors of ``v`` as a frozenset (lazily built, then cached).
+
+        The mining engine's candidate computation is intersection-heavy;
+        set form makes each intersection O(min degree).
+        """
+        if self._adj_sets is None:
+            self._adj_sets = tuple(
+                frozenset(neighbors) for neighbors in self._adj
+            )
+        return self._adj_sets[v]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate undirected edges once each, as ``(u, v)`` with ``u < v``."""
+        for u, neighbors in enumerate(self._adj):
+            for v in neighbors:
+                if u < v:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether the graph carries vertex labels."""
+        return self._labels is not None
+
+    def label(self, v: int) -> Optional[int]:
+        """Label of ``v``, or ``None`` on unlabeled graphs."""
+        if self._labels is None:
+            return None
+        return self._labels[v]
+
+    @property
+    def labels(self) -> Optional[Tuple[int, ...]]:
+        """The full label tuple, or ``None`` on unlabeled graphs."""
+        return self._labels
+
+    @property
+    def num_labels(self) -> int:
+        """Number of distinct labels (0 for unlabeled graphs)."""
+        if self._labels is None:
+            return 0
+        return len(set(self._labels))
+
+    def vertices_with_label(self, label: int) -> Tuple[int, ...]:
+        """All vertices carrying ``label`` (cached inverted index)."""
+        if self._labels is None:
+            return ()
+        if self._label_index is None:
+            index: dict = {}
+            for v, lab in enumerate(self._labels):
+                index.setdefault(lab, []).append(v)
+            self._label_index = {
+                lab: tuple(vs) for lab, vs in index.items()
+            }
+        return self._label_index.get(label, ())
+
+    def label_frequencies(self) -> dict:
+        """Map label -> number of vertices carrying it."""
+        if self._labels is None:
+            return {}
+        freq: dict = {}
+        for lab in self._labels:
+            freq[lab] = freq.get(lab, 0) + 1
+        return freq
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum vertex degree (0 on the empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(neighbors) for neighbors in self._adj)
+
+    @property
+    def density(self) -> float:
+        """Edge density ``2m / (n (n - 1))`` in ``[0, 1]``."""
+        n = len(self._adj)
+        if n < 2:
+            return 0.0
+        return 2.0 * self._num_edges / (n * (n - 1))
+
+    def induced_subgraph(self, vertex_set: Iterable[int]) -> "Graph":
+        """Induced subgraph on ``vertex_set``, with vertices renumbered.
+
+        The new graph's vertex ``i`` corresponds to the ``i``-th smallest
+        vertex of ``vertex_set``.  Labels are carried over when present.
+        """
+        ordered = sorted(set(vertex_set))
+        position = {v: i for i, v in enumerate(ordered)}
+        adjacency = [
+            [position[w] for w in self._adj[v] if w in position]
+            for v in ordered
+        ]
+        labels = None
+        if self._labels is not None:
+            labels = [self._labels[v] for v in ordered]
+        return Graph(adjacency, labels=labels)
+
+    def edges_within(self, vertex_set: Sequence[int]) -> int:
+        """Number of edges between vertices of ``vertex_set``."""
+        members = set(vertex_set)
+        count = 0
+        for v in members:
+            for w in self._adj[v]:
+                if w > v and w in members:
+                    count += 1
+        return count
+
+    def degrees_within(self, vertex_set: Sequence[int]) -> dict:
+        """Map vertex -> degree inside the induced subgraph on the set."""
+        members = set(vertex_set)
+        return {
+            v: sum(1 for w in self._adj[v] if w in members) for v in members
+        }
+
+    def is_connected_subset(self, vertex_set: Sequence[int]) -> bool:
+        """Whether ``vertex_set`` induces a connected subgraph."""
+        members = set(vertex_set)
+        if not members:
+            return True
+        start = next(iter(members))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            v = frontier.pop()
+            for w in self._adj[v]:
+                if w in members and w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        return len(seen) == len(members)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        tag = f" {self._name!r}" if self._name else ""
+        labeled = f", labels={self.num_labels}" if self.is_labeled else ""
+        return (
+            f"Graph({tag and tag + ': '}|V|={self.num_vertices}, "
+            f"|E|={self.num_edges}{labeled})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj and self._labels == other._labels
+
+    def __hash__(self) -> int:
+        return hash((self._adj, self._labels))

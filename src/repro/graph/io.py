@@ -1,0 +1,83 @@
+"""Plain-text graph I/O.
+
+Two simple formats, matching common graph-mining dataset layouts:
+
+* **Edge list** — one ``u v`` pair per line; ``#`` comments allowed.
+* **Label file** — one ``v label`` pair per line.
+
+Both readers renumber vertices densely, so files with sparse ids load
+fine.  Writers emit the dense ids of the in-memory graph.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from .builder import GraphBuilder
+from .graph import Graph
+
+
+def read_edge_list(
+    path: str,
+    label_path: Optional[str] = None,
+    name: str = "",
+) -> Graph:
+    """Load a graph from an edge-list file, optionally with labels.
+
+    Raises ``FileNotFoundError`` if a path is missing and ``ValueError``
+    on malformed lines (the line number is included in the message).
+    """
+    builder = GraphBuilder(name=name or os.path.basename(path))
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'u v', got {stripped!r}"
+                )
+            builder.add_edge(parts[0], parts[1])
+    if label_path is not None:
+        for vertex, label in _read_labels(label_path).items():
+            builder.set_label(vertex, label)
+    return builder.build()
+
+
+def _read_labels(path: str) -> Dict[str, int]:
+    labels: Dict[str, int] = {}
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'v label', got {stripped!r}"
+                )
+            labels[parts[0]] = int(parts[1])
+    return labels
+
+
+def write_edge_list(graph: Graph, path: str) -> None:
+    """Write ``graph`` as an edge list (dense vertex ids)."""
+    with open(path, "w") as handle:
+        handle.write(f"# |V|={graph.num_vertices} |E|={graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def write_labels(graph: Graph, path: str) -> None:
+    """Write the label file for a labeled graph.
+
+    Raises ``ValueError`` on unlabeled graphs — silently writing an
+    empty file would hide bugs in benchmark dataset plumbing.
+    """
+    if not graph.is_labeled:
+        raise ValueError("graph is unlabeled; nothing to write")
+    with open(path, "w") as handle:
+        for v in graph.vertices():
+            handle.write(f"{v} {graph.label(v)}\n")

@@ -1,0 +1,54 @@
+"""Mining substrate: ETasks, caches, processors (the Peregrine+ layer)."""
+
+from .cache import SetOperationCache, TaskCache
+from .candidates import compute_candidates, raw_intersection, root_candidates
+from .directed import (
+    di_count,
+    di_matches,
+    directed_containment_query,
+)
+from .engine import MiningEngine
+from .etask import ETask, run_single_pattern
+from .match import Match
+from .multipattern import (
+    MergedPatternGroup,
+    MultiPatternExplorer,
+    group_by_structure,
+    match_pattern_key,
+)
+from .processors import (
+    CallbackProcessor,
+    CollectProcessor,
+    CountProcessor,
+    FilterMapReduceProcessor,
+    FirstMatchProcessor,
+    Processor,
+)
+from .stats import ConstraintStats, MiningStats
+
+__all__ = [
+    "Match",
+    "di_matches",
+    "di_count",
+    "directed_containment_query",
+    "ETask",
+    "run_single_pattern",
+    "MiningEngine",
+    "SetOperationCache",
+    "TaskCache",
+    "compute_candidates",
+    "raw_intersection",
+    "root_candidates",
+    "Processor",
+    "CountProcessor",
+    "CollectProcessor",
+    "FirstMatchProcessor",
+    "CallbackProcessor",
+    "FilterMapReduceProcessor",
+    "MiningStats",
+    "ConstraintStats",
+    "MergedPatternGroup",
+    "MultiPatternExplorer",
+    "group_by_structure",
+    "match_pattern_key",
+]

@@ -1,0 +1,106 @@
+"""Task caches (paper §2.3: "a local cache C with an entry per vertex").
+
+Peregrine+ associates set-operation results with pattern vertices and
+reuses previous entries to compute new ones; Contigra additionally
+shares caches between fused/promoted tasks (paper §5).  We realize
+both with a single engine-level :class:`SetOperationCache`: entries are
+keyed by the *semantic identity* of the set operation (which data
+vertices' adjacency lists were intersected), so any task computing the
+same operation — the same ETask deeper in its tree, a fused VTask
+after permutation, or a promoted ETask — hits the same entry.
+
+The cache is bounded; eviction is FIFO (dict insertion order), which
+is close enough to LRU for the streaming access pattern and keeps the
+implementation trivially correct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from .stats import MiningStats
+
+CacheKey = FrozenSet[int]
+
+
+class SetOperationCache:
+    """Bounded cache of adjacency-intersection results.
+
+    Keys are frozensets of data vertices whose neighbor sets were
+    intersected; values are the resulting candidate frozensets (before
+    label / symmetry / injectivity filtering, which is caller-local).
+    """
+
+    __slots__ = ("_entries", "_max_entries", "stats", "enabled")
+
+    def __init__(
+        self,
+        max_entries: int = 200_000,
+        stats: Optional[MiningStats] = None,
+        enabled: bool = True,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._entries: Dict[CacheKey, frozenset] = {}
+        self._max_entries = max_entries
+        self.stats = stats if stats is not None else MiningStats()
+        self.enabled = enabled
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: CacheKey) -> Optional[frozenset]:
+        """Cached candidates for ``key``, counting a hit or miss."""
+        if not self.enabled:
+            self.stats.cache_misses += 1
+            return None
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.cache_misses += 1
+            return None
+        self.stats.cache_hits += 1
+        return value
+
+    def store(self, key: CacheKey, value: frozenset) -> None:
+        """Insert a computed candidate set, evicting FIFO when full."""
+        if not self.enabled:
+            return
+        if len(self._entries) >= self._max_entries:
+            # Evict the oldest entry (dict preserves insertion order).
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class TaskCache:
+    """Per-task view: one cached candidate set per matching-order step.
+
+    This is the ``C`` of ETask/VTask state ⟨P, S, C⟩.  Entries are
+    ``(key, candidates)`` pairs so fused tasks can re-derive the
+    semantic key after permutation (paper §5.2.1, "permute C").
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, num_steps: int) -> None:
+        self._entries: list = [None] * num_steps
+
+    def set_entry(
+        self, step: int, key: CacheKey, candidates: frozenset
+    ) -> None:
+        self._entries[step] = (key, candidates)
+
+    def entry(self, step: int) -> Optional[Tuple[CacheKey, frozenset]]:
+        return self._entries[step]
+
+    def clear_from(self, step: int) -> None:
+        """Invalidate entries at and beyond ``step`` (on backtrack)."""
+        for i in range(step, len(self._entries)):
+            self._entries[i] = None
+
+    def utilization(self) -> float:
+        """Fraction of steps with live entries (paper's "cache utilization")."""
+        filled = sum(1 for e in self._entries if e is not None)
+        return filled / len(self._entries) if self._entries else 0.0

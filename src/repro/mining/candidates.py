@@ -1,0 +1,114 @@
+"""Candidate-set computation (``computeCandidates`` in Algorithms 1–2).
+
+Given a partial match, the candidates for the next matching-order step
+are the common neighbors of the already-bound data vertices that the
+new pattern vertex must attach to.  The raw intersection is cached by
+semantic key (see :mod:`repro.mining.cache`); label constraints,
+symmetry-breaking bounds, injectivity and induced-semantics filters
+are applied per call since they depend on task-local state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..graph.graph import Graph
+from ..patterns.plan import ExplorationPlan
+from .cache import SetOperationCache
+from .stats import MiningStats
+
+
+def raw_intersection(
+    graph: Graph,
+    anchor_vertices: Sequence[int],
+    cache: SetOperationCache,
+    stats: MiningStats,
+) -> frozenset:
+    """Common neighbors of ``anchor_vertices``, cached.
+
+    ``anchor_vertices`` must be non-empty; the caller handles the
+    root-step case (no anchors) by iterating all data vertices.
+    """
+    key = frozenset(anchor_vertices)
+    cached = cache.lookup(key)
+    if cached is not None:
+        return cached
+    ordered = sorted(anchor_vertices, key=graph.degree)
+    result = graph.neighbor_set(ordered[0])
+    for v in ordered[1:]:
+        result = result & graph.neighbor_set(v)
+        stats.set_intersections += 1
+        if not result:
+            break
+    cache.store(key, result)
+    return result
+
+
+def compute_candidates(
+    graph: Graph,
+    plan: ExplorationPlan,
+    step: int,
+    bound: Sequence[int],
+    cache: SetOperationCache,
+    stats: MiningStats,
+    apply_symmetry: bool = True,
+) -> List[int]:
+    """Sorted data-vertex candidates for matching-order position ``step``.
+
+    ``bound[i]`` is the data vertex at position ``i`` for ``i < step``.
+    ``apply_symmetry=False`` drops the symmetry-breaking bounds — used
+    by VTasks, where restrictions of the parent pattern must be undone
+    (paper §5.2.1).
+    """
+    stats.candidate_computations += 1
+    anchors = [bound[j] for j in plan.backward_neighbors[step]]
+    if not anchors:
+        raise ValueError("compute_candidates requires step >= 1 (connected order)")
+    candidates = raw_intersection(graph, anchors, cache, stats)
+
+    lo = -1
+    hi = graph.num_vertices
+    if apply_symmetry:
+        for earlier, must_be_greater in plan.conditions_at.get(step, ()):  # type: ignore[call-overload]
+            anchor = bound[earlier]
+            if must_be_greater:
+                if anchor > lo:
+                    lo = anchor
+            else:
+                if anchor < hi:
+                    hi = anchor
+
+    label = plan.labels_at[step]
+    forbidden = plan.backward_nonneighbors[step]
+    used = set(bound[:step])
+
+    selected: List[int] = []
+    for v in candidates:
+        if not lo < v < hi:
+            continue
+        if v in used:
+            continue
+        if label is not None and graph.label(v) != label:
+            continue
+        if forbidden:
+            adjacent = False
+            for j in forbidden:
+                if graph.has_edge(v, bound[j]):
+                    adjacent = True
+                    break
+            if adjacent:
+                continue
+        selected.append(v)
+    selected.sort()
+    return selected
+
+
+def root_candidates(
+    graph: Graph,
+    plan: ExplorationPlan,
+) -> List[int]:
+    """Candidates for matching-order position 0 (task roots)."""
+    label = plan.labels_at[0]
+    if label is None:
+        return list(graph.vertices())
+    return list(graph.vertices_with_label(label))

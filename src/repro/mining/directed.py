@@ -1,0 +1,284 @@
+"""Directed pattern matching — the §2.1 directed-graphs extension.
+
+The undirected engine's structure transfers directly: matching orders,
+cached set operations, symmetry breaking.  Candidates for a new
+pattern vertex intersect the *successor* sets of data vertices bound
+to in-anchors and the *predecessor* sets of those bound to out-anchors
+(arc direction decides which adjacency list to read).
+
+Containment constraints transfer too: :func:`directed_containment_query`
+runs a directed nested subgraph query (matches of ``p_m`` not
+contained in any ``p_plus`` match) with VTask-style early-exit probes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..graph.digraph import DiGraph
+from ..patterns.dipattern import DiPattern, DiPlan, di_automorphisms, di_plan_for
+from .stats import ConstraintStats, MiningStats
+
+
+def _di_candidates(
+    graph: DiGraph,
+    plan: DiPlan,
+    step: int,
+    bound: Sequence[int],
+    stats: MiningStats,
+) -> List[int]:
+    pool: Optional[frozenset] = None
+    for j in plan.out_anchors[step]:
+        part = graph.successor_set(bound[j])
+        pool = part if pool is None else pool & part
+        stats.set_intersections += 1
+        if not pool:
+            return []
+    for j in plan.in_anchors[step]:
+        part = graph.predecessor_set(bound[j])
+        pool = part if pool is None else pool & part
+        stats.set_intersections += 1
+        if not pool:
+            return []
+    assert pool is not None  # connected orders guarantee an anchor
+    lo = -1
+    hi = graph.num_vertices
+    for earlier, must_be_greater in plan.conditions_at.get(step, ()):
+        anchor = bound[earlier]
+        if must_be_greater:
+            lo = max(lo, anchor)
+        else:
+            hi = min(hi, anchor)
+    label = plan.labels_at[step]
+    used = set(bound[:step])
+    selected = [
+        v
+        for v in pool
+        if lo < v < hi
+        and v not in used
+        and (label is None or graph.label(v) == label)
+    ]
+    selected.sort()
+    return selected
+
+
+def di_matches(
+    graph: DiGraph,
+    pattern: DiPattern,
+    stats: Optional[MiningStats] = None,
+) -> Iterator[Tuple[int, ...]]:
+    """All matches of a directed pattern, one per automorphism orbit.
+
+    Yields assignments indexed by pattern vertex.
+    """
+    stats = stats if stats is not None else MiningStats()
+    plan = di_plan_for(pattern)
+
+    def descend(bound: List[int]) -> Iterator[Tuple[int, ...]]:
+        step = len(bound)
+        if step == plan.num_steps:
+            stats.matches_found += 1
+            assignment = [0] * plan.num_steps
+            for position, vertex in enumerate(bound):
+                assignment[plan.order[position]] = vertex
+            yield tuple(assignment)
+            return
+        stats.candidate_computations += 1
+        for v in _di_candidates(graph, plan, step, bound, stats):
+            bound.append(v)
+            yield from descend(bound)
+            bound.pop()
+
+    root_label = plan.labels_at[0]
+    for root in graph.vertices():
+        stats.etasks_started += 1
+        if root_label is not None and graph.label(root) != root_label:
+            continue
+        yield from descend([root])
+
+
+def di_count(graph: DiGraph, pattern: DiPattern) -> int:
+    """Number of matches (orbits) of a directed pattern."""
+    return sum(1 for _ in di_matches(graph, pattern))
+
+
+def di_brute_force_matches(
+    graph: DiGraph, pattern: DiPattern
+) -> List[Dict[int, int]]:
+    """Oracle: all injective arc-preserving assignments (no dedup)."""
+    results: List[Dict[int, int]] = []
+    assignment: Dict[int, int] = {}
+    used: Set[int] = set()
+
+    def extend(v: int) -> None:
+        if v == pattern.num_vertices:
+            results.append(dict(assignment))
+            return
+        want = pattern.label(v)
+        for w in graph.vertices():
+            if w in used:
+                continue
+            if want is not None and graph.label(w) != want:
+                continue
+            ok = True
+            for prev, image in assignment.items():
+                if pattern.has_arc(v, prev) and not graph.has_arc(w, image):
+                    ok = False
+                    break
+                if pattern.has_arc(prev, v) and not graph.has_arc(image, w):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            assignment[v] = w
+            used.add(w)
+            extend(v + 1)
+            del assignment[v]
+            used.discard(w)
+
+    extend(0)
+    return results
+
+
+def _di_completable(
+    graph: DiGraph,
+    p_plus: DiPattern,
+    pinned: Dict[int, int],
+    stats: ConstraintStats,
+) -> bool:
+    """Can the pinned partial P⁺ assignment extend to a full match?"""
+    pairs = list(pinned.items())
+    for i, (v, w) in enumerate(pairs):
+        for v2, w2 in pairs[i + 1 :]:
+            if p_plus.has_arc(v, v2) and not graph.has_arc(w, w2):
+                return False
+            if p_plus.has_arc(v2, v) and not graph.has_arc(w2, w):
+                return False
+    free = [v for v in p_plus.vertices() if v not in pinned]
+    # Bind most-anchored free vertices first.
+    free.sort(
+        key=lambda v: -sum(
+            1
+            for u in pinned
+            if p_plus.has_arc(u, v) or p_plus.has_arc(v, u)
+        )
+    )
+    used = set(pinned.values())
+
+    def extend(index: int) -> bool:
+        if index == len(free):
+            return True
+        v = free[index]
+        stats.candidate_computations += 1
+        pool: Optional[frozenset] = None
+        for u, image in pinned.items():
+            if p_plus.has_arc(u, v):
+                part = graph.successor_set(image)
+            elif p_plus.has_arc(v, u):
+                part = graph.predecessor_set(image)
+            else:
+                continue
+            pool = part if pool is None else pool & part
+            if not pool:
+                return False
+        candidates = pool if pool is not None else graph.vertices()
+        want = p_plus.label(v)
+        for w in candidates:
+            if w in used:
+                continue
+            if want is not None and graph.label(w) != want:
+                continue
+            pinned[v] = w
+            used.add(w)
+            if extend(index + 1):
+                del pinned[v]
+                used.discard(w)
+                return True
+            del pinned[v]
+            used.discard(w)
+        return False
+
+    return extend(0)
+
+
+def _di_embeddings(
+    small: DiPattern, big: DiPattern
+) -> List[Tuple[int, ...]]:
+    """Arc-preserving embeddings of ``small`` into ``big``, one per
+    Aut(big)-orbit."""
+    auts = di_automorphisms(big)
+    seen: set = set()
+    results: List[Tuple[int, ...]] = []
+    mapping: Dict[int, int] = {}
+    used = [False] * big.num_vertices
+
+    def extend(v: int) -> None:
+        if v == small.num_vertices:
+            image = tuple(mapping[x] for x in small.vertices())
+            orbit_key = min(
+                tuple(sigma[x] for x in image) for sigma in auts
+            )
+            if orbit_key not in seen:
+                seen.add(orbit_key)
+                results.append(image)
+            return
+        for w in big.vertices():
+            if used[w]:
+                continue
+            if small.label(v) is not None and small.label(v) != big.label(w):
+                continue
+            ok = True
+            for prev, image in mapping.items():
+                if small.has_arc(v, prev) and not big.has_arc(w, image):
+                    ok = False
+                    break
+                if small.has_arc(prev, v) and not big.has_arc(image, w):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping[v] = w
+            used[w] = True
+            extend(v + 1)
+            del mapping[v]
+            used[w] = False
+
+    extend(0)
+    return results
+
+
+def directed_containment_query(
+    graph: DiGraph,
+    p_m: DiPattern,
+    p_plus_list: Sequence[DiPattern],
+    stats: Optional[ConstraintStats] = None,
+) -> Set[Tuple[int, ...]]:
+    """Directed NSQ: matches of ``p_m`` contained in no ``p_plus`` match.
+
+    Containment follows the paper's definition transferred to arcs: a
+    match is excluded iff some embedding of ``p_m`` into a ``p_plus``
+    extends to a full ``p_plus`` match over the data.
+    """
+    stats = stats if stats is not None else ConstraintStats()
+    embedding_tables = [
+        (p_plus, _di_embeddings(p_m, p_plus)) for p_plus in p_plus_list
+    ]
+    valid: Set[Tuple[int, ...]] = set()
+    for assignment in di_matches(graph, p_m, stats=stats):
+        stats.matches_checked += 1
+        contained = False
+        for p_plus, embeddings in embedding_tables:
+            stats.vtasks_started += 1
+            for embedding in embeddings:
+                pinned = {
+                    embedding[v]: assignment[v] for v in p_m.vertices()
+                }
+                if _di_completable(graph, p_plus, pinned, stats):
+                    contained = True
+                    stats.vtasks_matched += 1
+                    break
+            if contained:
+                break
+        if not contained:
+            valid.add(assignment)
+    return valid

@@ -1,0 +1,137 @@
+"""Exploration tasks (paper §2.3 and Algorithm 1 lines 20–25).
+
+An ETask ⟨P, S, C⟩ is rooted at one data vertex and explores, depth
+first along the pattern's matching order, every subgraph matching P
+whose first-bound vertex is that root.  The tuple of bound data
+vertices by order position is the task's current subgraph S; the
+shared :class:`~repro.mining.cache.SetOperationCache` plays the role
+of C (entries survive across steps and across fused/promoted tasks).
+
+The plain ETask knows nothing about containment constraints — that is
+Contigra's job (:mod:`repro.core.runtime`), which subclasses the same
+recursion with validation hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..graph.graph import Graph
+from ..patterns.plan import ExplorationPlan
+from .cache import SetOperationCache
+from .candidates import compute_candidates
+from .match import Match
+from .stats import MiningStats
+
+OnMatch = Callable[[Match], bool]
+
+
+class ETask:
+    """One rooted exploration task.
+
+    Parameters
+    ----------
+    graph, plan:
+        Data graph and precomputed exploration plan.
+    root:
+        Data vertex bound at matching-order position 0.
+    cache:
+        Shared set-operation cache (the C of the task state).
+    stats:
+        Counter sink.
+    """
+
+    __slots__ = (
+        "graph", "plan", "root", "cache", "stats", "_stopped", "pattern",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        plan: ExplorationPlan,
+        root: int,
+        cache: SetOperationCache,
+        stats: MiningStats,
+        pattern=None,
+    ) -> None:
+        """``pattern`` overrides the pattern reported on matches: plans
+        are memoized per *structure*, so the cached plan may carry a
+        same-structure pattern with a different name/identity than the
+        one the caller asked to mine."""
+        self.graph = graph
+        self.plan = plan
+        self.root = root
+        self.cache = cache
+        self.stats = stats
+        self.pattern = pattern if pattern is not None else plan.pattern
+        self._stopped = False
+
+    def run(self, on_match: OnMatch) -> bool:
+        """Explore all matches rooted here; returns True if stopped early."""
+        self.stats.etasks_started += 1
+        plan = self.plan
+        if plan.labels_at[0] is not None and (
+            self.graph.label(self.root) != plan.labels_at[0]
+        ):
+            self.stats.etasks_completed += 1
+            return False
+        bound: List[int] = [self.root]
+        self._descend(bound, on_match)
+        if not self._stopped:
+            self.stats.etasks_completed += 1
+        return self._stopped
+
+    def _descend(self, bound: List[int], on_match: OnMatch) -> None:
+        plan = self.plan
+        step = len(bound)
+        if step == plan.num_steps:
+            self.stats.rl_paths += 1
+            self.stats.matches_found += 1
+            match = self._to_match(bound)
+            if on_match(match):
+                self._stopped = True
+            return
+        candidates = compute_candidates(
+            self.graph, plan, step, bound, self.cache, self.stats
+        )
+        if not candidates:
+            # Dead end: this root-to-leaf path terminates below a match.
+            self.stats.rl_paths += 1
+            return
+        for v in candidates:
+            self.stats.extensions_attempted += 1
+            bound.append(v)
+            self._descend(bound, on_match)
+            bound.pop()
+            if self._stopped:
+                return
+
+    def _to_match(self, bound: List[int]) -> Match:
+        """Convert order-position bindings to a pattern-vertex assignment."""
+        plan = self.plan
+        assignment = [0] * plan.num_steps
+        for position, vertex in enumerate(bound):
+            assignment[plan.order[position]] = vertex
+        return Match(self.pattern, assignment)
+
+
+def run_single_pattern(
+    graph: Graph,
+    plan: ExplorationPlan,
+    on_match: OnMatch,
+    cache: Optional[SetOperationCache] = None,
+    stats: Optional[MiningStats] = None,
+    roots: Optional[List[int]] = None,
+) -> MiningStats:
+    """Run ETasks for one pattern over all (or the given) roots, serially."""
+    stats = stats if stats is not None else MiningStats()
+    cache = cache if cache is not None else SetOperationCache(stats=stats)
+    if roots is None:
+        from .candidates import root_candidates
+
+        roots = root_candidates(graph, plan)
+    for root in roots:
+        task = ETask(graph, plan, root, cache, stats)
+        if task.run(on_match):
+            break
+    return stats

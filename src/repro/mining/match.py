@@ -1,0 +1,60 @@
+"""Match representation (paper §2.1: a subgraph S matching a pattern P)."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from ..patterns.pattern import Pattern
+
+
+class Match:
+    """One subgraph match: an assignment of data vertices to pattern vertices.
+
+    ``assignment[v]`` is the data vertex bound to pattern vertex ``v``
+    (pattern-vertex indexing, not matching-order indexing — converting
+    away from order positions at the boundary keeps downstream code
+    independent of any particular exploration plan).
+    """
+
+    __slots__ = ("pattern", "assignment", "_vertex_set")
+
+    def __init__(self, pattern: Pattern, assignment: Sequence[int]) -> None:
+        if len(assignment) != pattern.num_vertices:
+            raise ValueError(
+                f"assignment length {len(assignment)} != pattern size "
+                f"{pattern.num_vertices}"
+            )
+        self.pattern = pattern
+        self.assignment: Tuple[int, ...] = tuple(assignment)
+        self._vertex_set: FrozenSet[int] = frozenset(self.assignment)
+        if len(self._vertex_set) != len(self.assignment):
+            raise ValueError("assignment is not injective")
+
+    @property
+    def vertex_set(self) -> FrozenSet[int]:
+        """The matched data vertices, order-free."""
+        return self._vertex_set
+
+    def vertex_for(self, pattern_vertex: int) -> int:
+        """Data vertex bound to ``pattern_vertex``."""
+        return self.assignment[pattern_vertex]
+
+    def key(self) -> FrozenSet[int]:
+        """Subgraph identity: two matches of the same pattern with the
+        same vertex set denote the same subgraph."""
+        return self._vertex_set
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Match):
+            return NotImplemented
+        return (
+            self.pattern == other.pattern
+            and self.assignment == other.assignment
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.pattern, self.assignment))
+
+    def __repr__(self) -> str:
+        name = self.pattern.name or f"P{self.pattern.num_vertices}"
+        return f"Match({name}: {self.assignment})"

@@ -1,0 +1,112 @@
+"""Merged-label multi-pattern exploration (paper §2.3 and §8.1).
+
+When several target patterns share one structure but differ in labels
+(common in keyword search, where up to 287 labeled patterns reduce to
+a few dozen structures), a single ETask explores the unlabeled
+structure and each found match is attributed to its concrete labeled
+pattern via an isomorphism-invariant key — "the ETask ignores vertex
+labels at intermediate steps, and for each found match it computes the
+final pattern using an isomorphism check".
+
+This requires induced matching semantics: with induced matches a data
+vertex set realizes exactly one labeled pattern (its labeled induced
+isomorphism class), so attribution is a dictionary lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from ..patterns.pattern import Pattern
+from .engine import MiningEngine
+from .match import Match
+from .processors import CallbackProcessor, Processor
+
+
+def group_by_structure(
+    patterns: Sequence[Pattern],
+) -> Dict[tuple, List[Pattern]]:
+    """Group labeled patterns by the canonical key of their structure."""
+    groups: Dict[tuple, List[Pattern]] = {}
+    for pattern in patterns:
+        key = pattern.unlabeled().canonical_key()
+        groups.setdefault(key, []).append(pattern)
+    return groups
+
+
+def match_pattern_key(graph: Graph, vertex_set: Iterable[int]) -> tuple:
+    """Canonical key of the labeled induced subgraph on ``vertex_set``."""
+    ordered = sorted(set(vertex_set))
+    position = {v: i for i, v in enumerate(ordered)}
+    edges = []
+    for v in ordered:
+        for w in graph.neighbors(v):
+            if w > v and w in position:
+                edges.append((position[v], position[w]))
+    labels: Optional[List[Optional[int]]] = None
+    if graph.is_labeled:
+        labels = [graph.label(v) for v in ordered]
+    return Pattern(len(ordered), edges, labels=labels).canonical_key()
+
+
+class MergedPatternGroup:
+    """Patterns sharing one structure, explored by one set of ETasks."""
+
+    def __init__(self, structure: Pattern, members: Sequence[Pattern]) -> None:
+        if not members:
+            raise ValueError("a merged group needs at least one member")
+        self.structure = structure.unlabeled()
+        self.members = list(members)
+        self._by_key: Dict[tuple, Pattern] = {}
+        for member in self.members:
+            if member.unlabeled().canonical_key() != self.structure.canonical_key():
+                raise ValueError(
+                    f"{member!r} does not share the group structure"
+                )
+            self._by_key[member.canonical_key()] = member
+
+    def attribute(self, graph: Graph, match: Match) -> Optional[Pattern]:
+        """The concrete member pattern realized by ``match`` (or None)."""
+        key = match_pattern_key(graph, match.vertex_set)
+        return self._by_key.get(key)
+
+
+class MultiPatternExplorer:
+    """Explores many labeled patterns with structure-level task sharing."""
+
+    def __init__(self, engine: MiningEngine, patterns: Sequence[Pattern]) -> None:
+        if not engine.induced:
+            raise ValueError(
+                "merged-label exploration requires induced matching"
+            )
+        self.engine = engine
+        self.groups = [
+            MergedPatternGroup(members[0], members)
+            for members in group_by_structure(patterns).values()
+        ]
+
+    def explore(
+        self, processor: Processor
+    ) -> List[Tuple[MergedPatternGroup, int]]:
+        """Run every group; feed (attributed) matches to ``processor``.
+
+        Matches whose labels realize none of the member patterns are
+        dropped.  Returns per-group counts of attributed matches.
+        """
+        results: List[Tuple[MergedPatternGroup, int]] = []
+        graph = self.engine.graph
+        for group in self.groups:
+            attributed = 0
+
+            def on_match(match: Match, group=group) -> bool:
+                nonlocal attributed
+                member = group.attribute(graph, match)
+                if member is None:
+                    return False
+                attributed += 1
+                return processor.process(match)
+
+            self.engine.explore(group.structure, CallbackProcessor(on_match))
+            results.append((group, attributed))
+        return results

@@ -1,0 +1,112 @@
+"""Match-processing phase (paper §2.3).
+
+Each explored match is handed to a processor: built-in counting or
+collection, or a user-defined callback (how the Peregrine+ baseline
+implements constraint checking, §8.2).  A processor's ``process``
+returns True to stop the whole exploration early — used for
+existence-style queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .match import Match
+
+
+class Processor:
+    """Interface for match processing."""
+
+    def process(self, match: Match) -> bool:
+        """Handle one match; return True to stop exploration."""
+        raise NotImplementedError
+
+    def result(self):
+        """Final value once exploration completes."""
+        raise NotImplementedError
+
+
+class CountProcessor(Processor):
+    """Counts matches, optionally per pattern."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.per_pattern: Dict[str, int] = {}
+
+    def process(self, match: Match) -> bool:
+        self.total += 1
+        name = match.pattern.name or repr(match.pattern)
+        self.per_pattern[name] = self.per_pattern.get(name, 0) + 1
+        return False
+
+    def result(self) -> int:
+        return self.total
+
+
+class CollectProcessor(Processor):
+    """Collects all matches (bounded to protect against blowups)."""
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        self.matches: List[Match] = []
+        self._limit = limit
+
+    def process(self, match: Match) -> bool:
+        self.matches.append(match)
+        return self._limit is not None and len(self.matches) >= self._limit
+
+    def result(self) -> List[Match]:
+        return self.matches
+
+
+class FirstMatchProcessor(Processor):
+    """Stops at the first match (existence query)."""
+
+    def __init__(self) -> None:
+        self.match: Optional[Match] = None
+
+    def process(self, match: Match) -> bool:
+        self.match = match
+        return True
+
+    def result(self) -> Optional[Match]:
+        return self.match
+
+
+class CallbackProcessor(Processor):
+    """Wraps a user-defined function ``f(match) -> stop_flag | None``."""
+
+    def __init__(self, callback: Callable[[Match], Optional[bool]]) -> None:
+        self._callback = callback
+        self.calls = 0
+
+    def process(self, match: Match) -> bool:
+        self.calls += 1
+        return bool(self._callback(match))
+
+    def result(self) -> int:
+        return self.calls
+
+
+class FilterMapReduceProcessor(Processor):
+    """Peregrine-style filter/map/reduce pipeline over matches."""
+
+    def __init__(
+        self,
+        map_fn: Callable[[Match], object],
+        reduce_fn: Callable[[object, object], object],
+        initial: object,
+        filter_fn: Optional[Callable[[Match], bool]] = None,
+    ) -> None:
+        self._filter = filter_fn
+        self._map = map_fn
+        self._reduce = reduce_fn
+        self._acc = initial
+
+    def process(self, match: Match) -> bool:
+        if self._filter is not None and not self._filter(match):
+            return False
+        self._acc = self._reduce(self._acc, self._map(match))
+        return False
+
+    def result(self):
+        return self._acc

@@ -1,0 +1,101 @@
+"""Shared-tree enumeration of connected vertex sets.
+
+The ESU algorithm (Wernicke 2006) enumerates every connected vertex
+set of a graph exactly once: sets grow from their minimum vertex, and
+each extension vertex is offered to exactly one branch.  This is the
+substrate for two Contigra features:
+
+* **ETask-to-ETask fusion** (paper §5.4): patterns whose structures
+  nest share one exploration tree instead of one tree per pattern —
+  a search-tree node *is* the fused state of every ETask whose pattern
+  its subgraph could still grow into.
+* **Keyword-search exploration with promotion** (paper §8.5): a
+  matching RL-Path at level k is the promoted starting state for
+  level k + 1, with no re-exploration from scratch.
+
+The ``visit`` callback steers the walk: it sees each connected set
+once and returns whether to keep growing that branch — which is how
+eager filtering (§7) and feasibility pruning cancel RL-Paths early.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..graph.graph import Graph
+from .stats import MiningStats
+
+# visit(current_set) -> True to extend further, False to prune the branch.
+VisitFn = Callable[[Sequence[int]], bool]
+
+
+def explore_connected_sets(
+    graph: Graph,
+    max_size: int,
+    visit: VisitFn,
+    roots: Optional[Iterable[int]] = None,
+    stats: Optional[MiningStats] = None,
+) -> None:
+    """Visit every connected vertex set of size <= ``max_size`` once.
+
+    Sets are visited in growth order: every proper prefix of a set's
+    enumeration chain is a connected subset of it, so monotone pruning
+    predicates (anything true of a set that stays true of supersets)
+    may safely cut branches in ``visit``.
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be >= 1")
+    stats = stats if stats is not None else MiningStats()
+    for root in roots if roots is not None else graph.vertices():
+        stats.etasks_started += 1
+        current = [root]
+        stats.rl_paths += 1
+        if max_size > 1 and visit(current):
+            extension = [u for u in graph.neighbors(root) if u > root]
+            _extend(graph, current, extension, root, max_size, visit, stats)
+        elif max_size == 1:
+            visit(current)
+        stats.etasks_completed += 1
+
+
+def _extend(
+    graph: Graph,
+    current: List[int],
+    extension: List[int],
+    root: int,
+    max_size: int,
+    visit: VisitFn,
+    stats: MiningStats,
+) -> None:
+    # ESU: each extension vertex spawns one branch and is excluded from
+    # later siblings, which is what makes every set appear exactly once.
+    ext = list(extension)
+    neighborhood = set()
+    for v in current:
+        neighborhood.update(graph.neighbors(v))
+    while ext:
+        w = ext.pop()
+        stats.extensions_attempted += 1
+        current.append(w)
+        stats.rl_paths += 1
+        grow = visit(current)
+        if grow and len(current) < max_size:
+            new_ext = ext + [
+                u
+                for u in graph.neighbors(w)
+                if u > root and u not in neighborhood and u != w
+            ]
+            _extend(graph, current, new_ext, root, max_size, visit, stats)
+        current.pop()
+
+
+def count_connected_sets(graph: Graph, max_size: int) -> int:
+    """Total connected vertex sets up to ``max_size`` (testing helper)."""
+    counter = {"n": 0}
+
+    def visit(_current: Sequence[int]) -> bool:
+        counter["n"] += 1
+        return True
+
+    explore_connected_sets(graph, max_size, visit)
+    return counter["n"]

@@ -1,0 +1,269 @@
+"""Directed patterns and their exploration plans.
+
+Mirrors the undirected pattern substrate for directed matching: a
+:class:`DiPattern` is a small directed graph; automorphisms respect
+arc direction; symmetry breaking reuses the GraphZero construction
+(which only needs the automorphism group); the matching order is
+connected in the *underlying undirected* sense, and each step records
+its backward anchors split by direction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+Arc = Tuple[int, int]
+
+
+class DiPattern:
+    """An immutable small directed pattern."""
+
+    __slots__ = ("_n", "_arcs", "_out", "_in", "_labels", "_name")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        arcs: Iterable[Arc],
+        labels: Optional[Sequence[Optional[int]]] = None,
+        name: str = "",
+    ) -> None:
+        if num_vertices < 1:
+            raise ValueError("pattern must have at least one vertex")
+        arc_set = set()
+        for u, v in arcs:
+            if u == v:
+                raise ValueError(f"self loop on vertex {u}")
+            if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+                raise ValueError(f"arc ({u}, {v}) out of range")
+            arc_set.add((u, v))
+        self._n = num_vertices
+        self._arcs: FrozenSet[Arc] = frozenset(arc_set)
+        out: List[set] = [set() for _ in range(num_vertices)]
+        incoming: List[set] = [set() for _ in range(num_vertices)]
+        for u, v in self._arcs:
+            out[u].add(v)
+            incoming[v].add(u)
+        self._out = tuple(frozenset(s) for s in out)
+        self._in = tuple(frozenset(s) for s in incoming)
+        if labels is not None:
+            if len(labels) != num_vertices:
+                raise ValueError("labels length mismatch")
+            self._labels: Optional[Tuple[Optional[int], ...]] = tuple(labels)
+            if all(lab is None for lab in self._labels):
+                self._labels = None
+        else:
+            self._labels = None
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def arcs(self) -> FrozenSet[Arc]:
+        return self._arcs
+
+    def vertices(self) -> range:
+        return range(self._n)
+
+    def has_arc(self, u: int, v: int) -> bool:
+        return (u, v) in self._arcs
+
+    def successors(self, v: int) -> FrozenSet[int]:
+        return self._out[v]
+
+    def predecessors(self, v: int) -> FrozenSet[int]:
+        return self._in[v]
+
+    def label(self, v: int) -> Optional[int]:
+        return self._labels[v] if self._labels is not None else None
+
+    def total_degree(self, v: int) -> int:
+        return len(self._out[v]) + len(self._in[v])
+
+    def is_weakly_connected(self) -> bool:
+        if self._n == 0:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            v = frontier.pop()
+            for w in self._out[v] | self._in[v]:
+                if w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        return len(seen) == self._n
+
+    def structure_key(self) -> tuple:
+        return (self._n, self._arcs, self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiPattern):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._arcs == other._arcs
+            and self._labels == other._labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._arcs, self._labels))
+
+    def __repr__(self) -> str:
+        tag = f"{self._name!r}: " if self._name else ""
+        return f"DiPattern({tag}k={self._n}, arcs={sorted(self._arcs)})"
+
+
+_DI_AUT_CACHE: Dict[tuple, Tuple[Tuple[int, ...], ...]] = {}
+
+
+def di_automorphisms(pattern: DiPattern) -> Tuple[Tuple[int, ...], ...]:
+    """All arc- and label-respecting automorphisms."""
+    key = pattern.structure_key()
+    cached = _DI_AUT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    n = pattern.num_vertices
+    results: List[Tuple[int, ...]] = []
+    image = [-1] * n
+    used = [False] * n
+
+    def extend(v: int) -> None:
+        if v == n:
+            results.append(tuple(image))
+            return
+        for w in range(n):
+            if used[w]:
+                continue
+            if pattern.label(v) != pattern.label(w):
+                continue
+            if (
+                len(pattern.successors(v)) != len(pattern.successors(w))
+                or len(pattern.predecessors(v)) != len(pattern.predecessors(w))
+            ):
+                continue
+            ok = True
+            for prev in range(v):
+                if pattern.has_arc(v, prev) != pattern.has_arc(w, image[prev]):
+                    ok = False
+                    break
+                if pattern.has_arc(prev, v) != pattern.has_arc(image[prev], w):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            image[v] = w
+            used[w] = True
+            extend(v + 1)
+            image[v] = -1
+            used[w] = False
+
+    extend(0)
+    frozen = tuple(sorted(results))
+    _DI_AUT_CACHE[key] = frozen
+    return frozen
+
+
+def di_symmetry_conditions(pattern: DiPattern) -> List[Tuple[int, int]]:
+    """GraphZero conditions over the directed automorphism group."""
+    group = list(di_automorphisms(pattern))
+    conditions: List[Tuple[int, int]] = []
+    while len(group) > 1:
+        moved = [
+            v
+            for v in pattern.vertices()
+            if any(sigma[v] != v for sigma in group)
+        ]
+        v = min(moved)
+        orbit = {sigma[v] for sigma in group}
+        for u in sorted(orbit):
+            if u != v:
+                conditions.append((v, u))
+        group = [sigma for sigma in group if sigma[v] == v]
+    return conditions
+
+
+class DiPlan:
+    """Exploration plan for a directed pattern.
+
+    ``out_anchors[i]`` are earlier positions whose data vertex must be
+    a *predecessor* of the new candidate (pattern arc earlier -> new);
+    ``in_anchors[i]`` the positions whose data vertex must be a
+    *successor* (pattern arc new -> earlier).
+    """
+
+    __slots__ = (
+        "pattern", "order", "out_anchors", "in_anchors",
+        "conditions_at", "labels_at",
+    )
+
+    def __init__(self, pattern: DiPattern, order: Sequence[int]) -> None:
+        from .symmetry import conditions_by_position
+
+        if sorted(order) != list(range(pattern.num_vertices)):
+            raise ValueError("order must be a permutation")
+        self.pattern = pattern
+        self.order = tuple(order)
+        out_anchors: List[Tuple[int, ...]] = []
+        in_anchors: List[Tuple[int, ...]] = []
+        for i, v in enumerate(self.order):
+            earlier = self.order[:i]
+            out_anchors.append(
+                tuple(j for j, u in enumerate(earlier) if pattern.has_arc(u, v))
+            )
+            in_anchors.append(
+                tuple(j for j, u in enumerate(earlier) if pattern.has_arc(v, u))
+            )
+            if i > 0 and not out_anchors[-1] and not in_anchors[-1]:
+                raise ValueError(f"order disconnected at step {i}")
+        self.out_anchors = tuple(out_anchors)
+        self.in_anchors = tuple(in_anchors)
+        self.conditions_at = conditions_by_position(
+            di_symmetry_conditions(pattern), self.order
+        )
+        self.labels_at = tuple(pattern.label(v) for v in self.order)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.order)
+
+
+def choose_di_order(pattern: DiPattern) -> Tuple[int, ...]:
+    """Greedy weakly-connected matching order (max back-degree first)."""
+    if not pattern.is_weakly_connected():
+        raise ValueError("directed patterns must be weakly connected")
+    start = max(
+        pattern.vertices(), key=lambda v: (pattern.total_degree(v), -v)
+    )
+    order = [start]
+    remaining = set(pattern.vertices()) - {start}
+    while remaining:
+        def score(v: int) -> tuple:
+            back = sum(
+                1
+                for u in order
+                if pattern.has_arc(u, v) or pattern.has_arc(v, u)
+            )
+            return (back, pattern.total_degree(v), -v)
+
+        best = max(remaining, key=score)
+        order.append(best)
+        remaining.discard(best)
+    return tuple(order)
+
+
+_DI_PLAN_CACHE: Dict[tuple, DiPlan] = {}
+
+
+def di_plan_for(pattern: DiPattern) -> DiPlan:
+    """Memoized plan for a directed pattern."""
+    key = pattern.structure_key()
+    plan = _DI_PLAN_CACHE.get(key)
+    if plan is None:
+        plan = DiPlan(pattern, choose_di_order(pattern))
+        _DI_PLAN_CACHE[key] = plan
+    return plan

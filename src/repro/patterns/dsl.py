@@ -1,0 +1,161 @@
+"""A tiny textual pattern DSL plus DOT export.
+
+Patterns are small and ubiquitous in tests, examples, and interactive
+use; writing edge lists as Python tuples gets old.  The DSL accepts::
+
+    "0-1, 1-2, 0-2"                      # a triangle
+    "0-1, 1-2, 0-2; labels 0:5 1:5"      # vertex labels (others wildcard)
+    "0-1, 1-2, 0-2, 0-3, 1-3; anti 3"    # anti-vertices
+    "0-1-2-0"                            # chain syntax: path/cycle sugar
+
+Vertex ids must be non-negative integers; the pattern size is
+``max id + 1`` unless a ``vertices N`` clause raises it (isolated
+vertices are only expressible that way, and only single-vertex
+patterns accept them — the engine needs connected patterns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .pattern import Pattern
+
+
+def parse_pattern(text: str, name: str = "") -> Pattern:
+    """Parse the DSL described in the module docstring.
+
+    Raises ``ValueError`` with the offending fragment on bad input.
+    """
+    edges: Set[Tuple[int, int]] = set()
+    anti_edges: Set[Tuple[int, int]] = set()
+    labels: Dict[int, int] = {}
+    anti: List[int] = []
+    explicit_vertices: Optional[int] = None
+
+    clauses = [clause.strip() for clause in text.split(";")]
+    if not clauses or not clauses[0]:
+        raise ValueError("empty pattern text")
+
+    for chain in clauses[0].split(","):
+        chain = chain.strip()
+        if not chain:
+            continue
+        vertices = [_parse_vertex(part) for part in chain.split("-")]
+        if len(vertices) == 1:
+            # A lone vertex mention: allowed, contributes no edge.
+            continue
+        for a, b in zip(vertices, vertices[1:]):
+            if a == b:
+                raise ValueError(f"self loop in chain {chain!r}")
+            edges.add((min(a, b), max(a, b)))
+
+    for clause in clauses[1:]:
+        if not clause:
+            continue
+        keyword, _, rest = clause.partition(" ")
+        if keyword == "labels":
+            for item in rest.split():
+                vertex_text, _, label_text = item.partition(":")
+                labels[_parse_vertex(vertex_text)] = int(label_text)
+        elif keyword == "anti":
+            anti.extend(_parse_vertex(v) for v in rest.split())
+        elif keyword == "anti-edges":
+            for item in rest.split():
+                a_text, _, b_text = item.partition("-")
+                anti_edges.add(
+                    _normalize(_parse_vertex(a_text), _parse_vertex(b_text))
+                )
+        elif keyword == "vertices":
+            explicit_vertices = int(rest)
+        else:
+            raise ValueError(f"unknown clause {clause!r}")
+
+    mentioned = (
+        {v for e in edges for v in e}
+        | {v for e in anti_edges for v in e}
+        | set(labels)
+        | set(anti)
+    )
+    if clauses[0]:
+        for chain in clauses[0].split(","):
+            for part in chain.strip().split("-"):
+                if part.strip():
+                    mentioned.add(_parse_vertex(part))
+    if not mentioned and explicit_vertices is None:
+        raise ValueError("pattern mentions no vertices")
+    size = max(mentioned, default=-1) + 1
+    if explicit_vertices is not None:
+        if explicit_vertices < size:
+            raise ValueError(
+                f"vertices {explicit_vertices} below the highest id {size - 1}"
+            )
+        size = explicit_vertices
+
+    label_list: Optional[List[Optional[int]]] = None
+    if labels:
+        label_list = [labels.get(v) for v in range(size)]
+    return Pattern(
+        size, edges, labels=label_list, anti_vertices=anti,
+        anti_edges=anti_edges, name=name,
+    )
+
+
+def _normalize(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+def _parse_vertex(text: str) -> int:
+    text = text.strip()
+    if not text.isdigit():
+        raise ValueError(f"bad vertex id {text!r}")
+    return int(text)
+
+
+def to_dsl(pattern: Pattern) -> str:
+    """Serialize a pattern back into parseable DSL text."""
+    parts = [
+        ", ".join(f"{u}-{v}" for u, v in sorted(pattern.edges))
+        or " , ".join(str(v) for v in pattern.vertices())
+    ]
+    labeled = [
+        (v, pattern.label(v))
+        for v in pattern.vertices()
+        if pattern.label(v) is not None
+    ]
+    if labeled:
+        parts.append(
+            "labels " + " ".join(f"{v}:{lab}" for v, lab in labeled)
+        )
+    if pattern.anti_vertices:
+        parts.append(
+            "anti " + " ".join(str(v) for v in sorted(pattern.anti_vertices))
+        )
+    if pattern.anti_edges:
+        parts.append(
+            "anti-edges "
+            + " ".join(f"{u}-{v}" for u, v in sorted(pattern.anti_edges))
+        )
+    if pattern.num_vertices - 1 > max(
+        (v for e in pattern.edges for v in e), default=-1
+    ):
+        parts.append(f"vertices {pattern.num_vertices}")
+    return "; ".join(parts)
+
+
+def to_dot(pattern: Pattern, name: str = "pattern") -> str:
+    """Graphviz DOT rendering (anti-vertices dashed, labels shown)."""
+    lines = [f"graph {name} {{"]
+    for v in pattern.vertices():
+        attributes = []
+        if pattern.label(v) is not None:
+            attributes.append(f'label="{v}:{pattern.label(v)}"')
+        if v in pattern.anti_vertices:
+            attributes.append('style="dashed"')
+        rendered = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  {v}{rendered};")
+    for u, v in sorted(pattern.edges):
+        lines.append(f"  {u} -- {v};")
+    for u, v in sorted(pattern.anti_edges):
+        lines.append(f'  {u} -- {v} [style="dotted", label="anti"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Isomorphism utilities for small patterns.
+
+Patterns in graph mining are tiny (<= 8 vertices in every workload the
+paper runs), so straightforward backtracking is both simple and fast
+enough.  All functions respect labels: a pattern vertex with label
+``None`` is a wildcard, a concrete label must match exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .pattern import Pattern
+
+
+def _labels_compatible(
+    small_label: Optional[int], big_label: Optional[int]
+) -> bool:
+    """Wildcard (None) on the small side matches anything."""
+    return small_label is None or small_label == big_label
+
+
+def find_isomorphism(a: Pattern, b: Pattern) -> Optional[Dict[int, int]]:
+    """One isomorphism ``a -> b`` respecting labels exactly, or None.
+
+    Unlike subpattern embedding, isomorphism requires labels to be
+    equal on both sides (wildcard == wildcard).
+    """
+    if (
+        a.num_vertices != b.num_vertices
+        or a.num_edges != b.num_edges
+        or sorted(a.degree(v) for v in a.vertices())
+        != sorted(b.degree(v) for v in b.vertices())
+    ):
+        return None
+    mapping: Dict[int, int] = {}
+    used = [False] * b.num_vertices
+
+    def extend(v: int) -> bool:
+        if v == a.num_vertices:
+            return True
+        for w in b.vertices():
+            if used[w]:
+                continue
+            if a.label(v) != b.label(w):
+                continue
+            if a.degree(v) != b.degree(w):
+                continue
+            ok = True
+            for prev, image in mapping.items():
+                if a.has_edge(v, prev) != b.has_edge(w, image):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping[v] = w
+            used[w] = True
+            if extend(v + 1):
+                return True
+            del mapping[v]
+            used[w] = False
+        return False
+
+    if extend(0):
+        return dict(mapping)
+    return None
+
+
+def are_isomorphic(a: Pattern, b: Pattern) -> bool:
+    """Whether two patterns are isomorphic (labels respected)."""
+    return find_isomorphism(a, b) is not None
+
+
+def subpattern_embeddings(
+    small: Pattern,
+    big: Pattern,
+    induced: bool = False,
+) -> Iterator[Dict[int, int]]:
+    """All injective embeddings of ``small`` into ``big``.
+
+    An embedding maps every edge of ``small`` onto an edge of ``big``;
+    with ``induced=True`` non-edges must also map to non-edges.  Labels
+    on ``small`` vertices must be compatible with the images
+    (wildcards on ``small`` match anything).
+    """
+    if small.num_vertices > big.num_vertices:
+        return
+    mapping: Dict[int, int] = {}
+    used = [False] * big.num_vertices
+
+    def extend(v: int) -> Iterator[Dict[int, int]]:
+        if v == small.num_vertices:
+            yield dict(mapping)
+            return
+        for w in big.vertices():
+            if used[w]:
+                continue
+            if not _labels_compatible(small.label(v), big.label(w)):
+                continue
+            ok = True
+            for prev, image in mapping.items():
+                small_edge = small.has_edge(v, prev)
+                big_edge = big.has_edge(w, image)
+                if small_edge and not big_edge:
+                    ok = False
+                    break
+                if induced and not small_edge and big_edge:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping[v] = w
+            used[w] = True
+            yield from extend(v + 1)
+            del mapping[v]
+            used[w] = False
+
+    yield from extend(0)
+
+
+def contains_subpattern(
+    small: Pattern, big: Pattern, induced: bool = False
+) -> bool:
+    """Whether ``big`` contains ``small`` as a (possibly induced) subgraph."""
+    for _ in subpattern_embeddings(small, big, induced=induced):
+        return True
+    return False
+
+
+def connected_subpatterns(
+    pattern: Pattern, min_size: int = 1, max_size: Optional[int] = None
+) -> List[List[int]]:
+    """All connected vertex subsets of ``pattern`` within a size range.
+
+    The virtual state-space analysis (paper §7) enumerates exactly
+    these: every connected subgraph of a target pattern.  Returned as
+    sorted vertex lists, deduplicated.
+    """
+    limit = pattern.num_vertices if max_size is None else max_size
+    results: List[List[int]] = []
+    seen = set()
+
+    # Standard connected-subgraph enumeration: grow from each root,
+    # only allowing extensions by vertices greater than the root to
+    # avoid duplicates, tracked with a seen-set for safety.
+    def grow(current: frozenset, frontier: frozenset) -> None:
+        if min_size <= len(current) <= limit and current not in seen:
+            seen.add(current)
+            results.append(sorted(current))
+        if len(current) >= limit:
+            return
+        candidates = sorted(frontier)
+        for i, v in enumerate(candidates):
+            new_frontier = (
+                frontier | pattern.neighbors(v)
+            ) - current - {v} - set(candidates[: i + 1])
+            grow(current | {v}, frozenset(new_frontier))
+
+    for root in pattern.vertices():
+        frontier = frozenset(
+            w for w in pattern.neighbors(root) if w > root
+        )
+        grow(frozenset({root}), frontier)
+    return results

@@ -1,0 +1,106 @@
+"""Named patterns used throughout the paper's workloads and figures."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .pattern import Pattern
+
+
+def edge() -> Pattern:
+    """Single edge (K2)."""
+    return Pattern(2, [(0, 1)], name="edge")
+
+
+def path(length: int) -> Pattern:
+    """Path with ``length`` edges (``length + 1`` vertices)."""
+    if length < 1:
+        raise ValueError("path length must be >= 1")
+    return Pattern(
+        length + 1,
+        [(i, i + 1) for i in range(length)],
+        name=f"path-{length}",
+    )
+
+
+def cycle(size: int) -> Pattern:
+    """Cycle on ``size`` vertices."""
+    if size < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    return Pattern(
+        size,
+        [(i, (i + 1) % size) for i in range(size)],
+        name=f"cycle-{size}",
+    )
+
+
+def clique(size: int) -> Pattern:
+    """Complete graph K_size."""
+    if size < 1:
+        raise ValueError("clique needs at least 1 vertex")
+    return Pattern(
+        size,
+        [(i, j) for i in range(size) for j in range(i + 1, size)],
+        name=f"clique-{size}",
+    )
+
+
+def star(leaves: int) -> Pattern:
+    """Star with a center (vertex 0) and ``leaves`` leaves."""
+    if leaves < 1:
+        raise ValueError("star needs at least one leaf")
+    return Pattern(
+        leaves + 1, [(0, i) for i in range(1, leaves + 1)], name=f"star-{leaves}"
+    )
+
+
+def triangle() -> Pattern:
+    """Triangle (K3), the paper's running NSQ pattern (Fig 12a)."""
+    return Pattern(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+def tailed_triangle() -> Pattern:
+    """Triangle with a dangling edge (paper Fig 4 and NSQ query 2)."""
+    return Pattern(4, [(0, 1), (1, 2), (0, 2), (2, 3)], name="tailed-triangle")
+
+
+def diamond() -> Pattern:
+    """4-cycle plus one chord (the paper's Fig 7 ``P^M``)."""
+    return Pattern(
+        4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], name="diamond"
+    )
+
+
+def house() -> Pattern:
+    """Triangle roof on a 4-cycle body (paper footnote 1)."""
+    return Pattern(
+        5,
+        [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 4)],
+        name="house",
+    )
+
+
+def diamond_house() -> Pattern:
+    """Diamond with an extra vertex closing a house shape (Fig 7 ``P^+``).
+
+    A diamond 0-1-2-3 (chord 0-2) plus vertex 4 adjacent to 2 and 3.
+    """
+    return Pattern(
+        5,
+        [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (2, 4), (3, 4)],
+        name="diamond-house",
+    )
+
+
+def wheel(rim: int) -> Pattern:
+    """Hub (vertex 0) connected to every vertex of a ``rim``-cycle."""
+    if rim < 3:
+        raise ValueError("wheel rim needs at least 3 vertices")
+    edges = [(0, i) for i in range(1, rim + 1)]
+    edges += [(i, i % rim + 1) for i in range(1, rim + 1)]
+    return Pattern(rim + 1, edges, name=f"wheel-{rim}")
+
+
+def labeled(pattern: Pattern, labels: Sequence[Optional[int]]) -> Pattern:
+    """Convenience: relabel a library pattern."""
+    return pattern.with_labels(labels)

@@ -1,0 +1,98 @@
+"""Symmetry-breaking restrictions.
+
+Pattern-aware systems avoid emitting each subgraph once per
+automorphism by imposing a partial order on the data-vertex ids bound
+to symmetric pattern vertices (paper §2.3).  We use the GraphZero /
+Peregrine construction: repeatedly stabilize the smallest moved vertex,
+emitting one ``phi(v) < phi(u)`` condition per other member of its
+orbit.  Exactly one permutation of every match satisfies all
+conditions, which tests verify against a canonical-minimum oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .automorphisms import automorphisms
+from .pattern import Pattern
+
+Condition = Tuple[int, int]  # (v, u) means phi(v) < phi(u)
+
+
+def symmetry_conditions(pattern: Pattern) -> List[Condition]:
+    """Partial-order conditions that break all automorphisms of ``pattern``.
+
+    Returns pairs ``(v, u)`` of *pattern* vertex ids meaning the data
+    vertex matched to ``v`` must have a smaller id than the one matched
+    to ``u``.
+    """
+    group = list(automorphisms(pattern))
+    conditions: List[Condition] = []
+    while len(group) > 1:
+        moved = [
+            v
+            for v in pattern.vertices()
+            if any(sigma[v] != v for sigma in group)
+        ]
+        v = min(moved)
+        orbit = {sigma[v] for sigma in group}
+        for u in sorted(orbit):
+            if u != v:
+                conditions.append((v, u))
+        group = [sigma for sigma in group if sigma[v] == v]
+    return conditions
+
+
+def satisfies_conditions(
+    assignment: Sequence[int], conditions: Sequence[Condition]
+) -> bool:
+    """Check ``phi(v) < phi(u)`` for every condition.
+
+    ``assignment[v]`` is the data vertex matched to pattern vertex ``v``.
+    """
+    for v, u in conditions:
+        if assignment[v] >= assignment[u]:
+            return False
+    return True
+
+
+def canonical_assignment(
+    assignment: Sequence[int], pattern: Pattern
+) -> Tuple[int, ...]:
+    """Oracle: lexicographically-minimal automorphic image of a match.
+
+    Used by tests to verify :func:`symmetry_conditions` keeps exactly
+    the canonical representative of each match orbit.
+    """
+    best = tuple(assignment)
+    for sigma in automorphisms(pattern):
+        candidate = tuple(assignment[sigma[v]] for v in pattern.vertices())
+        if candidate < best:
+            best = candidate
+    return best
+
+
+def conditions_by_position(
+    conditions: Sequence[Condition], order: Sequence[int]
+) -> Dict[int, List[Tuple[int, bool]]]:
+    """Re-key conditions by matching-order position for in-loop checking.
+
+    ``order[i]`` is the pattern vertex matched at step ``i``.  Returns a
+    map ``position -> [(earlier_position, must_be_greater)]``: when the
+    engine binds a data vertex at ``position``, each entry says the new
+    vertex must compare against the vertex already bound at
+    ``earlier_position`` (greater-than when the flag is True, else
+    less-than).  Conditions between two not-yet-bound vertices are
+    attached to the later position.
+    """
+    position_of = {v: i for i, v in enumerate(order)}
+    keyed: Dict[int, List[Tuple[int, bool]]] = {}
+    for v, u in conditions:
+        pv, pu = position_of[v], position_of[u]
+        if pv < pu:
+            # v bound first; when u arrives it must be greater than v.
+            keyed.setdefault(pu, []).append((pv, True))
+        else:
+            # u bound first; when v arrives it must be less than u.
+            keyed.setdefault(pv, []).append((pu, False))
+    return keyed

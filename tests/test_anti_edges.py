@@ -1,0 +1,146 @@
+"""Tests for anti-edges: per-pair induced semantics on edge-induced plans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import pattern_matches
+from repro.graph import erdos_renyi, graph_from_edges
+from repro.mining import MiningEngine
+from repro.patterns import (
+    Pattern,
+    automorphisms,
+    parse_pattern,
+    path,
+    to_dsl,
+    triangle,
+)
+
+from conftest import graph_strategy
+
+
+def open_wedge():
+    """Path 0-1-2 whose endpoints must NOT be adjacent."""
+    return Pattern(3, [(0, 1), (1, 2)], anti_edges=[(0, 2)])
+
+
+class TestPatternSupport:
+    def test_construction_and_accessors(self):
+        p = open_wedge()
+        assert p.has_anti_edges
+        assert p.has_anti_edge(0, 2)
+        assert p.has_anti_edge(2, 0)
+        assert not p.has_anti_edge(0, 1)
+
+    def test_edge_and_anti_edge_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(3, [(0, 1)], anti_edges=[(0, 1)])
+
+    def test_self_loop_and_range_checks(self):
+        with pytest.raises(ValueError):
+            Pattern(3, [(0, 1)], anti_edges=[(1, 1)])
+        with pytest.raises(ValueError):
+            Pattern(3, [(0, 1)], anti_edges=[(0, 5)])
+
+    def test_identity_distinguishes_anti_edges(self):
+        assert open_wedge() != path(2)
+        assert open_wedge().canonical_key() != path(2).canonical_key()
+        assert hash(open_wedge()) != hash(path(2))
+
+    def test_subpattern_and_relabel_carry_anti_edges(self):
+        p = open_wedge()
+        q = p.relabel({0: 2, 1: 1, 2: 0})
+        assert q.has_anti_edge(0, 2)
+        sub = p.subpattern([0, 1, 2])
+        assert sub.has_anti_edge(0, 2)
+
+    def test_unlabeled_drops_anti_edges(self):
+        assert not open_wedge().unlabeled().has_anti_edges
+
+    def test_with_anti_edges(self):
+        p = path(2).with_anti_edges([(0, 2)])
+        assert p == open_wedge()
+
+    def test_automorphisms_respect_anti_edges(self):
+        # star with one anti-edge between two specific leaves: leaf
+        # permutations must preserve that pair.
+        star3 = Pattern(
+            4, [(0, 1), (0, 2), (0, 3)], anti_edges=[(1, 2)]
+        )
+        for sigma in automorphisms(star3):
+            pair = frozenset({sigma[1], sigma[2]})
+            assert pair == frozenset({1, 2}) or star3.has_anti_edge(
+                *sorted(pair)
+            )
+
+
+class TestMatchingSemantics:
+    def test_open_wedges_exclude_triangles(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        engine = MiningEngine(g)
+        wedges = engine.find_all(open_wedge())
+        for match in wedges:
+            a, _, c = (
+                match.vertex_for(0), match.vertex_for(1), match.vertex_for(2)
+            )
+            assert not g.has_edge(a, c)
+        # plain path-2 counts also include the closed (triangle) wedges
+        assert engine.count(path(2)) > len(wedges)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_counts_match_oracle(self, seed):
+        g = erdos_renyi(14, 0.35, seed=seed)
+        pattern = open_wedge()
+        engine_count = MiningEngine(g).count(pattern)
+        oracle = pattern_matches(g, pattern)
+        assert engine_count == len(oracle) // len(automorphisms(pattern))
+
+    def test_equivalence_with_induced_on_induced_class(self):
+        """For a pattern whose anti-edges cover all non-edges, the
+        edge-induced count equals the fully induced count."""
+        g = erdos_renyi(14, 0.4, seed=7)
+        all_anti = path(2).with_anti_edges([(0, 2)])
+        via_anti = MiningEngine(g).count(all_anti)
+        via_induced = MiningEngine(g, induced=True).count(path(2))
+        assert via_anti == via_induced
+
+    @given(graph_strategy(max_vertices=10), st.integers(0, 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_oracle_agreement(self, g, which):
+        patterns = [
+            open_wedge(),
+            Pattern(
+                4, [(0, 1), (1, 2), (2, 3)], anti_edges=[(0, 3), (0, 2)]
+            ),
+        ]
+        pattern = patterns[which]
+        engine_count = MiningEngine(g).count(pattern)
+        oracle = pattern_matches(g, pattern)
+        assert engine_count == len(oracle) // len(automorphisms(pattern))
+
+
+class TestDSLSupport:
+    def test_parse_anti_edges(self):
+        p = parse_pattern("0-1-2; anti-edges 0-2")
+        assert p == open_wedge()
+
+    def test_roundtrip(self):
+        p = Pattern(
+            4, [(0, 1), (1, 2), (2, 3)], anti_edges=[(0, 3)]
+        )
+        assert parse_pattern(to_dsl(p)) == p
+
+    def test_dot_marks_anti_edges(self):
+        from repro.patterns import to_dot
+
+        dot = to_dot(open_wedge())
+        assert "dotted" in dot
+
+
+class TestConstraintGuard:
+    def test_constraints_reject_anti_edge_patterns(self):
+        from repro.core import ContainmentConstraint
+
+        bigger = Pattern(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        with pytest.raises(ValueError, match="anti-edge"):
+            ContainmentConstraint(open_wedge(), bigger)

@@ -1,0 +1,84 @@
+"""Extended anti-vertex tests: oracle agreement on random graphs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import anti_vertex_query, lower_anti_vertices
+from repro.baselines.naive import nested_query_matches
+from repro.graph import erdos_renyi
+from repro.patterns import Pattern
+
+
+def wedge_anti():
+    """Triangle 0-1-2 with anti-vertex 3 adjacent to 0 and 1."""
+    return Pattern(
+        4, [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)], anti_vertices=[3]
+    )
+
+
+def edge_double_anti():
+    """Edge 0-1 with two anti-vertices: 2 adjacent to both endpoints,
+    3 adjacent to 0 only."""
+    return Pattern(
+        4,
+        [(0, 1), (0, 2), (1, 2), (0, 3)],
+        anti_vertices=[2, 3],
+    )
+
+
+class TestLoweringSemantics:
+    def test_multiple_anti_vertices_one_constraint_each(self):
+        p_m, p_plus_list = lower_anti_vertices(edge_double_anti())
+        assert p_m.num_vertices == 2
+        assert len(p_plus_list) == 2
+        sizes = sorted(p.num_vertices for p in p_plus_list)
+        assert sizes == [3, 3]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_oracle_agreement_wedge(self, seed):
+        g = erdos_renyi(13, 0.25, seed=seed)
+        p_m, p_plus_list = lower_anti_vertices(wedge_anti())
+        got = set(anti_vertex_query(g, wedge_anti()).assignments())
+        want = nested_query_matches(g, p_m, p_plus_list)
+        assert got == want
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_oracle_agreement_double(self, seed):
+        g = erdos_renyi(12, 0.25, seed=seed)
+        p_m, p_plus_list = lower_anti_vertices(edge_double_anti())
+        got = set(anti_vertex_query(g, edge_double_anti()).assignments())
+        want = nested_query_matches(g, p_m, p_plus_list)
+        assert got == want
+
+    @given(st.integers(0, 10_000), st.floats(0.1, 0.4))
+    @settings(max_examples=12, deadline=None)
+    def test_property_no_realizable_anti_vertex(self, seed, p):
+        """Every returned match genuinely has no data vertex completing
+        the anti-vertex's edges."""
+        g = erdos_renyi(12, p, seed=seed)
+        result = anti_vertex_query(g, wedge_anti())
+        for assignment in result.assignments():
+            a, b = assignment[0], assignment[1]
+            common = g.neighbor_set(a) & g.neighbor_set(b)
+            # the only common neighbor may be the triangle's own apex
+            assert common <= set(assignment)
+
+    def test_semantics_vs_manual(self):
+        # One triangle with an extra wedge-closer, one without.
+        from repro.graph import graph_from_edges
+
+        g = graph_from_edges(
+            [
+                (0, 1), (1, 2), (0, 2),      # triangle A
+                (0, 3), (1, 3),              # vertex 3 closes A's 0-1 wedge
+                (4, 5), (5, 6), (4, 6),      # triangle B, isolated
+            ]
+        )
+        got = {
+            frozenset(a)
+            for a in anti_vertex_query(g, wedge_anti()).assignments()
+        }
+        # triangle A survives only via edges whose wedge has no closer:
+        # pairs (0,1) have closer 3 -> those matches die; B survives fully.
+        assert frozenset({4, 5, 6}) in got

@@ -1,0 +1,146 @@
+"""Tests for maximal cliques, anti-vertex queries, multi-pattern groups."""
+
+import pytest
+
+from repro.apps import (
+    anti_vertex_query,
+    bron_kerbosch,
+    lower_anti_vertices,
+    maximal_cliques_contigra,
+    maximal_cliques_reference,
+)
+from repro.graph import erdos_renyi, graph_from_edges
+from repro.mining import (
+    CountProcessor,
+    MiningEngine,
+    MultiPatternExplorer,
+    group_by_structure,
+    match_pattern_key,
+)
+from repro.patterns import Pattern, clique, path, triangle
+
+
+class TestBronKerbosch:
+    def test_triangle_plus_edge(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        cliques = bron_kerbosch(g)
+        assert frozenset({0, 1, 2}) in cliques
+        assert frozenset({2, 3}) in cliques
+        assert len(cliques) == 2
+
+    def test_complete_graph(self):
+        g = graph_from_edges(
+            [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        )
+        assert bron_kerbosch(g) == {frozenset(range(5))}
+
+    def test_covers_every_vertex(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        cliques = bron_kerbosch(g)
+        covered = set().union(*cliques)
+        assert covered == set(g.vertices())
+
+
+class TestMaximalCliques:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_contigra_matches_reference(self, seed):
+        g = erdos_renyi(15, 0.45, seed=seed)
+        got = maximal_cliques_contigra(g, max_size=5).all_sets()
+        want = maximal_cliques_reference(g, max_size=5)
+        assert got == want
+
+    def test_cap_semantics(self):
+        # K6: mined with cap 4, every 4-subset is capped-maximal.
+        g = graph_from_edges(
+            [(u, v) for u in range(6) for v in range(u + 1, 6)]
+        )
+        got = maximal_cliques_contigra(g, max_size=4).all_sets()
+        assert len(got) == 15  # C(6,4)
+        assert got == maximal_cliques_reference(g, max_size=4)
+
+
+class TestAntiVertex:
+    def test_lowering_shapes(self):
+        pattern = Pattern(
+            4,
+            [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)],
+            anti_vertices=[3],
+        )
+        p_m, p_plus_list = lower_anti_vertices(pattern)
+        assert p_m.num_vertices == 3
+        assert len(p_plus_list) == 1
+        assert p_plus_list[0].num_vertices == 4
+        assert not p_plus_list[0].has_anti_vertices
+
+    def test_no_anti_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            lower_anti_vertices(triangle())
+
+    def test_disconnected_regular_part_rejected(self):
+        pattern = Pattern(
+            3, [(0, 2), (1, 2)], anti_vertices=[2]
+        )
+        with pytest.raises(ValueError):
+            lower_anti_vertices(pattern)
+
+    def test_query_semantics(self):
+        # Path 0-1 with anti-vertex 2 adjacent to both: edges that close
+        # no triangle.
+        pattern = Pattern(
+            3, [(0, 1), (0, 2), (1, 2)], anti_vertices=[2]
+        )
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        result = anti_vertex_query(g, pattern)
+        got = {frozenset(a) for a in result.assignments()}
+        # edge 2-3 closes no triangle; every triangle edge does.
+        assert got == {frozenset({2, 3})}
+
+
+class TestMultiPattern:
+    def test_group_by_structure(self):
+        patterns = [
+            triangle().with_labels([0, 1, 2]),
+            triangle().with_labels([0, 0, 1]),
+            path(2).with_labels([0, 1, 2]),
+        ]
+        groups = group_by_structure(patterns)
+        assert len(groups) == 2
+
+    def test_match_pattern_key_distinguishes_labels(self):
+        from repro.graph import Graph
+
+        g = Graph([(1, 2), (0, 2), (0, 1)], labels=[0, 1, 2])
+        h = Graph([(1, 2), (0, 2), (0, 1)], labels=[0, 0, 1])
+        assert match_pattern_key(g, [0, 1, 2]) != match_pattern_key(
+            h, [0, 1, 2]
+        )
+
+    def test_explorer_attributes_matches(self):
+        from conftest import labeled_random_graph
+
+        g = labeled_random_graph(15, 0.4, num_labels=3, seed=5)
+        engine = MiningEngine(g, induced=True)
+        patterns = [
+            triangle().with_labels([0, 1, 2]),
+            triangle().with_labels([0, 0, 1]),
+        ]
+        explorer = MultiPatternExplorer(engine, patterns)
+        processor = CountProcessor()
+        results = explorer.explore(processor)
+        attributed = sum(count for _, count in results)
+        # attribution must match direct per-pattern counts
+        direct = sum(
+            MiningEngine(g, induced=True).count(p) for p in patterns
+        )
+        assert attributed == direct
+
+    def test_requires_induced_engine(self):
+        g = erdos_renyi(8, 0.4, seed=0)
+        with pytest.raises(ValueError):
+            MultiPatternExplorer(MiningEngine(g), [triangle()])
+
+    def test_group_members_must_share_structure(self):
+        from repro.mining.multipattern import MergedPatternGroup
+
+        with pytest.raises(ValueError):
+            MergedPatternGroup(triangle(), [triangle(), path(2)])

@@ -1,0 +1,168 @@
+"""Tests for bench datasets, the harness, reports, stats, and errors."""
+
+import pytest
+
+from repro.bench import (
+    OK,
+    OOM,
+    OOS,
+    TLE,
+    RunOutcome,
+    dataset,
+    dataset_keys,
+    format_series,
+    format_table,
+    labeled_dataset_keys,
+    spec,
+    speedup,
+    table1_rows,
+    timed_run,
+)
+from repro.errors import (
+    MemoryBudgetExceeded,
+    StorageBudgetExceeded,
+    TimeLimitExceeded,
+)
+from repro.mining import ConstraintStats, MiningStats
+
+
+class TestDatasets:
+    def test_keys_in_table1_order(self):
+        assert dataset_keys() == [
+            "amazon", "dblp", "mico", "patents", "youtube", "products",
+        ]
+
+    def test_labeled_subset(self):
+        assert labeled_dataset_keys() == [
+            "mico", "patents", "youtube", "products",
+        ]
+
+    def test_datasets_deterministic_and_cached(self):
+        a = dataset("amazon")
+        b = dataset("amazon")
+        assert a is b
+
+    def test_label_status_matches_paper(self):
+        for key in dataset_keys():
+            g = dataset(key)
+            expected_labeled = spec(key).paper_labels > 0
+            assert g.is_labeled == expected_labeled
+
+    def test_relative_size_ordering_preserved(self):
+        """Bigger paper graphs map to bigger analogs (within family)."""
+        az, yt = dataset("amazon"), dataset("youtube")
+        assert yt.num_edges > 4 * az.num_edges
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            dataset("nope")
+        with pytest.raises(KeyError):
+            spec("nope")
+
+    def test_table1_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 6
+        assert rows[0][0] == "Amazon (AZ)"
+
+
+class TestHarness:
+    def test_ok_outcome(self):
+        outcome = timed_run(lambda: 42)
+        assert outcome.ok
+        assert outcome.value == 42
+        assert float(outcome.cell()) >= 0
+
+    def test_failure_mapping(self):
+        def tle():
+            raise TimeLimitExceeded(1.0, 2.0)
+
+        def oom():
+            raise MemoryBudgetExceeded(10, 20)
+
+        def oos():
+            raise StorageBudgetExceeded(10, 20)
+
+        assert timed_run(tle).status == TLE
+        assert timed_run(oom).status == OOM
+        assert timed_run(oos).status == OOS
+        assert timed_run(tle).cell() == TLE
+
+    def test_count_and_stats_extracted(self):
+        class FakeResult:
+            count = 7
+            stats = MiningStats(matches_found=7)
+
+        outcome = timed_run(FakeResult)
+        assert outcome.count == 7
+        assert outcome.stats["matches_found"] == 7
+
+    def test_speedup_exact(self):
+        ours = RunOutcome(OK, 2.0)
+        baseline = RunOutcome(OK, 20.0)
+        assert speedup(ours, baseline) == "10x"
+
+    def test_speedup_lower_bound_on_failure(self):
+        ours = RunOutcome(OK, 2.0)
+        baseline = RunOutcome(TLE, 60.0)
+        cell = speedup(ours, baseline, baseline_budget=120.0)
+        assert cell.startswith(">=")
+        assert "60x" in cell
+
+    def test_speedup_when_we_fail(self):
+        assert speedup(RunOutcome(TLE, 1.0), RunOutcome(OK, 1.0)) == "-"
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series_with_failures(self):
+        text = format_series("fig", [("x", 1.0), ("y", "TLE")])
+        assert "!" in text
+        assert "TLE" in text
+
+    def test_format_series_zero(self):
+        text = format_series("fig", [("x", 0.0)])
+        assert "0.00" in text
+
+
+class TestStats:
+    def test_merge_accumulates(self):
+        a = MiningStats(matches_found=2, cache_hits=1, cache_misses=1)
+        b = MiningStats(matches_found=3, cache_hits=3, cache_misses=0)
+        a.merge(b)
+        assert a.matches_found == 5
+        assert a.cache_hit_rate == pytest.approx(0.8)
+
+    def test_constraint_stats_merge(self):
+        a = ConstraintStats(vtasks_started=1, promotions=2)
+        b = ConstraintStats(vtasks_started=4, vtasks_canceled_lateral=6)
+        a.merge(b)
+        assert a.vtasks_started == 5
+        assert a.promotions == 2
+        assert a.vtask_cancel_rate == pytest.approx(6 / 11)
+
+    def test_as_dict_roundtrip(self):
+        stats = ConstraintStats(matches_checked=9)
+        data = stats.as_dict()
+        assert data["matches_checked"] == 9
+        assert "cache_hit_rate" in data
+
+    def test_empty_rates(self):
+        assert MiningStats().cache_hit_rate == 0.0
+        assert ConstraintStats().vtask_cancel_rate == 0.0
+
+
+class TestErrors:
+    def test_messages_carry_numbers(self):
+        err = TimeLimitExceeded(10.0, 12.5)
+        assert "12.50" in str(err)
+        assert err.limit_seconds == 10.0
+        err2 = MemoryBudgetExceeded(100, 200)
+        assert err2.used_bytes == 200
+        err3 = StorageBudgetExceeded(5, 6)
+        assert err3.budget_bytes == 5

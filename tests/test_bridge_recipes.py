@@ -1,0 +1,87 @@
+"""Focused tests for BridgeRecipe construction and ordering internals."""
+
+import pytest
+
+from repro.core.vtask import (
+    BridgeRecipe,
+    ValidationTarget,
+    _connected_extension_orders,
+    _orbit_representative_embeddings,
+)
+from repro.graph import erdos_renyi
+from repro.patterns import clique, diamond_house, house, triangle
+
+
+class TestBridgeRecipe:
+    def test_anchors_follow_pattern_adjacency(self):
+        # triangle (0,1,2 in house) extended to the full house
+        embedding = (0, 1, 2)
+        recipe = BridgeRecipe(house(), embedding, order=(3, 4))
+        # vertex 3 attaches to 1 (and not 0/2); vertex 4 to 2 and 3
+        assert set(recipe.anchors[0]) == {1}
+        assert set(recipe.anchors[1]) == {2, 3}
+
+    def test_nonneighbors_complement_anchors(self):
+        embedding = (0, 1, 2)
+        recipe = BridgeRecipe(house(), embedding, order=(3, 4))
+        for step in range(2):
+            assert not (
+                set(recipe.anchors[step]) & set(recipe.nonneighbors[step])
+            )
+
+    def test_unanchored_order_rejected(self):
+        # lollipop: triangle 0-1-2 with tail 2-3-4.  Binding the tail
+        # tip (4) before its only neighbor (3) leaves it unanchored.
+        from repro.patterns import Pattern
+
+        lollipop = Pattern(
+            5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]
+        )
+        with pytest.raises(ValueError):
+            BridgeRecipe(lollipop, (0, 1, 2), order=(4, 3))
+
+    def test_intermediate_density_recorded(self):
+        recipe = BridgeRecipe(house(), (0, 1, 2), order=(3, 4))
+        assert 0.0 < recipe.intermediate_density <= 1.0
+
+
+class TestExtensionOrders:
+    def test_all_orders_connected(self):
+        orders = _connected_extension_orders(house(), [0, 1, 2], [3, 4])
+        assert orders
+        for order in orders:
+            bound = {0, 1, 2}
+            for v in order:
+                assert any(house().has_edge(v, u) for u in bound)
+                bound.add(v)
+
+    def test_clique_extension_all_permutations_valid(self):
+        orders = _connected_extension_orders(clique(5), [0, 1, 2], [3, 4])
+        assert len(orders) == 2  # both orders of {3, 4}
+
+
+class TestOrbitEmbeddings:
+    def test_triangle_into_house_roof_only(self):
+        reps = _orbit_representative_embeddings(
+            triangle(), house(), induced=False
+        )
+        # the house's only triangle is the roof; Aut(house) has order 2
+        # and fixes the roof setwise -> few representatives
+        assert 1 <= len(reps) <= 3
+        for image in reps:
+            for u, v in triangle().edges:
+                assert house().has_edge(image[u], image[v])
+
+    def test_k4_into_k6_single_orbit(self):
+        reps = _orbit_representative_embeddings(
+            clique(4), clique(6), induced=True
+        )
+        assert len(reps) == 1
+
+    def test_gap_recorded_and_recipe_count(self):
+        g = erdos_renyi(10, 0.4, seed=0)
+        target = ValidationTarget(
+            triangle(), diamond_house(), g, induced=False
+        )
+        assert target.gap == 2
+        assert all(len(r.order) == 2 for r in target.recipes)

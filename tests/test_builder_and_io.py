@@ -1,0 +1,104 @@
+"""Tests for GraphBuilder and plain-text graph I/O."""
+
+import pytest
+
+from repro.graph import (
+    GraphBuilder,
+    graph_from_edges,
+    read_edge_list,
+    write_edge_list,
+    write_labels,
+)
+
+
+class TestBuilder:
+    def test_dedup_and_self_loops(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edge(1, 0)
+        b.add_edge(0, 0)
+        g = b.build()
+        assert g.num_edges == 1
+
+    def test_arbitrary_ids_interned_in_order(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y")
+        b.add_edge("y", "z")
+        assert b.vertex_id("x") == 0
+        assert b.vertex_id("y") == 1
+        assert b.vertex_id("z") == 2
+
+    def test_isolated_vertex(self):
+        b = GraphBuilder()
+        b.add_vertex("lonely")
+        b.add_edge("a", "b")
+        g = b.build()
+        assert g.num_vertices == 3
+        assert g.degree(0) == 0
+
+    def test_labels_default_fill(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.set_label(0, 7)
+        g = b.build()
+        assert g.label(0) == 7
+        assert g.label(1) == -1  # unlabeled vertices get the filler label
+
+    def test_unlabeled_when_no_labels_set(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        assert not b.build().is_labeled
+
+    def test_counts_during_building(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 2)])
+        assert b.num_vertices == 3
+        assert b.num_edges == 2
+
+    def test_graph_from_edges_with_labels(self):
+        g = graph_from_edges([("a", "b")], labels={"a": 3, "b": 4})
+        assert g.label(0) == 3
+        assert g.label(1) == 4
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        path = str(tmp_path / "g.txt")
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == 3
+        assert loaded.num_edges == 3
+
+    def test_roundtrip_with_labels(self, tmp_path):
+        g = graph_from_edges([(0, 1)], labels={0: 9, 1: 8})
+        epath = str(tmp_path / "g.txt")
+        lpath = str(tmp_path / "g.labels")
+        write_edge_list(g, epath)
+        write_labels(g, lpath)
+        loaded = read_edge_list(epath, label_path=lpath)
+        assert loaded.is_labeled
+        assert sorted(
+            loaded.label(v) for v in loaded.vertices()
+        ) == [8, 9]
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n1 2\n")
+        g = read_edge_list(str(path))
+        assert g.num_edges == 2
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\njunk\n")
+        with pytest.raises(ValueError, match="bad.txt:2"):
+            read_edge_list(str(path))
+
+    def test_write_labels_on_unlabeled_rejected(self, tmp_path):
+        g = graph_from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            write_labels(g, str(tmp_path / "l.txt"))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_edge_list(str(tmp_path / "nope.txt"))

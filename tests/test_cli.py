@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import graph_from_edges
+from repro.graph.io import write_edge_list, write_labels
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mqc_defaults(self):
+        args = build_parser().parse_args(["mqc", "--dataset", "dblp"])
+        args_dict = vars(args)
+        assert args_dict["gamma"] == 0.8
+        assert args_dict["max_size"] == 5
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "amazon" in out
+        assert "Youtube" in out
+
+    def test_mqc_on_dataset(self, capsys):
+        assert main(
+            ["mqc", "--dataset", "dblp", "--gamma", "0.8",
+             "--max-size", "4", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["maximal_quasi_cliques"] > 0
+        assert "cache_hit_rate" in payload
+
+    def test_quasicliques_fused_flag(self, capsys):
+        assert main(
+            ["quasicliques", "--dataset", "dblp", "--max-size", "4",
+             "--fused", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "fused"
+
+    def test_kws_mf(self, capsys):
+        assert main(
+            ["kws", "--dataset", "mico", "--keywords", "mf",
+             "--max-size", "4", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["patterns_total"] > 0
+
+    def test_kws_explicit_keywords(self, capsys):
+        assert main(
+            ["kws", "--dataset", "mico", "--keywords", "0,1",
+             "--max-size", "3", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["keywords"] == [0, 1]
+
+    def test_nsq(self, capsys):
+        assert main(
+            ["nsq", "--dataset", "amazon", "--query", "triangles",
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "valid_matches" in payload
+
+    def test_graph_file_input(self, tmp_path, capsys):
+        g = graph_from_edges(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+        )
+        path = str(tmp_path / "g.txt")
+        write_edge_list(g, path)
+        assert main(
+            ["mqc", "--graph", path, "--gamma", "1.0",
+             "--max-size", "3", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["maximal_quasi_cliques"] == 2  # two triangles
+
+    def test_missing_graph_source(self):
+        with pytest.raises(SystemExit):
+            main(["mqc"])
+
+    def test_explain(self, capsys):
+        assert main(
+            ["explain", "--dataset", "dblp", "--gamma", "0.8",
+             "--max-size", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "VTask schedule" in out
+        assert "matching order" in out
+
+    def test_human_readable_output(self, capsys):
+        assert main(
+            ["mqc", "--dataset", "dblp", "--max-size", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "maximal_quasi_cliques:" in out

@@ -1,0 +1,107 @@
+"""Tests for containment constraints and dependency derivation."""
+
+import pytest
+
+from repro.core import (
+    LATERAL,
+    PREDECESSOR,
+    SUCCESSOR,
+    ConstraintSet,
+    ContainmentConstraint,
+    derive_dependencies,
+    maximality_constraints,
+    minimality_constraints,
+    nested_query_constraints,
+)
+from repro.patterns import (
+    clique,
+    cycle,
+    house,
+    quasi_clique_patterns_up_to,
+    tailed_triangle,
+    triangle,
+)
+
+
+class TestContainmentConstraint:
+    def test_successor_classification(self):
+        c = ContainmentConstraint(triangle(), house())
+        assert c.is_successor
+        assert not c.is_predecessor
+        assert c.gap == 2
+
+    def test_predecessor_classification(self):
+        c = ContainmentConstraint(house(), triangle())
+        assert c.is_predecessor
+        assert c.gap == 2
+
+    def test_unrelated_patterns_rejected(self):
+        with pytest.raises(ValueError):
+            ContainmentConstraint(cycle(4), clique(5), induced=True)
+
+    def test_equal_size_rejected(self):
+        with pytest.raises(ValueError):
+            ContainmentConstraint(triangle(), triangle())
+
+
+class TestConstraintSet:
+    def test_lookup_by_pattern(self):
+        cs = nested_query_constraints(triangle(), [house(), clique(4)])
+        assert len(cs.constraints_for(triangle())) == 2
+        assert cs.successor_constraints_for(triangle())
+        assert not cs.predecessor_constraints_for(triangle())
+
+    def test_constraint_for_unmined_pattern_rejected(self):
+        constraint = ContainmentConstraint(triangle(), house())
+        with pytest.raises(ValueError):
+            ConstraintSet([house()], [constraint])
+
+    def test_maximality_construction(self):
+        by_size = quasi_clique_patterns_up_to(5, 0.8)
+        cs = maximality_constraints(by_size)
+        # triangle constrained by K4 and K5; K4 by K5; K5 by nothing.
+        tri, k4, k5 = by_size[3][0], by_size[4][0], by_size[5][0]
+        assert len(cs.successor_constraints_for(tri)) == 2
+        assert len(cs.successor_constraints_for(k4)) == 1
+        assert cs.constraints_for(k5) == []
+
+    def test_minimality_construction(self):
+        target = house().with_labels([1, 2, None, None, None])
+
+        def covering(sub):
+            labels = {lab for lab in sub.labels if lab is not None}
+            return {1, 2} <= labels
+
+        cs = minimality_constraints([target], covering)
+        constraints = cs.constraints_for(target)
+        assert constraints
+        assert all(c.is_predecessor for c in constraints)
+
+
+class TestDependencyGraph:
+    def test_kinds_and_summary(self):
+        by_size = quasi_clique_patterns_up_to(5, 0.8)
+        graph = derive_dependencies(maximality_constraints(by_size))
+        summary = graph.summary()
+        assert summary[SUCCESSOR] == 3
+        assert summary[PREDECESSOR] == 0
+        # triangle has 2 VTask targets -> 1 lateral chain edge
+        assert summary[LATERAL] == 1
+
+    def test_lateral_groups(self):
+        by_size = quasi_clique_patterns_up_to(6, 0.8)
+        graph = derive_dependencies(maximality_constraints(by_size))
+        groups = graph.lateral_groups()
+        assert groups
+        for _source, targets in groups:
+            assert len(targets) > 1
+
+    def test_single_constraint_no_lateral(self):
+        cs = nested_query_constraints(triangle(), [house()])
+        graph = derive_dependencies(cs)
+        assert graph.summary()[LATERAL] == 0
+
+    def test_gap_recorded(self):
+        cs = nested_query_constraints(tailed_triangle(), [clique(6)])
+        (edge,) = derive_dependencies(cs).edges
+        assert edge.gap == 2

@@ -1,0 +1,105 @@
+"""Extended directed-pattern tests: symmetry uniqueness, labels, plans."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns.dipattern import (
+    DiPattern,
+    di_automorphisms,
+    di_plan_for,
+    di_symmetry_conditions,
+)
+from repro.patterns.symmetry import satisfies_conditions
+
+
+@st.composite
+def dipattern_strategy(draw, max_vertices: int = 4):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    # weakly-connected via random tree + random orientations + extras
+    arcs = set()
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        if draw(st.booleans()):
+            arcs.add((parent, v))
+        else:
+            arcs.add((v, parent))
+    possible = [
+        (u, v)
+        for u in range(n)
+        for v in range(n)
+        if u != v and (u, v) not in arcs
+    ]
+    if possible:
+        extras = draw(
+            st.lists(st.sampled_from(possible), unique=True, max_size=4)
+        )
+        arcs.update(extras)
+    return DiPattern(n, arcs)
+
+
+class TestDirectedSymmetry:
+    @given(dipattern_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_exactly_one_representative(self, pattern):
+        """The GraphZero construction transfers to directed groups."""
+        conditions = di_symmetry_conditions(pattern)
+        auts = di_automorphisms(pattern)
+        k = pattern.num_vertices
+        assignment = list(range(10, 10 + k))
+        images = {
+            tuple(assignment[sigma[v]] for v in range(k)) for sigma in auts
+        }
+        satisfying = [
+            a for a in images if satisfies_conditions(a, conditions)
+        ]
+        assert len(satisfying) == 1
+
+    def test_asymmetric_pattern_no_conditions(self):
+        ffl = DiPattern(3, [(0, 1), (0, 2), (1, 2)])
+        assert di_symmetry_conditions(ffl) == []
+
+    def test_bidirectional_edge_symmetric(self):
+        both = DiPattern(2, [(0, 1), (1, 0)])
+        assert len(di_automorphisms(both)) == 2
+        assert di_symmetry_conditions(both) == [(0, 1)]
+
+
+class TestDirectedPatternValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DiPattern(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DiPattern(2, [(0, 5)])
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DiPattern(2, [(0, 1)], labels=[1])
+
+    def test_antiparallel_arcs_allowed(self):
+        p = DiPattern(2, [(0, 1), (1, 0)])
+        assert p.has_arc(0, 1) and p.has_arc(1, 0)
+
+    def test_plan_memoized(self):
+        p = DiPattern(3, [(0, 1), (1, 2)])
+        assert di_plan_for(p) is di_plan_for(DiPattern(3, [(0, 1), (1, 2)]))
+
+    def test_equality_and_hash(self):
+        a = DiPattern(3, [(0, 1), (1, 2)])
+        b = DiPattern(3, [(1, 2), (0, 1)])
+        assert a == b and hash(a) == hash(b)
+        assert a != DiPattern(3, [(1, 0), (1, 2)])
+
+    @given(dipattern_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_plan_anchors_cover_all_arcs(self, pattern):
+        """Every pattern arc is enforced by exactly one anchor entry."""
+        plan = di_plan_for(pattern)
+        enforced = 0
+        for i in range(plan.num_steps):
+            enforced += len(plan.out_anchors[i]) + len(plan.in_anchors[i])
+        assert enforced == len(pattern.arcs)

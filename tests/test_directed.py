@@ -1,0 +1,237 @@
+"""Tests for the directed-graph extension (§2.1's directed note)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import (
+    DiGraph,
+    DiGraphBuilder,
+    directed_citation_graph,
+    directed_erdos_renyi,
+)
+from repro.mining.directed import (
+    di_brute_force_matches,
+    di_count,
+    di_matches,
+    directed_containment_query,
+)
+from repro.patterns.dipattern import (
+    DiPattern,
+    choose_di_order,
+    di_automorphisms,
+    di_plan_for,
+    di_symmetry_conditions,
+)
+
+
+def di_triangle_cycle():
+    """Directed 3-cycle 0 -> 1 -> 2 -> 0."""
+    return DiPattern(3, [(0, 1), (1, 2), (2, 0)], name="c3")
+
+
+def di_path2():
+    """0 -> 1 -> 2."""
+    return DiPattern(3, [(0, 1), (1, 2)], name="p2")
+
+
+def feed_forward():
+    """The feed-forward loop motif: 0 -> 1, 0 -> 2, 1 -> 2."""
+    return DiPattern(3, [(0, 1), (0, 2), (1, 2)], name="ffl")
+
+
+class TestDiGraph:
+    def test_builder_and_accessors(self):
+        b = DiGraphBuilder()
+        b.add_arcs([(0, 1), (1, 2), (2, 0), (0, 1)])
+        g = b.build()
+        assert g.num_edges == 3
+        assert g.has_arc(0, 1)
+        assert not g.has_arc(1, 0)
+        assert g.successors(0) == (1,)
+        assert g.predecessors(0) == (2,)
+        assert g.out_degree(0) == 1 and g.in_degree(0) == 1
+
+    def test_self_loops_ignored(self):
+        b = DiGraphBuilder()
+        b.add_arc(0, 0)
+        b.add_arc(0, 1)
+        assert b.build().num_edges == 1
+
+    def test_transpose_validation(self):
+        with pytest.raises(ValueError):
+            DiGraph([(1,), ()], [(), ()])
+
+    def test_arcs_iteration(self):
+        b = DiGraphBuilder()
+        b.add_arcs([(0, 1), (1, 2)])
+        assert sorted(b.build().arcs()) == [(0, 1), (1, 2)]
+
+    def test_generators_deterministic(self):
+        a = directed_erdos_renyi(20, 0.1, seed=1)
+        b = directed_erdos_renyi(20, 0.1, seed=1)
+        assert list(a.arcs()) == list(b.arcs())
+        cite = directed_citation_graph(30, 3, seed=2)
+        assert cite.num_vertices == 30
+        # citations point backwards: new -> old, so vertex 0 has out 0
+        assert cite.out_degree(0) == 0
+
+
+class TestDiPattern:
+    def test_direction_matters(self):
+        assert di_triangle_cycle() != feed_forward()
+        assert di_triangle_cycle().has_arc(0, 1)
+        assert not di_triangle_cycle().has_arc(1, 0)
+
+    def test_automorphisms_cycle(self):
+        # directed 3-cycle: rotations only (3), no reflections
+        assert len(di_automorphisms(di_triangle_cycle())) == 3
+
+    def test_automorphisms_ffl(self):
+        # the feed-forward loop is rigid
+        assert len(di_automorphisms(feed_forward())) == 1
+
+    def test_symmetry_conditions_break_rotations(self):
+        conditions = di_symmetry_conditions(di_triangle_cycle())
+        assert conditions  # non-trivial group needs conditions
+
+    def test_order_weakly_connected(self):
+        order = choose_di_order(feed_forward())
+        assert sorted(order) == [0, 1, 2]
+        with pytest.raises(ValueError):
+            choose_di_order(DiPattern(3, [(0, 1)]))
+
+    def test_plan_anchors_directional(self):
+        plan = di_plan_for(di_path2())
+        # every non-root step anchors on at least one direction
+        for i in range(1, plan.num_steps):
+            assert plan.out_anchors[i] or plan.in_anchors[i]
+
+
+class TestDirectedMatching:
+    def _oracle_count(self, graph, pattern):
+        return len(di_brute_force_matches(graph, pattern)) // len(
+            di_automorphisms(pattern)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize(
+        "pattern",
+        [di_triangle_cycle(), di_path2(), feed_forward()],
+        ids=lambda p: p.name,
+    )
+    def test_counts_match_oracle(self, seed, pattern):
+        g = directed_erdos_renyi(12, 0.15, seed=seed)
+        assert di_count(g, pattern) == self._oracle_count(g, pattern)
+
+    def test_matches_respect_arcs(self):
+        g = directed_erdos_renyi(12, 0.2, seed=7)
+        for assignment in di_matches(g, feed_forward()):
+            assert g.has_arc(assignment[0], assignment[1])
+            assert g.has_arc(assignment[0], assignment[2])
+            assert g.has_arc(assignment[1], assignment[2])
+
+    def test_each_match_once(self):
+        g = directed_erdos_renyi(12, 0.2, seed=8)
+        matches = list(di_matches(g, di_triangle_cycle()))
+        assert len(matches) == len(set(matches))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_counts(self, seed):
+        g = directed_erdos_renyi(10, 0.2, seed=seed)
+        for pattern in (di_path2(), feed_forward()):
+            assert di_count(g, pattern) == self._oracle_count(g, pattern)
+
+    def test_labeled_matching(self):
+        b = DiGraphBuilder()
+        b.add_vertex(0, label=1)
+        b.add_vertex(1, label=2)
+        b.add_vertex(2, label=1)
+        b.add_arcs([(0, 1), (1, 2)])
+        g = b.build()
+        labeled = DiPattern(2, [(0, 1)], labels=[1, 2])
+        assert di_count(g, labeled) == 1
+
+
+class TestDirectedContainment:
+    def test_ffl_not_in_diamond(self):
+        """Feed-forward loops not contained in a 'directed diamond'
+        (0->1, 0->2, 1->3, 2->3 plus the ffl arcs)."""
+        bigger = DiPattern(
+            4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)], name="ffl-plus"
+        )
+        for seed in range(4):
+            g = directed_erdos_renyi(11, 0.18, seed=seed)
+            got = directed_containment_query(g, feed_forward(), [bigger])
+            # oracle: brute-force both pattern's matches
+            aut = di_automorphisms(feed_forward())
+            expected = set()
+            for raw in di_brute_force_matches(g, feed_forward()):
+                ordered = tuple(raw[v] for v in range(3))
+                canonical = min(
+                    tuple(ordered[sigma[v]] for v in range(3))
+                    for sigma in aut
+                )
+                contained = any(
+                    all(
+                        big_raw[bv] == ordered[sv]
+                        for sv, bv in mapping.items()
+                    )
+                    for big_raw in di_brute_force_matches(g, bigger)
+                    for mapping in _embeddings_oracle(feed_forward(), bigger)
+                )
+                if not contained:
+                    expected.add(canonical)
+            got_canonical = {
+                min(
+                    tuple(a[sigma[v]] for v in range(3)) for sigma in aut
+                )
+                for a in got
+            }
+            assert got_canonical == expected
+
+    def test_stats_populated(self):
+        from repro.mining import ConstraintStats
+
+        g = directed_erdos_renyi(10, 0.2, seed=3)
+        stats = ConstraintStats()
+        directed_containment_query(
+            g, di_path2(),
+            [DiPattern(4, [(0, 1), (1, 2), (2, 3)])],
+            stats=stats,
+        )
+        assert stats.matches_checked > 0
+
+
+def _embeddings_oracle(small, big):
+    """All arc-preserving injections small -> big (plain dicts)."""
+    results = []
+    mapping = {}
+    used = set()
+
+    def extend(v):
+        if v == small.num_vertices:
+            results.append(dict(mapping))
+            return
+        for w in big.vertices():
+            if w in used:
+                continue
+            ok = True
+            for prev, image in mapping.items():
+                if small.has_arc(v, prev) and not big.has_arc(w, image):
+                    ok = False
+                    break
+                if small.has_arc(prev, v) and not big.has_arc(image, w):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping[v] = w
+            used.add(w)
+            extend(v + 1)
+            del mapping[v]
+            used.discard(w)
+
+    extend(0)
+    return results

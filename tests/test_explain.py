@@ -1,0 +1,52 @@
+"""Tests for workload explanation."""
+
+from repro.core import (
+    explain_workload,
+    maximality_constraints,
+    nested_query_constraints,
+)
+from repro.graph import erdos_renyi
+from repro.patterns import house, quasi_clique_patterns_up_to, triangle
+
+
+class TestExplain:
+    def _mqc_text(self, gamma=0.8):
+        g = erdos_renyi(20, 0.3, seed=1)
+        cs = maximality_constraints(
+            quasi_clique_patterns_up_to(5, gamma), induced=True
+        )
+        return explain_workload(g, cs)
+
+    def test_mentions_every_pattern(self):
+        text = self._mqc_text()
+        for name in ("qc-3.0", "qc-4.0", "qc-5.0"):
+            assert name in text
+
+    def test_dependency_summary(self):
+        text = self._mqc_text()
+        assert "3 successor" in text
+        assert "1 lateral" in text
+
+    def test_terminal_pattern_has_no_constraints(self):
+        assert "no successor constraints" in self._mqc_text()
+
+    def test_vtask_schedule_listed(self):
+        text = self._mqc_text()
+        assert "VTask schedule" in text
+        assert "gap 1" in text and "gap 2" in text
+
+    def test_fig9_decision_shown(self):
+        text = self._mqc_text()
+        assert "-intermediates-first" in text
+
+    def test_nsq_workload(self):
+        g = erdos_renyi(15, 0.2, seed=2)
+        cs = nested_query_constraints(triangle(), [house()])
+        text = explain_workload(g, cs)
+        assert "edge-induced matching" in text
+        assert "triangle" in text
+        assert "house" in text
+
+    def test_matching_orders_are_permutations(self):
+        text = self._mqc_text(gamma=0.6)
+        assert "matching order" in text

@@ -1,0 +1,112 @@
+"""Failure-injection tests: deadlines and budgets firing mid-run.
+
+Every long-running entry point must honor its budget, raise the right
+exception, and leave no corrupted module-level state behind (the next
+run must succeed and be correct).
+"""
+
+import pytest
+
+from repro.apps import keyword_search, maximal_quasi_cliques
+from repro.baselines import (
+    TThinkerConfig,
+    posthoc_kws,
+    posthoc_mqc,
+    tthinker_mqc,
+)
+from repro.baselines.naive import maximal_quasi_cliques as oracle_mqc
+from repro.errors import (
+    MemoryBudgetExceeded,
+    StorageBudgetExceeded,
+    TimeLimitExceeded,
+)
+from repro.graph import erdos_renyi
+
+from conftest import labeled_random_graph
+
+
+def big_graph():
+    return erdos_renyi(80, 0.35, seed=42)
+
+
+class TestDeadlines:
+    def test_contigra_mqc_deadline(self):
+        with pytest.raises(TimeLimitExceeded) as info:
+            maximal_quasi_cliques(big_graph(), 0.6, 6, time_limit=0.02)
+        assert info.value.elapsed >= 0
+
+    def test_posthoc_mqc_deadline(self):
+        with pytest.raises(TimeLimitExceeded):
+            posthoc_mqc(big_graph(), 0.6, 6, time_limit=0.02)
+
+    def test_kws_deadline(self):
+        g = labeled_random_graph(70, 0.3, num_labels=6, seed=1)
+        with pytest.raises(TimeLimitExceeded):
+            keyword_search(
+                g, [0, 1, 2], 5, time_limit=0.005,
+                collect_workload_stats=False,
+            )
+
+    def test_posthoc_kws_deadline(self):
+        g = labeled_random_graph(70, 0.3, num_labels=6, seed=1)
+        with pytest.raises(TimeLimitExceeded):
+            posthoc_kws(g, [0, 1, 2], 5, time_limit=0.005)
+
+    def test_tthinker_deadline(self):
+        with pytest.raises(TimeLimitExceeded):
+            tthinker_mqc(
+                big_graph(), 0.6, 6,
+                config=TThinkerConfig(time_limit=0.005),
+            )
+
+
+class TestBudgets:
+    def test_oom_before_oos_when_memory_tiny(self):
+        config = TThinkerConfig(
+            memory_budget_bytes=64, storage_budget_bytes=10**9
+        )
+        with pytest.raises(MemoryBudgetExceeded):
+            tthinker_mqc(big_graph(), 0.7, 5, config=config)
+
+    def test_oos_before_oom_when_storage_tiny(self):
+        config = TThinkerConfig(
+            memory_budget_bytes=10**9, storage_budget_bytes=64
+        )
+        with pytest.raises(StorageBudgetExceeded):
+            tthinker_mqc(big_graph(), 0.7, 5, config=config)
+
+
+class TestRecoveryAfterFailure:
+    """A failed run must not poison shared module state."""
+
+    def test_contigra_correct_after_tle(self):
+        g = big_graph()
+        with pytest.raises(TimeLimitExceeded):
+            maximal_quasi_cliques(g, 0.6, 6, time_limit=0.02)
+        small = erdos_renyi(14, 0.45, seed=7)
+        result = maximal_quasi_cliques(small, 0.7, 5)
+        assert result.all_sets() == oracle_mqc(small, 0.7, 3, 5)
+
+    def test_tthinker_correct_after_oom(self):
+        config = TThinkerConfig(memory_budget_bytes=64)
+        with pytest.raises(MemoryBudgetExceeded):
+            tthinker_mqc(big_graph(), 0.7, 5, config=config)
+        small = erdos_renyi(14, 0.45, seed=7)
+        assert tthinker_mqc(small, 0.7, 5).maximal == oracle_mqc(
+            small, 0.7, 3, 5
+        )
+
+    def test_kws_correct_after_tle(self):
+        g = labeled_random_graph(70, 0.3, num_labels=6, seed=1)
+        with pytest.raises(TimeLimitExceeded):
+            keyword_search(
+                g, [0, 1, 2], 5, time_limit=0.005,
+                collect_workload_stats=False,
+            )
+        small = labeled_random_graph(14, 0.3, num_labels=4, seed=2)
+        from repro.baselines.naive import minimal_keyword_covers
+
+        got = keyword_search(
+            small, [0, 1], 4, collect_workload_stats=False
+        ).minimal
+        assert got == minimal_keyword_covers(small, [0, 1], 4)

@@ -1,0 +1,164 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, GraphBuilder
+
+from conftest import graph_strategy
+
+
+def build(edges, n=None, labels=None):
+    builder = GraphBuilder()
+    if n is not None:
+        for v in range(n):
+            builder.add_vertex(v)
+    builder.add_edges(edges)
+    g = builder.build()
+    if labels is not None:
+        return Graph([g.neighbors(v) for v in g.vertices()], labels=labels)
+    return g
+
+
+class TestBasics:
+    def test_counts(self):
+        g = build([(0, 1), (1, 2)], n=4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 2
+        assert len(g) == 4
+
+    def test_neighbors_sorted(self):
+        g = build([(0, 3), (0, 1), (0, 2)])
+        assert g.neighbors(0) == (1, 2, 3)
+
+    def test_degree(self):
+        g = build([(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_has_edge_both_directions(self):
+        g = build([(0, 1)], n=3)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_has_edge_self_loop_false(self):
+        g = build([(0, 1)])
+        assert not g.has_edge(0, 0)
+
+    def test_edges_each_once(self):
+        g = build([(0, 1), (1, 2), (0, 2)])
+        assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_neighbor_set_matches_neighbors(self):
+        g = build([(0, 1), (0, 2), (1, 2), (2, 3)])
+        for v in g.vertices():
+            assert g.neighbor_set(v) == frozenset(g.neighbors(v))
+
+    def test_asymmetric_adjacency_rejected(self):
+        with pytest.raises(ValueError):
+            Graph([(1,), ()])
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Graph([(1,), (0,)], labels=[1])
+
+    def test_empty_graph(self):
+        g = Graph([])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.max_degree == 0
+        assert g.density == 0.0
+
+
+class TestLabels:
+    def test_unlabeled(self):
+        g = build([(0, 1)])
+        assert not g.is_labeled
+        assert g.label(0) is None
+        assert g.num_labels == 0
+        assert g.vertices_with_label(1) == ()
+
+    def test_labeled(self):
+        g = build([(0, 1), (1, 2)], labels=[5, 7, 5])
+        assert g.is_labeled
+        assert g.label(1) == 7
+        assert g.num_labels == 2
+        assert g.vertices_with_label(5) == (0, 2)
+
+    def test_label_frequencies(self):
+        g = build([(0, 1), (1, 2)], labels=[5, 7, 5])
+        assert g.label_frequencies() == {5: 2, 7: 1}
+
+
+class TestDerived:
+    def test_density_complete(self):
+        g = build([(0, 1), (1, 2), (0, 2)])
+        assert g.density == pytest.approx(1.0)
+
+    def test_max_degree(self):
+        g = build([(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree == 3
+
+    def test_induced_subgraph(self):
+        g = build([(0, 1), (1, 2), (0, 2), (2, 3)])
+        sub = g.induced_subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+
+    def test_induced_subgraph_keeps_labels(self):
+        g = build([(0, 1), (1, 2)], labels=[4, 5, 6])
+        sub = g.induced_subgraph([1, 2])
+        assert sub.labels == (5, 6)
+
+    def test_edges_within(self):
+        g = build([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert g.edges_within([0, 1, 2]) == 3
+        assert g.edges_within([0, 3]) == 0
+
+    def test_degrees_within(self):
+        g = build([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert g.degrees_within([0, 1, 2]) == {0: 2, 1: 2, 2: 2}
+
+    def test_is_connected_subset(self):
+        g = build([(0, 1), (2, 3)])
+        assert g.is_connected_subset([0, 1])
+        assert not g.is_connected_subset([0, 2])
+        assert g.is_connected_subset([])
+
+    def test_equality_and_hash(self):
+        a = build([(0, 1)])
+        b = build([(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != build([(0, 1), (1, 2)])
+
+
+class TestProperties:
+    @given(graph_strategy(max_vertices=10))
+    @settings(max_examples=60, deadline=None)
+    def test_handshake_lemma(self, g):
+        assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges
+
+    @given(graph_strategy(max_vertices=10))
+    @settings(max_examples=60, deadline=None)
+    def test_edges_consistent_with_has_edge(self, g):
+        for u, v in g.edges():
+            assert g.has_edge(u, v)
+        count = sum(
+            1
+            for u in g.vertices()
+            for v in g.vertices()
+            if u < v and g.has_edge(u, v)
+        )
+        assert count == g.num_edges
+
+    @given(graph_strategy(max_vertices=8), st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_induced_subgraph_degrees_bounded(self, g, k):
+        subset = [v for v in g.vertices() if v <= k]
+        sub = g.induced_subgraph(subset)
+        assert sub.num_vertices == len(subset)
+        for i in range(sub.num_vertices):
+            assert sub.degree(i) <= g.degree(sorted(subset)[i])

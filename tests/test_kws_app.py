@@ -1,0 +1,201 @@
+"""Tests for the keyword-search application (paper §7 / §8.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.kws import (
+    classify_workload,
+    frequent_and_rare_keywords,
+    keyword_patterns,
+    keyword_search,
+)
+from repro.baselines import posthoc_kws
+from repro.baselines.naive import minimal_keyword_covers
+from repro.core import statespace
+from repro.errors import TimeLimitExceeded
+from repro.graph import attach_labels, erdos_renyi
+
+from conftest import labeled_random_graph
+
+KW = [0, 1, 2]
+
+
+class TestPatternWorkload:
+    def test_pattern_count_scale(self):
+        """3 keywords, size <= 5: a few hundred patterns (paper: 287)."""
+        patterns = keyword_patterns(KW, 5)
+        assert 200 <= len(patterns) <= 600
+
+    def test_small_workload_exact(self):
+        # size <= 3 with 3 keywords: path (3 distinct middle choices)
+        # and triangle (1) -> 4 patterns.
+        assert len(keyword_patterns(KW, 3)) == 4
+
+    def test_all_cover_keywords(self):
+        for p in keyword_patterns(KW, 4):
+            definite = {lab for lab in p.labels if lab is not None}
+            assert definite == set(KW)
+
+    def test_canonical_dedup(self):
+        patterns = keyword_patterns(KW, 4)
+        keys = {p.canonical_key() for p in patterns}
+        assert len(keys) == len(patterns)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            keyword_patterns([], 4)
+        with pytest.raises(ValueError):
+            keyword_patterns(KW, 2)
+
+    def test_classification_mostly_skip(self):
+        """The §7 claim: ~95% of patterns are skipped outright."""
+        buckets = classify_workload(KW, 5)
+        ratio = statespace.skip_ratio(buckets)
+        assert ratio > 0.85
+
+
+class TestSearchCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_oracle(self, seed):
+        g = attach_labels(
+            erdos_renyi(18, 0.2, seed=seed), num_labels=6, seed=seed
+        )
+        got = keyword_search(
+            g, KW, 5, collect_workload_stats=False
+        ).minimal
+        assert got == minimal_keyword_covers(g, KW, 5)
+
+    @pytest.mark.parametrize(
+        "toggles",
+        [
+            {"enable_promotion": False},
+            {"enable_eager_filter": False},
+            {"enable_elimination": False},
+            {"rl_strategy": "dense-first"},
+            {"rl_strategy": "sparse-first"},
+            {
+                "enable_promotion": False,
+                "enable_eager_filter": False,
+                "enable_elimination": False,
+            },
+        ],
+    )
+    def test_toggles_never_change_results(self, toggles):
+        g = labeled_random_graph(16, 0.25, num_labels=5, seed=21)
+        want = minimal_keyword_covers(g, KW, 5)
+        got = keyword_search(
+            g, KW, 5, collect_workload_stats=False, **toggles
+        ).minimal
+        assert got == want
+
+    def test_baseline_agrees(self):
+        g = labeled_random_graph(16, 0.25, num_labels=5, seed=2)
+        ours = keyword_search(g, KW, 5, collect_workload_stats=False)
+        baseline = posthoc_kws(g, KW, 5)
+        assert ours.minimal == baseline.valid
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_property_agreement(self, seed):
+        g = labeled_random_graph(12, 0.3, num_labels=4, seed=seed)
+        got = keyword_search(
+            g, [0, 1], 4, collect_workload_stats=False
+        ).minimal
+        assert got == minimal_keyword_covers(g, [0, 1], 4)
+
+    def test_unlabeled_graph_rejected(self):
+        with pytest.raises(ValueError):
+            keyword_search(erdos_renyi(8, 0.4, seed=0), KW, 4)
+
+    def test_time_limit(self):
+        g = labeled_random_graph(80, 0.3, num_labels=8, seed=3)
+        with pytest.raises(TimeLimitExceeded):
+            keyword_search(
+                g, KW, 5, time_limit=0.001, collect_workload_stats=False
+            )
+
+
+class TestSearchWork:
+    def test_eager_filter_reduces_checks(self):
+        g = labeled_random_graph(18, 0.3, num_labels=4, seed=5)
+        eager = keyword_search(g, KW, 5, collect_workload_stats=False)
+        lazy = keyword_search(
+            g, KW, 5, enable_eager_filter=False,
+            collect_workload_stats=False,
+        )
+        assert eager.stats.rl_paths <= lazy.stats.rl_paths
+
+    def test_promotion_reduces_exploration(self):
+        g = labeled_random_graph(18, 0.3, num_labels=4, seed=6)
+        promoted = keyword_search(g, KW, 5, collect_workload_stats=False)
+        scratch = keyword_search(
+            g, KW, 5, enable_promotion=False,
+            collect_workload_stats=False,
+        )
+        assert promoted.stats.rl_paths < scratch.stats.rl_paths
+
+    def test_elimination_avoids_data_checks(self):
+        g = labeled_random_graph(18, 0.3, num_labels=4, seed=7)
+        with_elim = keyword_search(g, KW, 5, collect_workload_stats=False)
+        without = keyword_search(
+            g, KW, 5, enable_elimination=False,
+            collect_workload_stats=False,
+        )
+        assert with_elim.stats.matches_checked <= without.stats.matches_checked
+
+    def test_workload_stats_collected(self):
+        g = labeled_random_graph(14, 0.3, num_labels=4, seed=8)
+        result = keyword_search(g, KW, 5)
+        assert result.patterns_total > 0
+        assert 0 < result.pattern_skip_ratio <= 1
+
+
+class TestFastClassifier:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_statespace_classification(self, seed):
+        """The bitmask fast path must equal the reference classifier."""
+        import itertools
+
+        from repro.apps.kws import _MatchClassifier
+        from repro.patterns import Pattern
+
+        g = labeled_random_graph(9, 0.35, num_labels=5, seed=seed)
+        keywords = frozenset({0, 1, 2})
+        classifier = _MatchClassifier(keywords)
+        for size in (3, 4, 5):
+            for combo in itertools.combinations(range(9), size):
+                if not g.is_connected_subset(combo):
+                    continue
+                ordered = sorted(combo)
+                position = {v: i for i, v in enumerate(ordered)}
+                edges = [
+                    (position[u], position[w])
+                    for u in ordered
+                    for w in g.neighbors(u)
+                    if w in position and u < w
+                ]
+                labels = [
+                    g.label(v) if g.label(v) in keywords else None
+                    for v in ordered
+                ]
+                fast = classifier.classify(g, combo)
+                reference = statespace.classify_minimality(
+                    Pattern(size, edges, labels=labels), keywords
+                )
+                assert fast == reference
+
+
+class TestKeywordSelection:
+    def test_frequent_and_rare(self):
+        g = labeled_random_graph(60, 0.1, num_labels=8, seed=9)
+        mf, lf = frequent_and_rare_keywords(g, count=3)
+        freq = g.label_frequencies()
+        assert len(mf) == 3 and len(lf) == 3
+        assert min(freq[k] for k in mf) >= max(freq[k] for k in lf)
+
+    def test_too_few_labels_rejected(self):
+        g = labeled_random_graph(10, 0.3, num_labels=2, seed=0)
+        with pytest.raises(ValueError):
+            frequent_and_rare_keywords(g, count=3)

@@ -1,0 +1,67 @@
+"""KWS workloads beyond the paper's 3-keyword default."""
+
+import pytest
+
+from repro.apps.kws import classify_workload, keyword_patterns, keyword_search
+from repro.baselines.naive import minimal_keyword_covers
+from repro.core import statespace
+
+from conftest import labeled_random_graph
+
+
+class TestTwoKeywords:
+    def test_pattern_workload_small(self):
+        patterns = keyword_patterns([0, 1], 4)
+        # sizes 2..4, two keyword placements; spot-check the floor
+        assert len(patterns) >= 10
+        for p in patterns:
+            definite = {lab for lab in p.labels if lab is not None}
+            assert definite == {0, 1}
+
+    def test_classification_sums(self):
+        buckets = classify_workload([0, 1], 4)
+        total = sum(len(g) for g in buckets.values())
+        assert total == len(keyword_patterns([0, 1], 4))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_search_matches_oracle(self, seed):
+        g = labeled_random_graph(16, 0.25, num_labels=5, seed=seed)
+        got = keyword_search(
+            g, [0, 1], 4, collect_workload_stats=False
+        ).minimal
+        assert got == minimal_keyword_covers(g, [0, 1], 4)
+
+
+class TestFourKeywords:
+    def test_pattern_workload_grows(self):
+        three = keyword_patterns([0, 1, 2], 5)
+        four = keyword_patterns([0, 1, 2, 3], 5)
+        assert len(four) > len(three) / 2  # different shape mix
+        for p in four:
+            assert {lab for lab in p.labels if lab is not None} == {
+                0, 1, 2, 3,
+            }
+
+    def test_skip_ratio_stays_high(self):
+        buckets = classify_workload([0, 1, 2, 3], 5)
+        assert statespace.skip_ratio(buckets) > 0.5
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_search_matches_oracle(self, seed):
+        g = labeled_random_graph(14, 0.3, num_labels=6, seed=seed)
+        got = keyword_search(
+            g, [0, 1, 2, 3], 5, collect_workload_stats=False
+        ).minimal
+        assert got == minimal_keyword_covers(g, [0, 1, 2, 3], 5)
+
+
+class TestSingleKeyword:
+    def test_minimal_covers_are_single_vertices(self):
+        g = labeled_random_graph(14, 0.3, num_labels=3, seed=4)
+        got = keyword_search(
+            g, [0], 3, collect_workload_stats=False
+        ).minimal
+        labeled_vertices = {
+            frozenset({v}) for v in g.vertices() if g.label(v) == 0
+        }
+        assert got == labeled_vertices

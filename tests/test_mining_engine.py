@@ -1,0 +1,186 @@
+"""Tests for the ETask mining engine against brute-force counting."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import erdos_renyi, triangle_count
+from repro.mining import (
+    CollectProcessor,
+    CountProcessor,
+    FirstMatchProcessor,
+    MiningEngine,
+)
+from repro.patterns import (
+    Pattern,
+    automorphisms,
+    clique,
+    cycle,
+    diamond,
+    path,
+    star,
+    subpattern_embeddings,
+    tailed_triangle,
+    triangle,
+)
+
+from conftest import graph_strategy, labeled_random_graph
+
+
+def brute_count(graph, pattern, induced):
+    """Subgraph-match count via per-vertex-set embedding counting."""
+    n_aut = len(automorphisms(pattern))
+    k = pattern.num_vertices
+    total = 0
+    for combo in itertools.combinations(range(graph.num_vertices), k):
+        position = {v: i for i, v in enumerate(combo)}
+        edges = [
+            (position[u], position[w])
+            for u in combo
+            for w in graph.neighbors(u)
+            if w in position and u < w
+        ]
+        labels = None
+        if graph.is_labeled:
+            labels = [graph.label(v) for v in combo]
+        mini = Pattern(k, edges, labels=labels)
+        embeddings = [
+            e
+            for e in subpattern_embeddings(pattern, mini, induced=induced)
+        ]
+        total += len(embeddings) // n_aut
+    return total
+
+
+class TestCounts:
+    def test_triangles_match_oracle(self):
+        g = erdos_renyi(35, 0.25, seed=3)
+        assert MiningEngine(g).count(triangle()) == triangle_count(g)
+
+    @pytest.mark.parametrize("induced", [False, True])
+    @pytest.mark.parametrize(
+        "pattern",
+        [triangle(), clique(4), path(2), tailed_triangle(), diamond(),
+         cycle(4), star(3)],
+        ids=lambda p: p.name,
+    )
+    def test_library_patterns_vs_brute_force(self, pattern, induced):
+        g = erdos_renyi(18, 0.35, seed=9)
+        engine = MiningEngine(g, induced=induced)
+        assert engine.count(pattern) == brute_count(g, pattern, induced)
+
+    def test_labeled_pattern(self):
+        g = labeled_random_graph(20, 0.3, num_labels=3, seed=5)
+        pattern = triangle().with_labels([0, 1, None])
+        engine = MiningEngine(g)
+        assert engine.count(pattern) == brute_count(g, pattern, False)
+
+    @given(graph_strategy(max_vertices=10), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_triangle_count_property(self, g, induced):
+        engine = MiningEngine(g, induced=induced)
+        assert engine.count(triangle()) == brute_count(g, triangle(), induced)
+
+
+class TestMatchesAndProcessors:
+    def test_matches_are_valid_and_unique(self):
+        g = erdos_renyi(16, 0.4, seed=2)
+        engine = MiningEngine(g)
+        matches = engine.find_all(clique(3))
+        seen = set()
+        for match in matches:
+            assert match.assignment not in seen
+            seen.add(match.assignment)
+            for u, v in triangle().edges:
+                assert g.has_edge(match.vertex_for(u), match.vertex_for(v))
+        # one match per vertex set for cliques
+        assert len({m.vertex_set for m in matches}) == len(matches)
+
+    def test_collect_limit_stops_early(self):
+        g = erdos_renyi(20, 0.5, seed=1)
+        engine = MiningEngine(g)
+        matches = engine.explore(
+            triangle(), CollectProcessor(limit=5)
+        ).result()
+        assert len(matches) == 5
+
+    def test_first_match(self):
+        g = erdos_renyi(20, 0.5, seed=1)
+        assert MiningEngine(g).exists(triangle())
+        assert not MiningEngine(g).exists(clique(10))
+
+    def test_exists_containing(self):
+        g = erdos_renyi(14, 0.5, seed=4)
+        engine = MiningEngine(g)
+        match = engine.find_all(clique(4), limit=1)[0]
+        three = frozenset(list(match.vertex_set)[:3])
+        assert engine.exists_containing(clique(4), three)
+        assert not engine.exists_containing(
+            clique(4), frozenset({0, 1, 2, 3, 4})
+        )
+
+    def test_counts_per_pattern_name(self):
+        g = erdos_renyi(12, 0.5, seed=7)
+        engine = MiningEngine(g)
+        processor = engine.explore(triangle(), CountProcessor())
+        assert processor.per_pattern == {"triangle": processor.total}
+
+
+class TestEngineInternals:
+    def test_stats_populated(self):
+        g = erdos_renyi(15, 0.4, seed=6)
+        engine = MiningEngine(g)
+        engine.count(tailed_triangle())
+        assert engine.stats.etasks_started == 15
+        assert engine.stats.rl_paths > 0
+        assert engine.stats.matches_found > 0
+
+    def test_shared_cache_mode_reuses_across_patterns(self):
+        g = erdos_renyi(15, 0.5, seed=6)
+        engine = MiningEngine(g, per_task_caches=False)
+        engine.count(clique(3))
+        engine.count(clique(4))  # reuses pairwise intersections
+        assert engine.stats.cache_hits > 0
+
+    def test_per_task_caches_isolate_roots(self):
+        # Plain single-pattern exploration never revisits a semantic
+        # key within one rooted task, so per-task caches see no hits —
+        # reuse comes from fusion/promotion (the Contigra layer).
+        g = erdos_renyi(15, 0.6, seed=6)
+        engine = MiningEngine(g, induced=True, per_task_caches=True)
+        engine.count(clique(4))
+        assert engine.stats.cache_hits == 0
+
+    def test_per_task_mode_counts_match_shared_mode(self):
+        g = erdos_renyi(18, 0.4, seed=12)
+        a = MiningEngine(g, per_task_caches=True).count(tailed_triangle())
+        b = MiningEngine(g, per_task_caches=False).count(tailed_triangle())
+        assert a == b
+
+    def test_cache_disabled(self):
+        g = erdos_renyi(15, 0.5, seed=6)
+        engine = MiningEngine(g, cache_enabled=False)
+        engine.count(clique(3))
+        engine.count(clique(4))
+        assert engine.stats.cache_hits == 0
+
+    def test_workers_agree_with_serial(self):
+        g = erdos_renyi(25, 0.3, seed=8)
+        serial = MiningEngine(g).count(tailed_triangle())
+        threaded = MiningEngine(g, n_workers=4).count(tailed_triangle())
+        assert serial == threaded
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            MiningEngine(erdos_renyi(5, 0.5, seed=0), n_workers=0)
+
+    def test_roots_restriction(self):
+        g = erdos_renyi(15, 0.5, seed=6)
+        engine = MiningEngine(g)
+        processor = engine.explore(
+            triangle(), CountProcessor(), roots=[0, 1]
+        )
+        full = MiningEngine(g).count(triangle())
+        assert 0 < processor.total <= full

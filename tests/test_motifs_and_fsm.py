@@ -1,0 +1,127 @@
+"""Tests for motif counting and frequent subgraph mining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    frequent_subgraphs,
+    motif_counts,
+    motif_counts_esu,
+    motif_significance,
+)
+from repro.graph import erdos_renyi, graph_from_edges, triangle_count
+
+from conftest import graph_strategy, labeled_random_graph
+
+
+class TestMotifs:
+    def test_size3_triangle_count(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        counts = motif_counts(g, 3)
+        # s3.1 is the triangle (densest size-3 structure)
+        assert counts["s3.1"] == triangle_count(g)
+
+    def test_two_methods_agree(self):
+        g = erdos_renyi(15, 0.35, seed=2)
+        for size in (3, 4):
+            assert motif_counts(g, size) == motif_counts_esu(g, size)
+
+    @given(graph_strategy(max_vertices=10), st.sampled_from([3, 4]))
+    @settings(max_examples=20, deadline=None)
+    def test_property_methods_agree(self, g, size):
+        assert motif_counts(g, size) == motif_counts_esu(g, size)
+
+    def test_total_equals_connected_sets(self):
+        from repro.baselines.naive import connected_vertex_sets
+
+        g = erdos_renyi(12, 0.4, seed=3)
+        counts = motif_counts(g, 4)
+        assert sum(counts.values()) == len(connected_vertex_sets(g, 4, 4))
+
+    def test_significance(self):
+        g = erdos_renyi(14, 0.5, seed=4)
+        reference = motif_counts(erdos_renyi(14, 0.5, seed=5), 3)
+        ratios = motif_significance(g, 3, reference)
+        assert set(ratios) == set(reference)
+        assert all(r >= 0 for r in ratios.values())
+
+    def test_significance_zero_reference(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        ratios = motif_significance(g, 3, {"s3.0": 0, "s3.1": 0})
+        assert ratios["s3.1"] == float("inf")
+        assert ratios["s3.0"] == 1.0  # absent in both
+
+
+class TestFSM:
+    def _two_label_triangles(self):
+        """Three triangles with labels (0,0,1); one with (1,1,1)."""
+        from repro.graph import Graph, GraphBuilder
+
+        builder = GraphBuilder()
+        edges = []
+        for base in range(0, 9, 3):
+            edges += [
+                (base, base + 1), (base + 1, base + 2), (base, base + 2)
+            ]
+        edges += [(9, 10), (10, 11), (9, 11)]
+        edges += [(2, 3), (5, 6)]  # connect components lightly
+        builder.add_edges(edges)
+        g = builder.build()
+        labels = [0, 0, 1] * 3 + [1, 1, 1]
+        return Graph(
+            [g.neighbors(v) for v in g.vertices()], labels=labels
+        )
+
+    def test_finds_frequent_triangle(self):
+        g = self._two_label_triangles()
+        frequent = frequent_subgraphs(g, min_support=3, max_size=3)
+        triangle_hits = [
+            fp
+            for fp in frequent
+            if fp.pattern.num_vertices == 3 and fp.pattern.is_clique()
+            and sorted(fp.pattern.labels) == [0, 0, 1]
+        ]
+        assert triangle_hits
+        assert triangle_hits[0].match_count >= 3
+
+    def test_support_is_anti_monotone_in_threshold(self):
+        g = labeled_random_graph(16, 0.3, num_labels=3, seed=6)
+        low = frequent_subgraphs(g, min_support=2, max_size=3)
+        high = frequent_subgraphs(g, min_support=4, max_size=3)
+        low_keys = {fp.pattern.canonical_key() for fp in low}
+        high_keys = {fp.pattern.canonical_key() for fp in high}
+        assert high_keys <= low_keys
+
+    def test_mni_support_definition(self):
+        # single edge with labels 0-1 appearing twice sharing vertex 0:
+        # MNI support of edge(0,1) is min(|{0}|, |{1,2}|) = 1... build:
+        from repro.graph import Graph
+
+        g = Graph([(1, 2), (0,), (0,)], labels=[0, 1, 1])
+        frequent = frequent_subgraphs(g, min_support=2, max_size=2)
+        # two matches but the label-0 position has one image -> support 1
+        assert all(
+            not (
+                fp.pattern.num_vertices == 2
+                and sorted(
+                    lab for lab in fp.pattern.labels
+                ) == [0, 1]
+            )
+            for fp in frequent
+        )
+
+    def test_unlabeled_rejected(self):
+        with pytest.raises(ValueError):
+            frequent_subgraphs(erdos_renyi(8, 0.4, seed=0), 2, 3)
+
+    def test_invalid_support(self):
+        g = labeled_random_graph(8, 0.4, num_labels=2, seed=1)
+        with pytest.raises(ValueError):
+            frequent_subgraphs(g, 0, 3)
+
+    def test_results_sorted(self):
+        g = labeled_random_graph(14, 0.35, num_labels=2, seed=7)
+        frequent = frequent_subgraphs(g, min_support=2, max_size=3)
+        sizes = [fp.pattern.num_vertices for fp in frequent]
+        assert sizes == sorted(sizes)

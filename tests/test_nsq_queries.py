@@ -1,0 +1,73 @@
+"""Structural tests for the paper's NSQ query definitions and the app."""
+
+import pytest
+
+from repro.apps.nsq import (
+    nested_subgraph_query,
+    paper_query_tailed_triangles,
+    paper_query_triangles,
+)
+from repro.graph import erdos_renyi, graph_from_edges
+from repro.patterns import contains, tailed_triangle, triangle
+
+
+class TestQueryDefinitions:
+    def test_query1_shapes(self):
+        p_m, p_plus = paper_query_triangles()
+        assert p_m == triangle()
+        assert len(p_plus) == 2
+        for containing in p_plus:
+            assert containing.num_vertices == 5
+            assert contains(p_m, containing)
+            assert containing.is_connected()
+
+    def test_query2_shapes(self):
+        p_m, p_plus = paper_query_tailed_triangles()
+        assert p_m == tailed_triangle()
+        assert len(p_plus) == 2
+        for containing in p_plus:
+            assert containing.num_vertices == 6
+            assert contains(p_m, containing)
+            assert containing.is_connected()
+
+    def test_query2_extensions_are_multi_anchored(self):
+        """The chosen Fig 12b stand-ins must exercise task fusion:
+        at least one added vertex attaches to two existing ones."""
+        p_m, p_plus = paper_query_tailed_triangles()
+        for containing in p_plus:
+            multi = [
+                v
+                for v in containing.vertices()
+                if v >= p_m.num_vertices and containing.degree(v) >= 2
+            ]
+            assert multi
+
+
+class TestAppSemantics:
+    def test_triangle_alone_is_valid(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        p_m, p_plus = paper_query_triangles()
+        result = nested_subgraph_query(g, p_m, p_plus)
+        assert result.count == 1
+
+    def test_contained_triangle_is_excluded(self):
+        # build an explicit house: roof triangle 0-1-2, body 1-3-4-2
+        g = graph_from_edges(
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 4)]
+        )
+        p_m, p_plus = paper_query_triangles()
+        result = nested_subgraph_query(g, p_m, p_plus)
+        assert result.count == 0
+
+    def test_stats_expose_vtask_activity(self):
+        g = erdos_renyi(14, 0.25, seed=3)
+        p_m, p_plus = paper_query_triangles()
+        result = nested_subgraph_query(g, p_m, p_plus)
+        assert result.stats.vtasks_started >= result.stats.matches_checked
+
+    def test_empty_constraint_list_accepts_everything(self):
+        from repro.mining import MiningEngine
+
+        g = erdos_renyi(12, 0.3, seed=4)
+        result = nested_subgraph_query(g, triangle(), [])
+        assert result.count == MiningEngine(g).count(triangle())

@@ -1,0 +1,71 @@
+"""Tests for process-sharded execution of the Contigra runtime."""
+
+import pytest
+
+from repro.baselines.naive import (
+    maximal_quasi_cliques as oracle_mqc,
+    nested_query_matches,
+)
+from repro.core import maximality_constraints, nested_query_constraints
+from repro.core.parallel import run_sharded
+from repro.graph import erdos_renyi
+from repro.patterns import quasi_clique_patterns_up_to
+
+
+def mqc_constraints(gamma=0.7, max_size=5):
+    return maximality_constraints(
+        quasi_clique_patterns_up_to(max_size, gamma), induced=True
+    )
+
+
+class TestSharding:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_mqc_matches_oracle(self, workers):
+        g = erdos_renyi(18, 0.4, seed=1)
+        result = run_sharded(g, mqc_constraints(), n_workers=workers)
+        assert set(result.vertex_sets()) == oracle_mqc(g, 0.7, 3, 5)
+
+    def test_single_worker_is_serial_path(self):
+        g = erdos_renyi(14, 0.4, seed=2)
+        result = run_sharded(g, mqc_constraints(), n_workers=1)
+        assert set(result.vertex_sets()) == oracle_mqc(g, 0.7, 3, 5)
+
+    def test_nsq_sharded(self):
+        from repro.apps.nsq import paper_query_triangles
+
+        g = erdos_renyi(15, 0.2, seed=3)
+        p_m, p_plus = paper_query_triangles()
+        cs = nested_query_constraints(p_m, p_plus)
+        result = run_sharded(g, cs, n_workers=3)
+        assert set(result.assignments()) == nested_query_matches(
+            g, p_m, p_plus
+        )
+
+    def test_results_deduplicated_across_shards(self):
+        g = erdos_renyi(16, 0.45, seed=4)
+        result = run_sharded(g, mqc_constraints(), n_workers=4)
+        assert len(result.valid) == len(set(result.valid))
+
+    def test_counters_accumulate(self):
+        g = erdos_renyi(16, 0.45, seed=5)
+        serial = run_sharded(g, mqc_constraints(), n_workers=1)
+        sharded = run_sharded(g, mqc_constraints(), n_workers=3)
+        # every match is explored exactly once across shards
+        assert sharded.stats.matches_found == serial.stats.matches_found
+        assert sharded.stats.vtasks_started > 0
+
+    def test_engine_options_forwarded(self):
+        g = erdos_renyi(14, 0.45, seed=6)
+        result = run_sharded(
+            g,
+            mqc_constraints(),
+            n_workers=2,
+            engine_options={"enable_promotion": False},
+        )
+        assert result.stats.promotions == 0
+        assert set(result.vertex_sets()) == oracle_mqc(g, 0.7, 3, 5)
+
+    def test_invalid_workers(self):
+        g = erdos_renyi(6, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            run_sharded(g, mqc_constraints(), n_workers=0)

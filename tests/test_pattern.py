@@ -1,0 +1,133 @@
+"""Unit tests for the Pattern type."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.patterns import Pattern, clique, diamond, house, triangle
+
+from conftest import connected_pattern_strategy
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Pattern(3, [(0, 1), (1, 2)])
+        assert p.num_vertices == 3
+        assert p.num_edges == 2
+        assert p.has_edge(1, 0)
+        assert not p.has_edge(0, 2)
+
+    def test_edge_normalization_and_dedup(self):
+        p = Pattern(2, [(1, 0), (0, 1)])
+        assert p.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(2, [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(2, [(0, 2)])
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(0, [])
+
+    def test_all_wildcard_labels_collapse_to_unlabeled(self):
+        p = Pattern(2, [(0, 1)], labels=[None, None])
+        assert not p.is_labeled
+
+    def test_anti_vertex_range_checked(self):
+        with pytest.raises(ValueError):
+            Pattern(2, [(0, 1)], anti_vertices=[5])
+
+
+class TestStructure:
+    def test_density(self):
+        assert triangle().density == pytest.approx(1.0)
+        assert Pattern(3, [(0, 1)]).density == pytest.approx(1 / 3)
+
+    def test_min_degree(self):
+        assert triangle().min_degree() == 2
+        assert Pattern(3, [(0, 1), (1, 2)]).min_degree() == 1
+
+    def test_is_connected(self):
+        assert triangle().is_connected()
+        assert not Pattern(3, [(0, 1)]).is_connected()
+
+    def test_is_clique(self):
+        assert clique(4).is_clique()
+        assert not diamond().is_clique()
+
+    def test_neighbors(self):
+        p = house()
+        assert 1 in p.neighbors(0)
+
+
+class TestDerivedPatterns:
+    def test_relabel_permutation(self):
+        p = Pattern(3, [(0, 1)], labels=[7, 8, 9])
+        q = p.relabel({0: 2, 1: 0, 2: 1})
+        assert q.has_edge(2, 0)
+        assert q.label(2) == 7
+
+    def test_relabel_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            triangle().relabel({0: 0, 1: 0, 2: 2})
+
+    def test_subpattern_preserves_order(self):
+        p = diamond()
+        sub = p.subpattern([2, 0])
+        # vertex 0 of sub is pattern vertex 2, vertex 1 is pattern vertex 0
+        assert sub.num_vertices == 2
+        assert sub.has_edge(0, 1) == p.has_edge(2, 0)
+
+    def test_subpattern_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            triangle().subpattern([0, 0])
+
+    def test_with_labels_and_unlabeled_roundtrip(self):
+        p = triangle().with_labels([1, 2, 3])
+        assert p.is_labeled
+        assert not p.unlabeled().is_labeled
+
+    def test_add_vertex(self):
+        p = triangle().add_vertex([0, 1])
+        assert p.num_vertices == 4
+        assert p.has_edge(3, 0)
+        assert p.has_edge(3, 1)
+        assert not p.has_edge(3, 2)
+
+
+class TestIdentity:
+    def test_canonical_key_isomorphism_invariant(self):
+        a = Pattern(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        b = Pattern(4, [(1, 2), (2, 3), (3, 0), (0, 1), (1, 3)])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_canonical_key_distinguishes(self):
+        assert (
+            Pattern(3, [(0, 1), (1, 2)]).canonical_key()
+            != triangle().canonical_key()
+        )
+
+    def test_canonical_key_respects_labels(self):
+        a = triangle().with_labels([1, 1, 2])
+        b = triangle().with_labels([1, 2, 1])
+        c = triangle().with_labels([2, 2, 1])
+        assert a.canonical_key() == b.canonical_key()
+        assert a.canonical_key() != c.canonical_key()
+
+    def test_equality_and_hash(self):
+        assert triangle() == Pattern(3, [(0, 1), (1, 2), (0, 2)])
+        assert hash(triangle()) == hash(Pattern(3, [(0, 1), (1, 2), (0, 2)]))
+
+    @given(connected_pattern_strategy(max_vertices=5))
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_key_invariant_under_relabeling(self, p):
+        import random
+
+        rng = random.Random(0)
+        perm = list(range(p.num_vertices))
+        rng.shuffle(perm)
+        q = p.relabel({old: new for old, new in enumerate(perm)})
+        assert p.canonical_key() == q.canonical_key()

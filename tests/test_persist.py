@@ -1,0 +1,78 @@
+"""Tests for experiment-record persistence and regression comparison."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import OK, TLE, RunOutcome
+from repro.bench.persist import ExperimentRecord, compare_records, load_record
+
+
+def make_record(seconds=1.0, status=OK, count=5):
+    record = ExperimentRecord("exp")
+    outcome = RunOutcome(status, seconds, count=count)
+    record.add_outcome("amazon", outcome, gamma=0.8)
+    record.add_claim("paper says X", "we measured Y")
+    return record
+
+
+class TestRecord:
+    def test_roundtrip(self, tmp_path):
+        record = make_record()
+        path = record.save(str(tmp_path))
+        loaded = load_record(path)
+        assert loaded["experiment"] == "exp"
+        assert loaded["rows"][0]["label"] == "amazon"
+        assert loaded["rows"][0]["gamma"] == 0.8
+        assert loaded["claims"][0]["paper"] == "paper says X"
+
+    def test_add_row_plain(self, tmp_path):
+        record = ExperimentRecord("exp")
+        record.add_row(dataset="dblp", value=3)
+        path = record.save(str(tmp_path))
+        assert load_record(path)["rows"][0]["value"] == 3
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"experiment": "x"}))
+        with pytest.raises(ValueError):
+            load_record(str(path))
+
+
+class TestCompare:
+    def test_identical_runs_no_differences(self):
+        a = make_record().to_dict()
+        b = make_record().to_dict()
+        assert compare_records(a, b) == []
+
+    def test_status_change_flagged(self):
+        a = make_record(status=OK).to_dict()
+        b = make_record(status=TLE).to_dict()
+        diffs = compare_records(a, b)
+        assert any("status" in d for d in diffs)
+
+    def test_timing_tolerance(self):
+        a = make_record(seconds=1.0).to_dict()
+        slightly = make_record(seconds=1.2).to_dict()
+        wildly = make_record(seconds=3.0).to_dict()
+        assert compare_records(a, slightly) == []
+        assert any("time" in d for d in compare_records(a, wildly))
+
+    def test_count_change_flagged(self):
+        a = make_record(count=5).to_dict()
+        b = make_record(count=6).to_dict()
+        assert any("count" in d for d in compare_records(a, b))
+
+    def test_row_addition_and_removal(self):
+        a = make_record().to_dict()
+        b = make_record().to_dict()
+        b["rows"] = []
+        assert any("missing" in d for d in compare_records(a, b))
+        assert any("new" in d for d in compare_records(b, a))
+
+    def test_different_experiments_rejected(self):
+        a = make_record().to_dict()
+        b = make_record().to_dict()
+        b["experiment"] = "other"
+        with pytest.raises(ValueError):
+            compare_records(a, b)

@@ -1,0 +1,172 @@
+"""Integration tests: ContigraEngine vs brute-force oracles vs baselines.
+
+The crown-jewel invariant: for every workload and every combination of
+runtime toggles, Contigra, the post-hoc baseline, the TThinker
+simulation, and the naive oracle all report exactly the same result
+sets — the optimizations change work, never answers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import maximal_quasi_cliques
+from repro.apps.nsq import (
+    nested_subgraph_query,
+    paper_query_tailed_triangles,
+    paper_query_triangles,
+)
+from repro.baselines import posthoc_mqc, posthoc_nsq, tthinker_mqc
+from repro.baselines.naive import (
+    maximal_quasi_cliques as oracle_mqc,
+    nested_query_matches,
+)
+from repro.core import ContigraEngine, maximality_constraints
+from repro.errors import TimeLimitExceeded
+from repro.graph import erdos_renyi
+from repro.patterns import quasi_clique_patterns_up_to
+
+
+class TestMQCAgainstOracle:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("gamma", [0.6, 0.8])
+    def test_exact_agreement(self, seed, gamma):
+        g = erdos_renyi(16, 0.42, seed=seed)
+        want = oracle_mqc(g, gamma, 3, 5)
+        got = maximal_quasi_cliques(g, gamma, 5).all_sets()
+        assert got == want
+
+    @pytest.mark.parametrize(
+        "toggles",
+        [
+            {"enable_fusion": False},
+            {"enable_promotion": False},
+            {"enable_lateral": False},
+            {"rl_strategy": "sparse-first"},
+            {"rl_strategy": "dense-first"},
+            {"rl_strategy": "anti-heuristic"},
+            {
+                "enable_fusion": False,
+                "enable_promotion": False,
+                "enable_lateral": False,
+            },
+        ],
+    )
+    def test_toggles_never_change_results(self, toggles):
+        g = erdos_renyi(15, 0.45, seed=11)
+        want = oracle_mqc(g, 0.7, 3, 5)
+        got = maximal_quasi_cliques(g, 0.7, 5, **toggles).all_sets()
+        assert got == want
+
+    def test_three_systems_agree(self):
+        g = erdos_renyi(16, 0.4, seed=3)
+        gamma, max_size = 0.7, 5
+        contigra = maximal_quasi_cliques(g, gamma, max_size).all_sets()
+        peregrine = posthoc_mqc(g, gamma, max_size).valid
+        tthinker = tthinker_mqc(g, gamma, max_size).maximal
+        assert contigra == peregrine == tthinker
+
+    @given(st.integers(0, 10_000), st.sampled_from([0.6, 0.7, 0.8]))
+    @settings(max_examples=15, deadline=None)
+    def test_property_agreement(self, seed, gamma):
+        g = erdos_renyi(13, 0.45, seed=seed)
+        assert (
+            maximal_quasi_cliques(g, gamma, 5).all_sets()
+            == oracle_mqc(g, gamma, 3, 5)
+        )
+
+    def test_by_size_partition(self):
+        g = erdos_renyi(16, 0.45, seed=4)
+        result = maximal_quasi_cliques(g, 0.7, 5)
+        for size, group in result.by_size.items():
+            assert all(len(s) == size for s in group)
+        assert result.count == len(result.all_sets())
+
+
+class TestNSQAgainstOracle:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_paper_query_one(self, seed):
+        g = erdos_renyi(16, 0.2, seed=seed)
+        p_m, p_plus = paper_query_triangles()
+        got = set(nested_subgraph_query(g, p_m, p_plus).assignments())
+        want = nested_query_matches(g, p_m, p_plus)
+        assert got == want
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_paper_query_two(self, seed):
+        g = erdos_renyi(16, 0.18, seed=100 + seed)
+        p_m, p_plus = paper_query_tailed_triangles()
+        got = set(nested_subgraph_query(g, p_m, p_plus).assignments())
+        want = nested_query_matches(g, p_m, p_plus)
+        assert got == want
+
+    def test_baseline_agrees(self):
+        g = erdos_renyi(15, 0.2, seed=9)
+        p_m, p_plus = paper_query_triangles()
+        ours = set(nested_subgraph_query(g, p_m, p_plus).assignments())
+        baseline = posthoc_nsq(g, p_m, p_plus).assignments
+        assert ours == baseline
+
+
+class TestRuntimeMechanics:
+    def _engine(self, seed=5, gamma=0.7, **kw):
+        g = erdos_renyi(16, 0.45, seed=seed)
+        cs = maximality_constraints(
+            quasi_clique_patterns_up_to(5, gamma), induced=True
+        )
+        return ContigraEngine(g, cs, **kw)
+
+    def test_predecessor_constraints_rejected(self):
+        from repro.core import ConstraintSet, ContainmentConstraint
+        from repro.patterns import house, triangle
+
+        g = erdos_renyi(10, 0.3, seed=0)
+        cs = ConstraintSet(
+            [house()], [ContainmentConstraint(house(), triangle())]
+        )
+        with pytest.raises(ValueError, match="predecessor"):
+            ContigraEngine(g, cs)
+
+    def test_time_limit_raises(self):
+        g = erdos_renyi(60, 0.4, seed=5)
+        cs = maximality_constraints(
+            quasi_clique_patterns_up_to(6, 0.6), induced=True
+        )
+        engine = ContigraEngine(g, cs, time_limit=0.01)
+        with pytest.raises(TimeLimitExceeded):
+            engine.run()
+
+    def test_promotion_raises_cache_hit_rate(self):
+        with_promo = self._engine(enable_promotion=True)
+        without = self._engine(enable_promotion=False)
+        r1 = with_promo.run()
+        r2 = without.run()
+        assert set(
+            frozenset(a) for _, a in r1.valid
+        ) == set(frozenset(a) for _, a in r2.valid)
+        assert r1.stats.promotions > 0
+        assert r2.stats.promotions == 0
+        assert r1.stats.cache_hit_rate >= r2.stats.cache_hit_rate
+
+    def test_lateral_cancellation_counts(self):
+        engine = self._engine(enable_lateral=True)
+        result = engine.run()
+        assert result.stats.vtasks_canceled_lateral > 0
+        engine_off = self._engine(enable_lateral=False)
+        result_off = engine_off.run()
+        assert result_off.stats.vtasks_canceled_lateral == 0
+        assert (
+            result_off.stats.vtasks_started > result.stats.vtasks_started
+        )
+
+    def test_etask_cancellations_from_promotion(self):
+        result = self._engine(enable_promotion=True).run()
+        assert result.stats.etasks_canceled == result.stats.promotions
+
+    def test_result_reporting(self):
+        result = self._engine().run()
+        assert result.count == len(result.valid)
+        assert len(result.vertex_sets()) == result.count
+        by_pattern = result.by_pattern()
+        assert sum(by_pattern.values()) == result.count
+        assert result.elapsed > 0

@@ -1,0 +1,60 @@
+"""Semantic relationships between counters across a full MQC run.
+
+The figures are only as trustworthy as the counters; these tests pin
+the accounting identities the benchmarks rely on.
+"""
+
+import pytest
+
+from repro.apps import build_mqc_engine
+from repro.graph import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def run():
+    g = erdos_renyi(18, 0.45, seed=13)
+    engine = build_mqc_engine(g, 0.7, 5)
+    result = engine.run()
+    return engine, result
+
+
+class TestAccountingIdentities:
+    def test_every_match_checked_or_canceled(self, run):
+        _, result = run
+        stats = result.stats
+        # every found match is either constraint-checked (fresh) or an
+        # ETask cancellation (already handled by promotion)
+        assert (
+            stats.matches_checked
+            == stats.matches_found - stats.etasks_canceled
+            + stats.promotions
+        )
+
+    def test_promotions_equal_cancellations(self, run):
+        _, result = run
+        assert result.stats.promotions == result.stats.etasks_canceled
+
+    def test_vtask_outcomes_partition(self, run):
+        _, result = run
+        stats = result.stats
+        # matched VTasks <= started; cancellations tracked separately
+        assert stats.vtasks_matched <= stats.vtasks_started
+        assert stats.vtasks_canceled_lateral >= 0
+
+    def test_valid_plus_violations_cover_checked(self, run):
+        _, result = run
+        stats = result.stats
+        # each checked match either joined the result or had a matching
+        # VTask (its violation evidence)
+        assert result.count + stats.vtasks_matched >= stats.matches_checked
+
+    def test_cache_totals(self, run):
+        _, result = run
+        stats = result.stats
+        assert stats.cache_hits + stats.cache_misses > 0
+        assert 0.0 <= stats.cache_hit_rate <= 1.0
+
+    def test_rl_paths_bound_matches(self, run):
+        _, result = run
+        stats = result.stats
+        assert stats.rl_paths >= stats.matches_found >= result.count

@@ -1,0 +1,146 @@
+"""Tests for automorphisms and symmetry-breaking conditions.
+
+The load-bearing property: for every pattern and every set of distinct
+data-vertex assignments, *exactly one* automorphic image satisfies the
+symmetry-breaking conditions — this is what makes the engine emit each
+subgraph exactly once.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.patterns import (
+    Pattern,
+    automorphisms,
+    canonical_assignment,
+    clique,
+    conditions_by_position,
+    cycle,
+    orbit_of,
+    orbits,
+    path,
+    satisfies_conditions,
+    star,
+    symmetry_conditions,
+    tailed_triangle,
+    triangle,
+)
+
+from conftest import connected_pattern_strategy
+
+
+class TestAutomorphisms:
+    def test_triangle_full_symmetry(self):
+        assert len(automorphisms(triangle())) == 6
+
+    def test_clique(self):
+        assert len(automorphisms(clique(4))) == 24
+
+    def test_path_reflection(self):
+        assert len(automorphisms(path(2))) == 2
+
+    def test_tailed_triangle(self):
+        # Only the two roof corners (0 and 1) swap.
+        assert len(automorphisms(tailed_triangle())) == 2
+
+    def test_cycle(self):
+        # Dihedral group: 2n automorphisms.
+        assert len(automorphisms(cycle(5))) == 10
+
+    def test_labels_restrict_automorphisms(self):
+        labeled = triangle().with_labels([1, 1, 2])
+        assert len(automorphisms(labeled)) == 2
+
+    def test_identity_always_present(self):
+        for p in (triangle(), path(3), star(3)):
+            assert tuple(range(p.num_vertices)) in automorphisms(p)
+
+    def test_orbits_triangle(self):
+        assert orbits(triangle()) == [{0, 1, 2}]
+
+    def test_orbits_star(self):
+        groups = sorted(orbits(star(3)), key=len)
+        assert groups == [{0}, {1, 2, 3}]
+
+    def test_orbit_of(self):
+        assert orbit_of(star(3), 2) == {1, 2, 3}
+
+
+class TestConditions:
+    def test_triangle_conditions_total_order(self):
+        assert symmetry_conditions(triangle()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_asymmetric_pattern_no_conditions(self):
+        asymmetric = Pattern(
+            6,
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (1, 3)],
+        )
+        if len(automorphisms(asymmetric)) == 1:
+            assert symmetry_conditions(asymmetric) == []
+
+    def test_satisfies_conditions(self):
+        conditions = [(0, 1)]
+        assert satisfies_conditions([2, 5], conditions)
+        assert not satisfies_conditions([5, 2], conditions)
+
+    def test_conditions_by_position_direction(self):
+        # order reverses vertices: condition (0, 1) with order (1, 0):
+        # vertex 1 is bound first (position 0), vertex 0 second.
+        keyed = conditions_by_position([(0, 1)], order=(1, 0))
+        # when binding position 1 (= vertex 0) it must be LESS than pos 0
+        assert keyed == {1: [(0, False)]}
+
+    def _assert_exactly_one_representative(self, pattern):
+        """Core uniqueness property on concrete assignments."""
+        conditions = symmetry_conditions(pattern)
+        auts = automorphisms(pattern)
+        k = pattern.num_vertices
+        assignment = list(range(10, 10 + k))
+        images = {
+            tuple(assignment[sigma[v]] for v in range(k)) for sigma in auts
+        }
+        satisfying = [a for a in images if satisfies_conditions(a, conditions)]
+        assert len(satisfying) == 1
+
+    def test_exactly_one_representative_library(self):
+        for p in (triangle(), clique(4), path(3), star(3), cycle(4),
+                  tailed_triangle(), cycle(6), clique(5)):
+            self._assert_exactly_one_representative(p)
+
+    @given(connected_pattern_strategy(max_vertices=5))
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_one_representative_property(self, p):
+        self._assert_exactly_one_representative(p)
+
+    @given(connected_pattern_strategy(max_vertices=5))
+    @settings(max_examples=40, deadline=None)
+    def test_representative_is_reachable_from_any_image(self, p):
+        """Every automorphic image class has a satisfying member."""
+        conditions = symmetry_conditions(p)
+        auts = automorphisms(p)
+        k = p.num_vertices
+        for base in itertools.islice(
+            itertools.permutations(range(20, 20 + k)), 10
+        ):
+            images = {
+                tuple(base[sigma[v]] for v in range(k)) for sigma in auts
+            }
+            assert sum(
+                1 for a in images if satisfies_conditions(a, conditions)
+            ) == 1
+
+
+class TestCanonicalAssignment:
+    def test_minimal_image(self):
+        # triangle: all 6 permutations are automorphic; min is sorted.
+        assert canonical_assignment([5, 3, 4], triangle()) == (3, 4, 5)
+
+    def test_respects_structure(self):
+        p = tailed_triangle()  # only 0<->1 swap allowed
+        assert canonical_assignment([7, 2, 5, 9], p) == (2, 7, 5, 9)
+
+    def test_idempotent(self):
+        p = clique(4)
+        once = canonical_assignment([4, 2, 8, 6], p)
+        assert canonical_assignment(once, p) == once

@@ -1,0 +1,112 @@
+"""Tests for the result self-verification module."""
+
+import pytest
+
+from repro.apps import keyword_search, maximal_quasi_cliques, mine_quasi_cliques
+from repro.apps.verify import (
+    verify_maximal_quasi_cliques,
+    verify_minimal_covers,
+    verify_quasi_clique_universe,
+)
+from repro.graph import erdos_renyi
+
+from conftest import labeled_random_graph
+
+
+class TestMQCVerification:
+    def test_clean_result_passes(self):
+        g = erdos_renyi(16, 0.45, seed=1)
+        result = maximal_quasi_cliques(g, 0.7, 5)
+        assert verify_maximal_quasi_cliques(
+            g, result.all_sets(), 0.7, 5
+        ) == []
+
+    def test_detects_non_quasi_clique(self):
+        g = erdos_renyi(16, 0.45, seed=1)
+        result = maximal_quasi_cliques(g, 0.7, 5)
+        # inject a sparse garbage set
+        garbage = frozenset({0, 1, 2})
+        while g.edges_within(sorted(garbage)) == 3:
+            garbage = frozenset(
+                {max(garbage) + 1, max(garbage) + 2, max(garbage) + 3}
+            )
+        sets = set(result.all_sets()) | {garbage}
+        violations = verify_maximal_quasi_cliques(g, sets, 0.7, 5)
+        assert violations
+
+    def test_detects_nesting(self):
+        g = erdos_renyi(16, 0.5, seed=2)
+        result = maximal_quasi_cliques(g, 0.7, 5)
+        big = max(result.all_sets(), key=len)
+        nested = frozenset(sorted(big)[:-1])
+        sets = set(result.all_sets()) | {nested}
+        violations = verify_maximal_quasi_cliques(g, sets, 0.7, 5)
+        assert any("contained" in v or "extendable" in v or "not a" in v
+                   for v in violations)
+
+    def test_detects_non_maximal(self):
+        g = erdos_renyi(16, 0.5, seed=3)
+        universe = mine_quasi_cliques(g, 0.7, 5)
+        maximal = maximal_quasi_cliques(g, 0.7, 5).all_sets()
+        non_maximal = next(
+            iter(universe.all_sets() - maximal), None
+        )
+        if non_maximal is None:
+            pytest.skip("no non-maximal quasi-clique in this graph")
+        violations = verify_maximal_quasi_cliques(
+            g, {non_maximal}, 0.7, 5
+        )
+        assert violations
+
+    def test_size_range_enforced(self):
+        g = erdos_renyi(10, 0.9, seed=4)
+        violations = verify_maximal_quasi_cliques(
+            g, {frozenset({0, 1})}, 0.7, 5, min_size=3
+        )
+        assert any("out of range" in v for v in violations)
+
+
+class TestKWSVerification:
+    def test_clean_result_passes(self):
+        g = labeled_random_graph(15, 0.3, num_labels=4, seed=5)
+        result = keyword_search(
+            g, [0, 1], 4, collect_workload_stats=False
+        )
+        assert verify_minimal_covers(g, result.minimal, [0, 1], 4) == []
+
+    def test_detects_non_cover(self):
+        g = labeled_random_graph(15, 0.3, num_labels=4, seed=5)
+        bogus = frozenset({v for v in range(3) if g.is_connected_subset(range(3))} or {0})
+        violations = verify_minimal_covers(g, {frozenset({0})}, [0, 1], 4)
+        # a single vertex can't cover two keywords
+        assert violations
+
+    def test_detects_oversized(self):
+        g = labeled_random_graph(15, 0.5, num_labels=2, seed=6)
+        big = frozenset(range(6))
+        violations = verify_minimal_covers(g, {big}, [0], 4)
+        assert any("size cap" in v for v in violations)
+
+
+class TestUniverseVerification:
+    def test_clean_result_passes(self):
+        g = erdos_renyi(14, 0.5, seed=7)
+        result = mine_quasi_cliques(g, 0.7, 5)
+        assert verify_quasi_clique_universe(
+            g, result.all_sets(), 0.7, 5
+        ) == []
+
+    def test_detects_low_degree(self):
+        g = erdos_renyi(14, 0.3, seed=8)
+        sparse_set = None
+        import itertools
+
+        for combo in itertools.combinations(range(14), 4):
+            degrees = g.degrees_within(list(combo))
+            if g.is_connected_subset(combo) and min(degrees.values()) == 1:
+                sparse_set = frozenset(combo)
+                break
+        if sparse_set is None:
+            pytest.skip("no suitably sparse connected set")
+        violations = verify_quasi_clique_universe(g, {sparse_set}, 0.8, 5)
+        assert any("min degree" in v for v in violations)
