@@ -1,0 +1,264 @@
+"""Typed, coded diagnostics for the static query analyzer.
+
+Every problem the analyzer can detect has a stable ``CGxxx`` code, a
+kebab-case name, and a fixed severity.  Codes are grouped by family:
+
+* ``CG0xx`` — pattern / DSL lint,
+* ``CG1xx`` — constraint satisfiability,
+* ``CG2xx`` — virtual state-space bucketing (paper §7),
+* ``CG3xx`` — dependency-graph structure (paper §4),
+* ``CG4xx`` — exploration-plan verification (paper §2.3/§5.2).
+
+The full reference table lives in ``docs/analysis.md``; the registry
+below is the single source of truth the docs mirror.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK: Dict[str, int] = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: code -> (name, severity, one-line description)
+CODES: Dict[str, Tuple[str, str, str]] = {
+    "CG001": (
+        "disconnected-pattern",
+        ERROR,
+        "pattern is not connected; no connected matching order exists",
+    ),
+    "CG002": (
+        "unlowered-anti-vertices",
+        WARNING,
+        "pattern carries anti-vertices; lower them "
+        "(repro.apps.antivertex) before querying",
+    ),
+    "CG003": (
+        "redundant-anti-edges-induced",
+        INFO,
+        "anti-edges add nothing under induced matching "
+        "(every non-edge is already enforced)",
+    ),
+    "CG004": (
+        "dsl-parse-error",
+        ERROR,
+        "pattern DSL text failed to parse",
+    ),
+    "CG005": (
+        "duplicate-dsl-item",
+        WARNING,
+        "DSL text repeats an edge or anti-edge item",
+    ),
+    "CG101": (
+        "unsatisfiable-constraint",
+        ERROR,
+        "the constraint excludes every possible match of the target",
+    ),
+    "CG102": (
+        "invalid-constraint-size",
+        ERROR,
+        "containment constraints need a strictly larger containing "
+        "pattern (equal sizes cannot strictly contain)",
+    ),
+    "CG103": (
+        "unrelated-constraint",
+        ERROR,
+        "the containing pattern does not contain the target; the "
+        "constraint can never apply",
+    ),
+    "CG104": (
+        "anti-edge-constraint",
+        ERROR,
+        "containment constraints do not support anti-edge patterns",
+    ),
+    "CG105": (
+        "duplicate-constraint",
+        WARNING,
+        "the same containment constraint appears more than once",
+    ),
+    "CG106": (
+        "unbridgeable-gap",
+        ERROR,
+        "the constraint's gap can never be bridged: no connected "
+        "RL-Path extends the target to the containing pattern",
+    ),
+    "CG201": (
+        "skip-bucket-pattern",
+        WARNING,
+        "virtual state-space analysis puts every match of this "
+        "pattern in the SKIP bucket (its ETasks never run)",
+    ),
+    "CG202": (
+        "all-skip-workload",
+        ERROR,
+        "every mined pattern is in the SKIP bucket; the query is "
+        "statically empty",
+    ),
+    "CG203": (
+        "eager-bucket-wildcards",
+        INFO,
+        "wildcard label positions force the EAGER bucket (per-level "
+        "runtime checks during exploration)",
+    ),
+    "CG301": (
+        "dead-intermediate-pattern",
+        WARNING,
+        "pattern carries no constraints and no constraint targets it; "
+        "it is mined but plays no role in the constrained workload",
+    ),
+    "CG302": (
+        "dependency-cycle",
+        ERROR,
+        "cyclic successor/predecessor dependencies: a promotion chain "
+        "would cancel its own from-scratch ETask",
+    ),
+    "CG303": (
+        "degenerate-lateral-group",
+        WARNING,
+        "a lateral group serializes isomorphic validation targets; "
+        "the duplicates never add pruning power",
+    ),
+    "CG401": (
+        "invalid-symmetry-order",
+        ERROR,
+        "symmetry-breaking conditions do not keep exactly one "
+        "representative per match orbit",
+    ),
+    "CG402": (
+        "rl-path-alignment-infeasible",
+        ERROR,
+        "no aligned VTask recipe exists for the constraint pair; the "
+        "fused validation can never run",
+    ),
+    "CG403": (
+        "no-exploration-plan",
+        ERROR,
+        "no valid exploration plan could be built for the pattern",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, identified by a stable ``CGxxx`` code."""
+
+    code: str
+    name: str
+    severity: str
+    subject: str
+    message: str
+    fragment: str = ""
+
+    def render(self) -> str:
+        location = f" [{self.subject}]" if self.subject else ""
+        fragment = f" ({self.fragment})" if self.fragment else ""
+        return (
+            f"{self.code} {self.severity:<7} {self.name}{location}: "
+            f"{self.message}{fragment}"
+        )
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "name": self.name,
+            "severity": self.severity,
+            "subject": self.subject,
+            "message": self.message,
+            "fragment": self.fragment,
+        }
+
+
+def make(
+    code: str, message: str, subject: str = "", fragment: str = ""
+) -> Diagnostic:
+    """Build a diagnostic from the code registry (severity is fixed)."""
+    if code not in CODES:
+        raise KeyError(f"unknown diagnostic code {code!r}")
+    name, severity, _ = CODES[code]
+    return Diagnostic(
+        code=code,
+        name=name,
+        severity=severity,
+        subject=subject,
+        message=message,
+        fragment=fragment,
+    )
+
+
+@dataclass
+class AnalysisReport:
+    """An ordered collection of diagnostics with severity accounting."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "AnalysisReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == INFO]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    @property
+    def ok(self) -> bool:
+        return not self.has_errors
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def suppress(self, codes: Iterable[str]) -> "AnalysisReport":
+        """A new report with the given codes filtered out."""
+        dropped = set(codes)
+        return AnalysisReport(
+            [d for d in self.diagnostics if d.code not in dropped]
+        )
+
+    def sorted(self) -> "AnalysisReport":
+        """A new report ordered most-severe first (stable within tiers)."""
+        return AnalysisReport(
+            sorted(
+                self.diagnostics,
+                key=lambda d: (_SEVERITY_RANK[d.severity], d.code),
+            )
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render_text(self) -> str:
+        lines = [d.render() for d in self.sorted().diagnostics]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} "
+            f"warning(s), {len(self.infos)} info(s)"
+        )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)

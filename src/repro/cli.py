@@ -7,6 +7,10 @@ Usage (after ``pip install -e .``)::
     python -m repro nsq --dataset amazon --query triangles
     python -m repro quasicliques --dataset dblp --gamma 0.6 --fused
     python -m repro datasets
+    python -m repro analyze                      # library self-check
+    python -m repro analyze --pattern "0-1, 1-2, 0-2" \
+        --not-within "0-1, 1-2, 0-2, 0-3"        # one query
+    python -m repro analyze --workload kws --keywords 0,1 --max-size 3
 
 Datasets are the synthetic Table-1 analogs; graphs can also be loaded
 from edge-list files with ``--graph path.txt [--labels path.labels]``.
@@ -63,6 +67,29 @@ def _report(args: argparse.Namespace, payload: dict) -> None:
         return
     for key, value in payload.items():
         print(f"{key}: {value}")
+
+
+def _add_format_argument(parser: argparse.ArgumentParser) -> None:
+    """Shared ``--format {text,json}`` flag (explain and analyze)."""
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+
+
+def _resolve_format(args: argparse.Namespace) -> str:
+    """``--format``, with a legacy ``--json`` flag forcing json."""
+    if getattr(args, "json", False):
+        return "json"
+    return args.format
+
+
+def _emit(fmt: str, payload: dict, text: str) -> None:
+    """One reporting path for every ``--format``-aware command."""
+    if fmt == "json":
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(text)
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -188,8 +215,108 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         ),
         induced=True,
     )
-    print(explain_workload(graph, constraint_set))
+    text = explain_workload(graph, constraint_set)
+    _emit(
+        _resolve_format(args),
+        {
+            "workload": "mqc",
+            "gamma": args.gamma,
+            "max_size": args.max_size,
+            "min_size": args.min_size,
+            "patterns": len(constraint_set.patterns),
+            "constraints": len(constraint_set.all_constraints),
+            "explain": text,
+        },
+        text,
+    )
     return 0
+
+
+def _analyze_report(args: argparse.Namespace):
+    """Build the AnalysisReport an ``analyze`` invocation asked for."""
+    from .analysis import (
+        AnalysisReport,
+        analyze_constraint_set,
+        analyze_kws_workload,
+        analyze_query_spec,
+        lint_pattern_text,
+        selfcheck,
+    )
+
+    if args.pattern is not None:
+        # Keep only the text-level diagnostics (CG004/CG005) from the
+        # DSL pass; analyze_query_spec re-lints the parsed patterns, so
+        # anything else would appear twice.
+        report = AnalysisReport()
+        parse_failed = False
+
+        def parse(text: str, name: str):
+            nonlocal parse_failed
+            pattern, diagnostics = lint_pattern_text(
+                text, name=name, induced=args.induced
+            )
+            report.extend(
+                d for d in diagnostics if d.code in ("CG004", "CG005")
+            )
+            if pattern is None:
+                parse_failed = True
+            return pattern
+
+        target = parse(args.pattern, "target")
+        not_within = [
+            p for p in (
+                parse(text, f"not-within[{i}]")
+                for i, text in enumerate(args.not_within)
+            ) if p is not None
+        ]
+        only_within = [
+            p for p in (
+                parse(text, f"only-within[{i}]")
+                for i, text in enumerate(args.only_within)
+            ) if p is not None
+        ]
+        if target is not None and not parse_failed:
+            report.merge(
+                analyze_query_spec(
+                    target,
+                    not_within=not_within,
+                    only_within=only_within,
+                    induced=args.induced,
+                )
+            )
+        return report
+    if args.workload == "mqc":
+        from .core import maximality_constraints
+        from .patterns import quasi_clique_patterns_up_to
+
+        constraint_set = maximality_constraints(
+            quasi_clique_patterns_up_to(
+                args.max_size, args.gamma, min_size=args.min_size
+            ),
+            induced=True,
+        )
+        return analyze_constraint_set(constraint_set)
+    if args.workload == "kws":
+        try:
+            keywords = [int(k) for k in args.keywords.split(",")]
+        except ValueError:
+            raise SystemExit(
+                f"--keywords expects comma-separated label ids, "
+                f"got {args.keywords!r}"
+            )
+        return analyze_kws_workload(keywords, args.max_size)
+    return selfcheck(max_size=args.max_size, gamma=args.gamma)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    report = _analyze_report(args)
+    if args.suppress:
+        report = report.suppress(
+            code.strip() for code in args.suppress.split(",")
+        )
+    report = report.sorted()
+    _emit(_resolve_format(args), report.to_dict(), report.render_text())
+    return 1 if report.has_errors else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -234,9 +361,52 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="describe an MQC workload's plans and schedules"
     )
     _add_graph_arguments(explain)
+    _add_format_argument(explain)
     explain.add_argument("--gamma", type=float, default=0.8)
     explain.add_argument("--max-size", type=int, default=5)
     explain.add_argument("--min-size", type=int, default=3)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static query analysis (CGxxx diagnostics, no mining)",
+        description=(
+            "Lint patterns and constraints before any exploration. "
+            "With no arguments, runs the library-wide self-check used "
+            "as the CI analysis gate. Exits 1 when any error-severity "
+            "diagnostic remains after --suppress."
+        ),
+    )
+    _add_format_argument(analyze)
+    analyze.add_argument(
+        "--pattern", help="target pattern DSL text (see repro.patterns.dsl)"
+    )
+    analyze.add_argument(
+        "--not-within", action="append", default=[], metavar="DSL",
+        help="forbid containment in this pattern (repeatable)",
+    )
+    analyze.add_argument(
+        "--only-within", action="append", default=[], metavar="DSL",
+        help="require containment in this pattern (repeatable)",
+    )
+    analyze.add_argument(
+        "--induced", action="store_true",
+        help="vertex-induced matching semantics",
+    )
+    analyze.add_argument(
+        "--workload", choices=("mqc", "kws"),
+        help="analyze a whole app workload instead of one query",
+    )
+    analyze.add_argument("--gamma", type=float, default=0.8)
+    analyze.add_argument("--max-size", type=int, default=4)
+    analyze.add_argument("--min-size", type=int, default=3)
+    analyze.add_argument(
+        "--keywords", default="0,1",
+        help="comma-separated label ids (with --workload kws)",
+    )
+    analyze.add_argument(
+        "--suppress", metavar="CODES",
+        help="comma-separated CGxxx codes to filter out",
+    )
     return parser
 
 
@@ -249,6 +419,7 @@ def main(argv: Optional[list] = None) -> int:
         "kws": _cmd_kws,
         "nsq": _cmd_nsq,
         "explain": _cmd_explain,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

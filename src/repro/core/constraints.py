@@ -14,7 +14,7 @@ what applications hand to the runtime.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Sequence
 
 from ..patterns.containment import classify_constraint, contains
 from ..patterns.pattern import Pattern
@@ -168,7 +168,7 @@ def nested_query_constraints(
 
 def minimality_constraints(
     patterns: Sequence[Pattern],
-    cover_predicate,
+    cover_predicate: Callable[[Pattern], bool],
     induced: bool = True,
 ) -> ConstraintSet:
     """Minimality: each pattern constrained by its covering subpatterns.

@@ -24,6 +24,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph.graph import Graph
+from ..mining.stats import ConstraintStats
 from .constraints import ConstraintSet
 from .runtime import ContigraEngine, ContigraResult
 
@@ -83,7 +84,9 @@ def run_sharded(
     return merged
 
 
-def _merge_stats(stats, shard_dict: Dict[str, float]) -> None:
+def _merge_stats(
+    stats: ConstraintStats, shard_dict: Dict[str, float]
+) -> None:
     """Sum a shard's integer counters into ``stats`` (rates recompute)."""
     for field in (
         "etasks_started", "etasks_completed", "rl_paths", "matches_found",

@@ -20,16 +20,29 @@ motivation) would reach for::
 ``Query`` validates eagerly (bad constraints fail at build time, not
 run time) and builds a fresh :class:`~repro.core.runtime.ContigraEngine`
 per ``run``.
+
+``.strict()`` opts into the static analyzer
+(:mod:`repro.analysis`): every subsequent builder step — and the final
+``build_constraints``/``run`` — re-analyzes the query and raises
+:class:`~repro.errors.QueryAnalysisError` on any error-severity
+``CGxxx`` diagnostic, so an unsatisfiable or self-defeating query
+fails in milliseconds instead of burning a mining run.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from ..errors import QueryAnalysisError
 from ..graph.graph import Graph
+from ..mining.cache import SetOperationCache
 from ..patterns.pattern import Pattern
 from .constraints import ConstraintSet, ContainmentConstraint
 from .runtime import ContigraEngine, ContigraResult
+from .vtask import ValidationTarget
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from ..analysis.diagnostics import AnalysisReport
 
 
 class Query:
@@ -45,11 +58,13 @@ class Query:
             raise ValueError("query patterns must be connected")
         self._pattern = pattern
         self._not_within: List[Pattern] = []
+        self._only_within: List[Pattern] = []
         self._induced = False
         self._time_limit: Optional[float] = None
         self._rl_strategy = "heuristic"
         self._fusion = True
         self._lateral = True
+        self._strict = False
 
     # ------------------------------------------------------------------
     # Builder steps (each returns self for chaining)
@@ -63,12 +78,26 @@ class Query:
                 "minimality-style constraints run on repro.apps.kws"
             )
         self._not_within.append(containing)
-        return self
+        return self._recheck()
+
+    def only_within(self, containing: Pattern) -> "Query":
+        """Keep only matches contained in a match of ``containing``.
+
+        The positive counterpart of :meth:`not_within`: a match is
+        valid only when some match of the strictly larger
+        ``containing`` pattern contains it.  Multiple calls conjoin.
+        """
+        if containing.num_vertices <= self._pattern.num_vertices:
+            raise ValueError(
+                "only_within requires a strictly larger pattern"
+            )
+        self._only_within.append(containing)
+        return self._recheck()
 
     def induced(self, flag: bool = True) -> "Query":
         """Use vertex-induced matching semantics."""
         self._induced = flag
-        return self
+        return self._recheck()
 
     def time_limit(self, seconds: float) -> "Query":
         """Abort with TimeLimitExceeded beyond ``seconds``."""
@@ -93,11 +122,56 @@ class Query:
         return self
 
     # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+
+    def spec(
+        self,
+    ) -> Tuple[Pattern, List[Pattern], List[Pattern], bool]:
+        """The query's static shape: (target, not_within, only_within,
+        induced) — what the analyzer inspects."""
+        return (
+            self._pattern,
+            list(self._not_within),
+            list(self._only_within),
+            self._induced,
+        )
+
+    def analyze(self) -> "AnalysisReport":
+        """Run the static analyzer over the query as built so far."""
+        from ..analysis.analyzer import analyze_query_spec
+
+        return analyze_query_spec(
+            self._pattern,
+            not_within=self._not_within,
+            only_within=self._only_within,
+            induced=self._induced,
+        )
+
+    def strict(self) -> "Query":
+        """Raise :class:`QueryAnalysisError` on error diagnostics.
+
+        Analysis runs immediately and again after every subsequent
+        builder step and at build time, so the first step that makes
+        the query unsatisfiable is the one that fails.
+        """
+        self._strict = True
+        return self._recheck()
+
+    def _recheck(self) -> "Query":
+        if self._strict:
+            report = self.analyze()
+            if report.has_errors:
+                raise QueryAnalysisError(report.diagnostics)
+        return self
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
     def build_constraints(self) -> ConstraintSet:
         """The constraint set this query denotes (validates eagerly)."""
+        self._recheck()
         constraints = [
             ContainmentConstraint(
                 self._pattern, containing, induced=self._induced
@@ -118,7 +192,40 @@ class Query:
             rl_strategy=self._rl_strategy,
             time_limit=self._time_limit,
         )
-        return engine.run()
+        result = engine.run()
+        if self._only_within:
+            self._apply_only_within(result, graph)
+        return result
+
+    def _apply_only_within(
+        self, result: ContigraResult, graph: Graph
+    ) -> None:
+        """Filter to matches contained in every ``only_within`` pattern.
+
+        Required containment runs as ordinary VTasks over each valid
+        match; a match survives only when every required target finds
+        a containing completion.
+        """
+        required = [
+            ValidationTarget(
+                self._pattern,
+                containing,
+                graph,
+                induced=self._induced,
+                strategy=self._rl_strategy,
+            )
+            for containing in self._only_within
+        ]
+        cache = SetOperationCache(stats=result.stats)
+        result.valid = [
+            (pattern, assignment)
+            for pattern, assignment in result.valid
+            if all(
+                target.run(assignment, graph, cache, result.stats)
+                is not None
+                for target in required
+            )
+        ]
 
     def count(self, graph: Graph) -> int:
         """Number of valid matches."""
@@ -129,4 +236,12 @@ class Query:
         nots = ", ".join(
             p.name or f"P{p.num_vertices}" for p in self._not_within
         )
-        return f"Query({target} not within [{nots}], induced={self._induced})"
+        onlys = ", ".join(
+            p.name or f"P{p.num_vertices}" for p in self._only_within
+        )
+        only_part = f" only within [{onlys}]" if onlys else ""
+        strict_part = ", strict" if self._strict else ""
+        return (
+            f"Query({target} not within [{nots}]{only_part}, "
+            f"induced={self._induced}{strict_part})"
+        )

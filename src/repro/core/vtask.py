@@ -33,7 +33,7 @@ fusing the tasks.  Disabling fusion hands each VTask a throwaway cache.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graph.graph import Graph
 from ..mining.cache import SetOperationCache
@@ -98,10 +98,16 @@ class BridgeRecipe:
         )
 
 
-def _orbit_representative_embeddings(
+def alignment_embeddings(
     p_m: Pattern, p_plus: Pattern, induced: bool
 ) -> List[Tuple[int, ...]]:
-    """Embeddings of P^M into P⁺, deduplicated modulo Aut(P⁺)."""
+    """Embeddings of P^M into P⁺, deduplicated modulo Aut(P⁺).
+
+    These are the §5.2.1 alignment options: each embedding is one way
+    a VTask can reuse an ETask's partial match.  Exposed for the
+    static analyzer, which verifies alignment feasibility without
+    constructing a full :class:`ValidationTarget`.
+    """
     p_plus_auts = automorphisms(p_plus)
     seen: set = set()
     representatives: List[Tuple[int, ...]] = []
@@ -117,10 +123,15 @@ def _orbit_representative_embeddings(
     return representatives
 
 
-def _connected_extension_orders(
+def connected_extension_orders(
     p_plus: Pattern, covered: Sequence[int], added: Sequence[int]
 ) -> List[Tuple[int, ...]]:
-    """All orders of ``added`` where each vertex attaches to bound ones."""
+    """All orders of ``added`` where each vertex attaches to bound ones.
+
+    An empty result means the gap cannot be bridged from this
+    embedding (e.g. ``p_plus`` is disconnected) — the analyzer turns
+    that into a CG402 diagnostic before the engine would crash on it.
+    """
     orders: List[Tuple[int, ...]] = []
     covered_set = set(covered)
     for perm in itertools.permutations(added):
@@ -169,7 +180,7 @@ class ValidationTarget:
         if self.gap < 1:
             raise ValueError("validation target must be strictly larger")
         if dedup_embeddings:
-            embeddings = _orbit_representative_embeddings(p_m, p_plus, induced)
+            embeddings = alignment_embeddings(p_m, p_plus, induced)
         else:
             embeddings = [
                 tuple(emb[v] for v in p_m.vertices())
@@ -179,7 +190,11 @@ class ValidationTarget:
         for embedding in embeddings:
             covered = list(embedding)
             added = [v for v in p_plus.vertices() if v not in set(covered)]
-            orders = _connected_extension_orders(p_plus, covered, added)
+            orders = connected_extension_orders(p_plus, covered, added)
+            if not orders:
+                # Unbridgeable from this embedding (disconnected P⁺);
+                # the analyzer reports this statically as CG402.
+                continue
             candidates = [
                 BridgeRecipe(p_plus, embedding, order) for order in orders
             ]
@@ -196,6 +211,17 @@ class ValidationTarget:
             # pick is kept — the strategy decides *which* RL-Path runs,
             # never how many (that is the entire effect Fig 16 sweeps).
             recipes.append(candidates[0])
+        if embeddings and not recipes:
+            # Embeddings exist but none can be extended along connected
+            # RL-Paths (disconnected P⁺).  With *zero* embeddings the
+            # empty recipe list is legitimate — P⁺ simply never
+            # contains P^M and the VTask never matches.
+            raise ValueError(
+                f"no aligned RL-Path recipe bridges "
+                f"{p_m.name or p_m.num_vertices} to "
+                f"{p_plus.name or p_plus.num_vertices} "
+                "(is the containing pattern connected?)"
+            )
         if strategy != "naive":
             # Keep the globally heuristic-preferred recipes first.
             recipes = order_exploration_paths(
@@ -244,7 +270,7 @@ class ValidationTarget:
         graph: Graph,
         cache: SetOperationCache,
         stats: ConstraintStats,
-        emit,
+        emit: Callable[[Tuple[int, ...]], None],
     ) -> None:
         """Emit *every* P⁺ match containing the P^M match (no early exit).
 
@@ -271,7 +297,7 @@ class ValidationTarget:
         graph: Graph,
         cache: SetOperationCache,
         stats: ConstraintStats,
-        emit,
+        emit: Callable[[Tuple[int, ...]], None],
     ) -> None:
         if step == len(recipe.order):
             emit(tuple(bound[v] for v in self.p_plus.vertices()))
@@ -354,3 +380,8 @@ class ValidationTarget:
             f"{self.p_plus.name or self.p_plus.num_vertices}, "
             f"gap={self.gap}, recipes={len(self.recipes)})"
         )
+
+
+# Backwards-compatible aliases for the pre-analyzer private names.
+_orbit_representative_embeddings = alignment_embeddings
+_connected_extension_orders = connected_extension_orders

@@ -2,9 +2,33 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from .analysis.diagnostics import Diagnostic
+
 
 class ReproError(Exception):
     """Base class for library errors."""
+
+
+class QueryAnalysisError(ReproError, ValueError):
+    """Strict-mode query building hit error-severity diagnostics.
+
+    Raised by ``Query(...).strict()`` when the static analyzer finds
+    at least one error-severity ``CGxxx`` diagnostic.  ``diagnostics``
+    carries every finding (not just the errors) so callers can render
+    the full report.
+    """
+
+    def __init__(self, diagnostics: Iterable["Diagnostic"]) -> None:
+        errors = [d for d in diagnostics if d.severity == "error"]
+        lines = "; ".join(f"{d.code} {d.message}" for d in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(
+            f"query analysis found {len(errors)} error(s): {lines}{more}"
+        )
+        self.diagnostics = list(diagnostics)
 
 
 class TimeLimitExceeded(ReproError):

@@ -16,7 +16,7 @@ patterns accept them — the engine needs connected patterns).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, NoReturn, Optional, Set, Tuple
 
 from .pattern import Pattern
 
@@ -24,70 +24,102 @@ from .pattern import Pattern
 def parse_pattern(text: str, name: str = "") -> Pattern:
     """Parse the DSL described in the module docstring.
 
-    Raises ``ValueError`` with the offending fragment on bad input.
+    Every ``ValueError`` names the 0-based clause index and quotes the
+    offending fragment (``clause 1 ('labels 0:x'): ...``) so analyzer
+    diagnostics and tracebacks point at source text, not just at a
+    symptom.
     """
     edges: Set[Tuple[int, int]] = set()
     anti_edges: Set[Tuple[int, int]] = set()
     labels: Dict[int, int] = {}
     anti: List[int] = []
     explicit_vertices: Optional[int] = None
+    vertices_clause: Tuple[int, str] = (0, "")
+    mentioned: Set[int] = set()
 
     clauses = [clause.strip() for clause in text.split(";")]
     if not clauses or not clauses[0]:
         raise ValueError("empty pattern text")
 
+    def fail(index: int, fragment: str, message: str) -> NoReturn:
+        raise ValueError(f"clause {index} ({fragment!r}): {message}")
+
     for chain in clauses[0].split(","):
         chain = chain.strip()
         if not chain:
             continue
-        vertices = [_parse_vertex(part) for part in chain.split("-")]
+        try:
+            vertices = [_parse_vertex(part) for part in chain.split("-")]
+        except ValueError as exc:
+            fail(0, chain, str(exc))
+        mentioned.update(vertices)
         if len(vertices) == 1:
             # A lone vertex mention: allowed, contributes no edge.
             continue
         for a, b in zip(vertices, vertices[1:]):
             if a == b:
-                raise ValueError(f"self loop in chain {chain!r}")
+                fail(0, chain, f"self loop on vertex {a}")
             edges.add((min(a, b), max(a, b)))
 
-    for clause in clauses[1:]:
+    for index, clause in enumerate(clauses[1:], start=1):
         if not clause:
             continue
         keyword, _, rest = clause.partition(" ")
-        if keyword == "labels":
-            for item in rest.split():
-                vertex_text, _, label_text = item.partition(":")
-                labels[_parse_vertex(vertex_text)] = int(label_text)
-        elif keyword == "anti":
-            anti.extend(_parse_vertex(v) for v in rest.split())
-        elif keyword == "anti-edges":
-            for item in rest.split():
-                a_text, _, b_text = item.partition("-")
-                anti_edges.add(
-                    _normalize(_parse_vertex(a_text), _parse_vertex(b_text))
-                )
-        elif keyword == "vertices":
-            explicit_vertices = int(rest)
-        else:
-            raise ValueError(f"unknown clause {clause!r}")
+        try:
+            if keyword == "labels":
+                for item in rest.split():
+                    vertex_text, sep, label_text = item.partition(":")
+                    if not sep or not label_text.strip().lstrip("-").isdigit():
+                        fail(
+                            index, item,
+                            "label items must look like VERTEX:LABEL",
+                        )
+                    labels[_parse_vertex(vertex_text)] = int(label_text)
+            elif keyword == "anti":
+                anti.extend(_parse_vertex(v) for v in rest.split())
+            elif keyword == "anti-edges":
+                for item in rest.split():
+                    a_text, sep, b_text = item.partition("-")
+                    if not sep:
+                        fail(
+                            index, item,
+                            "anti-edge items must look like A-B",
+                        )
+                    anti_edges.add(
+                        _normalize(
+                            _parse_vertex(a_text), _parse_vertex(b_text)
+                        )
+                    )
+            elif keyword == "vertices":
+                if not rest.strip().isdigit():
+                    fail(index, clause, "vertices needs an integer count")
+                explicit_vertices = int(rest)
+                vertices_clause = (index, clause)
+            else:
+                fail(index, clause, f"unknown clause keyword {keyword!r}")
+        except ValueError as exc:
+            if str(exc).startswith("clause "):
+                raise
+            fail(index, clause, str(exc))
 
-    mentioned = (
+    mentioned |= (
         {v for e in edges for v in e}
         | {v for e in anti_edges for v in e}
         | set(labels)
         | set(anti)
     )
-    if clauses[0]:
-        for chain in clauses[0].split(","):
-            for part in chain.strip().split("-"):
-                if part.strip():
-                    mentioned.add(_parse_vertex(part))
     if not mentioned and explicit_vertices is None:
-        raise ValueError("pattern mentions no vertices")
+        raise ValueError(
+            f"clause 0 ({clauses[0]!r}): pattern mentions no vertices"
+        )
     size = max(mentioned, default=-1) + 1
     if explicit_vertices is not None:
         if explicit_vertices < size:
-            raise ValueError(
-                f"vertices {explicit_vertices} below the highest id {size - 1}"
+            fail(
+                vertices_clause[0],
+                vertices_clause[1],
+                f"vertices {explicit_vertices} below the highest "
+                f"mentioned id {size - 1}",
             )
         size = explicit_vertices
 

@@ -1,0 +1,307 @@
+"""Tests for the static query analyzer (repro.analysis)."""
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    analyze_constraint_set,
+    analyze_kws_workload,
+    analyze_query,
+    analyze_query_spec,
+    check_alignment_feasibility,
+    check_dependency_graph,
+    lint_pattern,
+    lint_pattern_text,
+    selfcheck,
+    verify_symmetry_conditions,
+)
+from repro.core import ConstraintSet, ContainmentConstraint, Query
+from repro.errors import QueryAnalysisError
+from repro.graph import graph_from_edges
+from repro.patterns import (
+    Pattern,
+    clique,
+    house,
+    parse_pattern,
+    tailed_triangle,
+    triangle,
+)
+
+
+def codes(report_or_list):
+    if isinstance(report_or_list, AnalysisReport):
+        return report_or_list.codes()
+    return [d.code for d in report_or_list]
+
+
+class TestDiagnostics:
+    def test_registry_severities(self):
+        assert all(
+            severity in (ERROR, WARNING, INFO)
+            for _, severity, _ in CODES.values()
+        )
+
+    def test_suppress_filters_codes(self):
+        report = analyze_kws_workload([0, 1], 3)
+        assert "CG201" in report.codes()
+        assert "CG201" not in report.suppress(["CG201"]).codes()
+
+    def test_sorted_puts_errors_first(self):
+        report = analyze_query_spec(
+            triangle(), not_within=[parse_pattern("0-1, 2-3")]
+        )
+        ordered = report.sorted().diagnostics
+        severities = [d.severity for d in ordered]
+        assert severities == sorted(
+            severities, key=(ERROR, WARNING, INFO).index
+        )
+
+    def test_to_dict_roundtrips_counts(self):
+        report = selfcheck()
+        payload = report.to_dict()
+        assert payload["errors"] == len(report.errors)
+        assert len(payload["diagnostics"]) == len(report)
+
+
+class TestLint:
+    def test_disconnected_pattern_cg001(self):
+        p = Pattern(4, {(0, 1), (2, 3)})
+        assert "CG001" in codes(lint_pattern(p))
+
+    def test_parse_error_cg004(self):
+        pattern, diagnostics = lint_pattern_text("0-0", name="t")
+        assert pattern is None
+        assert codes(diagnostics) == ["CG004"]
+        assert "self loop" in diagnostics[0].message
+
+    def test_duplicate_item_cg005(self):
+        pattern, diagnostics = lint_pattern_text("0-1, 1-2, 0-1")
+        assert pattern is not None
+        assert "CG005" in codes(diagnostics)
+
+
+class TestSatisfiability:
+    def test_unsatisfiable_self_containment_cg101(self):
+        # P+ is the target plus an isolated wildcard vertex: under
+        # edge-induced matching every triangle match extends to it, so
+        # not_within excludes everything the query could return.
+        p_plus = parse_pattern("0-1, 1-2, 0-2; vertices 4")
+        report = analyze_query_spec(triangle(), not_within=[p_plus])
+        assert "CG101" in report.codes()
+        assert report.has_errors
+
+    def test_only_within_not_within_contradiction_cg101(self):
+        report = analyze_query_spec(
+            triangle(),
+            not_within=[tailed_triangle()],
+            only_within=[tailed_triangle()],
+        )
+        assert "CG101" in report.codes()
+
+    def test_equal_size_cg102(self):
+        report = analyze_query_spec(triangle(), not_within=[triangle()])
+        assert "CG102" in report.codes()
+
+    def test_unrelated_cg103(self):
+        from repro.patterns import cycle
+
+        report = analyze_query_spec(
+            cycle(4), not_within=[clique(5)], induced=True
+        )
+        assert "CG103" in report.codes()
+
+    def test_duplicate_constraint_cg105(self):
+        report = analyze_query_spec(
+            triangle(), not_within=[house(), house()]
+        )
+        assert "CG105" in report.codes()
+
+    def test_clean_query_has_no_diagnostics(self):
+        report = analyze_query_spec(triangle(), not_within=[house()])
+        assert report.ok
+        assert len(report) == 0
+
+
+class TestBucketing:
+    def test_all_skip_workload_cg201_cg202(self):
+        # Fully-labeled keyword patterns: every size>1 cover contains
+        # the single-vertex cover, so minimality rejects everything.
+        labeled_edge = parse_pattern("0-1; labels 0:0 1:0")
+        cs = ConstraintSet(
+            [labeled_edge],
+            [
+                ContainmentConstraint(
+                    labeled_edge,
+                    Pattern(1, set(), labels=[0]),
+                    induced=True,
+                )
+            ],
+            induced=True,
+        )
+        report = AnalysisReport()
+        from repro.analysis import check_predecessor_buckets
+
+        report.extend(check_predecessor_buckets(cs))
+        assert "CG201" in report.codes()
+        assert "CG202" in report.codes()
+        assert report.has_errors
+
+    def test_kws_workload_mixes_buckets(self):
+        report = analyze_kws_workload([0, 1], 3)
+        assert "CG201" in report.codes()  # SKIP bucket exists
+        assert "CG203" in report.codes()  # EAGER bucket exists
+        assert "CG202" not in report.codes()  # but not all-SKIP
+        assert report.ok
+
+
+class TestDependencyGraph:
+    def test_cycle_cg302(self):
+        cs = ConstraintSet(
+            [triangle(), tailed_triangle()],
+            [
+                ContainmentConstraint(triangle(), tailed_triangle()),
+                ContainmentConstraint(tailed_triangle(), triangle()),
+            ],
+        )
+        assert "CG302" in codes(check_dependency_graph(cs))
+
+    def test_dead_intermediate_cg301(self):
+        # house is mined but neither carries nor receives a constraint.
+        cs = ConstraintSet(
+            [triangle(), house()],
+            [ContainmentConstraint(triangle(), tailed_triangle())],
+        )
+        assert "CG301" in codes(check_dependency_graph(cs))
+
+    def test_degenerate_lateral_group_cg303(self):
+        tailed_relabeled = Pattern(
+            4, {(0, 1), (0, 2), (1, 2), (2, 3)}, name="tailed-b"
+        )
+        assert tailed_relabeled.canonical_key() == (
+            tailed_triangle().canonical_key()
+        )
+        cs = ConstraintSet(
+            [triangle()],
+            [
+                ContainmentConstraint(triangle(), tailed_triangle()),
+                ContainmentConstraint(triangle(), tailed_relabeled),
+            ],
+        )
+        assert "CG303" in codes(check_dependency_graph(cs))
+
+
+class TestPlanVerification:
+    def test_comparison_cycle_cg401(self):
+        diagnostics = verify_symmetry_conditions(
+            triangle(), [(0, 1), (1, 0)]
+        )
+        assert "CG401" in codes(diagnostics)
+
+    def test_wrong_orbit_count_cg401(self):
+        # A triangle needs three conditions to break S_3; one is not
+        # enough (it keeps 3 of the 6 orderings, not 1).
+        diagnostics = verify_symmetry_conditions(triangle(), [(0, 1)])
+        assert "CG401" in codes(diagnostics)
+
+    def test_out_of_range_vertex_cg401(self):
+        diagnostics = verify_symmetry_conditions(triangle(), [(0, 7)])
+        assert "CG401" in codes(diagnostics)
+
+    def test_valid_conditions_pass(self):
+        diagnostics = verify_symmetry_conditions(
+            triangle(), [(0, 1), (1, 2)]
+        )
+        assert diagnostics == []
+
+    def test_disconnected_containing_cg402(self):
+        p_plus = Pattern(4, {(0, 1), (1, 2), (0, 2)})  # isolated vertex 3
+        diagnostics = check_alignment_feasibility(
+            triangle(), p_plus, induced=False
+        )
+        assert "CG402" in codes(diagnostics)
+
+
+class TestEntryPoints:
+    def test_selfcheck_library_is_error_free(self):
+        report = selfcheck()
+        assert report.ok, report.render_text()
+
+    def test_analyze_constraint_set_maximality(self):
+        from repro.core import maximality_constraints
+        from repro.patterns import quasi_clique_patterns_up_to
+
+        cs = maximality_constraints(
+            quasi_clique_patterns_up_to(4, 0.8), induced=True
+        )
+        assert analyze_constraint_set(cs).ok
+
+    def test_analyze_query_builder(self):
+        query = Query(triangle()).not_within(house())
+        assert analyze_query(query).ok
+
+    def test_analyze_query_rejects_non_query(self):
+        with pytest.raises(TypeError):
+            analyze_query(triangle())
+
+
+class TestStrictQuery:
+    def test_strict_raises_on_unsatisfiable(self):
+        p_plus = parse_pattern("0-1, 1-2, 0-2; vertices 4")
+        with pytest.raises(QueryAnalysisError) as excinfo:
+            Query(triangle()).strict().not_within(p_plus)
+        assert any(
+            d.code in ("CG001", "CG101") for d in excinfo.value.diagnostics
+        )
+
+    def test_strict_passes_clean_query(self):
+        query = Query(triangle()).strict().not_within(house())
+        assert query.analyze().ok
+
+    def test_non_strict_defers_to_run(self):
+        # Without strict() the builder accepts the pattern and the
+        # failure surfaces as a plain ValueError at execution time,
+        # when no RL-Path recipe can bridge to the disconnected P+.
+        p_plus = parse_pattern("0-1, 1-2, 0-2; vertices 4")
+        query = Query(triangle()).not_within(p_plus)
+        graph = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(ValueError, match="bridges"):
+            query.run(graph)
+
+
+class TestOnlyWithinRuntime:
+    def test_only_within_filters_matches(self):
+        # K4 on {0..3} plus an isolated triangle {4,5,6}: triangles in
+        # the K4 are inside a 4-clique; the isolated one is not.
+        edges = [
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+            (4, 5), (5, 6), (4, 6),
+        ]
+        graph = graph_from_edges(edges)
+        unconstrained = Query(triangle()).count(graph)
+        within_k4 = Query(triangle()).only_within(clique(4)).count(graph)
+        assert unconstrained == 5  # 4 in the K4 + 1 isolated
+        assert within_k4 == 4
+
+    def test_only_within_conjoins(self):
+        edges = [
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+            (4, 5), (5, 6), (4, 6),
+        ]
+        graph = graph_from_edges(edges)
+        count = (
+            Query(triangle())
+            .only_within(clique(4))
+            .only_within(tailed_triangle())
+            .count(graph)
+        )
+        # tailed triangle needs a fourth vertex off the triangle: the
+        # K4 triangles have one, the isolated triangle does not.
+        assert count == 4
+
+    def test_only_within_requires_larger_pattern(self):
+        with pytest.raises(ValueError):
+            Query(triangle()).only_within(triangle())

@@ -101,3 +101,73 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "maximal_quasi_cliques:" in out
+
+    def test_explain_json_format(self, capsys):
+        assert main(
+            ["explain", "--dataset", "dblp", "--gamma", "0.8",
+             "--max-size", "4", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "mqc"
+        assert "VTask schedule" in payload["explain"]
+
+
+class TestAnalyze:
+    def test_selfcheck_clean(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_selfcheck_json(self, capsys):
+        assert main(["analyze", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+
+    def test_clean_query(self, capsys):
+        assert main(
+            ["analyze", "--pattern", "0-1, 1-2, 0-2",
+             "--not-within", "0-1, 1-2, 0-2, 0-3"]
+        ) == 0
+
+    def test_unsatisfiable_query_exits_nonzero(self, capsys):
+        assert main(
+            ["analyze", "--pattern", "0-1, 1-2, 0-2",
+             "--not-within", "0-1, 1-2, 0-2; vertices 4",
+             "--format", "json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert any(
+            d["code"].startswith("CG1") or d["code"] == "CG001"
+            for d in payload["diagnostics"]
+        )
+
+    def test_parse_error_reported_as_cg004(self, capsys):
+        assert main(["analyze", "--pattern", "0-0"]) == 1
+        out = capsys.readouterr().out
+        assert "CG004" in out
+        assert "self loop" in out
+
+    def test_suppress_downgrades_exit(self, capsys):
+        # CG202 is the only error in this degenerate workload text;
+        # suppressing it flips the exit code.
+        args = ["analyze", "--pattern", "0-1, 1-2, 0-2",
+                "--not-within", "0-1, 2-3; vertices 4"]
+        assert main(args) == 1
+        capsys.readouterr()
+        assert main(args + ["--suppress", "CG001,CG103"]) == 0
+
+    def test_kws_workload(self, capsys):
+        assert main(
+            ["analyze", "--workload", "kws", "--keywords", "0,1",
+             "--max-size", "3", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "CG201" in codes
+
+    def test_mqc_workload(self, capsys):
+        assert main(
+            ["analyze", "--workload", "mqc", "--max-size", "4"]
+        ) == 0

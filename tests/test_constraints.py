@@ -105,3 +105,39 @@ class TestDependencyGraph:
         cs = nested_query_constraints(tailed_triangle(), [clique(6)])
         (edge,) = derive_dependencies(cs).edges
         assert edge.gap == 2
+
+    def test_empty_constraint_set(self):
+        cs = ConstraintSet([triangle()], [])
+        graph = derive_dependencies(cs)
+        assert graph.edges == []
+        assert graph.lateral_groups() == []
+        assert graph.summary() == {
+            SUCCESSOR: 0, PREDECESSOR: 0, LATERAL: 0,
+        }
+
+    def test_pattern_constrained_against_itself_rejected(self):
+        # Strict containment needs strictly more vertices; a pattern
+        # can never be constrained against itself (or any same-size
+        # pattern), so the constraint constructor refuses.
+        with pytest.raises(ValueError):
+            ContainmentConstraint(triangle(), triangle())
+        with pytest.raises(ValueError):
+            ContainmentConstraint(
+                tailed_triangle(), cycle(4), induced=True
+            )
+
+    def test_lateral_groups_ordering_stable(self):
+        by_size = quasi_clique_patterns_up_to(6, 0.8)
+        cs = maximality_constraints(by_size)
+        reference = derive_dependencies(cs).lateral_groups()
+        for _ in range(3):
+            groups = derive_dependencies(cs).lateral_groups()
+            assert [
+                (source.structure_key(),
+                 [target.structure_key() for target in targets])
+                for source, targets in groups
+            ] == [
+                (source.structure_key(),
+                 [target.structure_key() for target in targets])
+                for source, targets in reference
+            ]

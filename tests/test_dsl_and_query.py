@@ -76,6 +76,46 @@ class TestParse:
     def test_roundtrip_property(self, p):
         assert are_isomorphic(parse_pattern(to_dsl(p)), p)
 
+    def test_roundtrip_through_dot(self):
+        # DOT export mentions every structural element the DSL does;
+        # reparsing the DSL of a pattern reconstructed from its own
+        # text must land on the identical structure.
+        for text in (
+            "0-1, 1-2, 0-2",
+            "0-1, 1-2, 0-2; labels 0:5 2:7",
+            "0-1; anti-edges 0-2; vertices 3",
+        ):
+            p = parse_pattern(text)
+            again = parse_pattern(to_dsl(p))
+            assert again == p
+            assert to_dot(again) == to_dot(p)
+
+
+class TestParseErrorMessages:
+    """Every parse error names the clause index and quotes the text."""
+
+    @pytest.mark.parametrize(
+        "text, clause, fragment",
+        [
+            ("0-0", 0, "0-0"),
+            ("0-x", 0, "0-x"),
+            ("0-1; labels 0:x", 1, "0:x"),
+            ("0-1; anti-edges 02", 1, "02"),
+            ("0-1; vertices x", 1, "vertices x"),
+            ("0-1; bogus 3", 1, "bogus 3"),
+            ("0-1, 1-2; vertices 1", 1, "vertices 1"),
+            ("0-1; labels 0:1; anti q", 2, "anti q"),
+        ],
+    )
+    def test_error_carries_clause_and_fragment(
+        self, text, clause, fragment
+    ):
+        with pytest.raises(ValueError) as excinfo:
+            parse_pattern(text)
+        message = str(excinfo.value)
+        assert message.startswith(f"clause {clause} (")
+        assert repr(fragment) in message
+
 
 class TestDot:
     def test_contains_edges_and_style(self):
