@@ -6,7 +6,16 @@ set-operation cache is the plotted metric.
 Paper shape: promotion lifts hit rates from ~48% to ~73% because the
 candidates a VTask computed are reused by the promoted ETask instead
 of being recomputed.
+
+Environment knobs (the CI scheduler-smoke job sets these to run the
+same experiment under each execution-core scheduler on one dataset):
+
+* ``REPRO_SCHEDULER``: serial (default) / process / workqueue
+* ``REPRO_WORKERS``: worker count for parallel schedulers (default 2)
+* ``REPRO_DATASETS``: comma-separated dataset keys (default: all)
 """
+
+import os
 
 from repro.apps import maximal_quasi_cliques
 from repro.bench import dataset, dataset_keys, format_table
@@ -16,16 +25,28 @@ from _common import emit, run_once
 GAMMA = 0.7
 MAX_SIZE = 6
 
+SCHEDULER = os.environ.get("REPRO_SCHEDULER", "serial")
+N_WORKERS = int(os.environ.get("REPRO_WORKERS", "2"))
+
+
+def _dataset_keys():
+    selected = os.environ.get("REPRO_DATASETS")
+    if not selected:
+        return dataset_keys()
+    return [key.strip() for key in selected.split(",") if key.strip()]
+
 
 def run_experiment() -> str:
     rows = []
-    for key in dataset_keys():
+    for key in _dataset_keys():
         graph = dataset(key)
         with_promo = maximal_quasi_cliques(
-            graph, GAMMA, MAX_SIZE, enable_promotion=True
+            graph, GAMMA, MAX_SIZE, enable_promotion=True,
+            scheduler=SCHEDULER, n_workers=N_WORKERS,
         )
         without = maximal_quasi_cliques(
-            graph, GAMMA, MAX_SIZE, enable_promotion=False
+            graph, GAMMA, MAX_SIZE, enable_promotion=False,
+            scheduler=SCHEDULER, n_workers=N_WORKERS,
         )
         assert with_promo.all_sets() == without.all_sets()
         rows.append(
@@ -43,11 +64,13 @@ def run_experiment() -> str:
         rows,
         title=(
             f"Fig 13: cache hit rates with/without task promotion "
-            f"(MQC, gamma={GAMMA}, size<={MAX_SIZE})"
+            f"(MQC, gamma={GAMMA}, size<={MAX_SIZE}, "
+            f"scheduler={SCHEDULER})"
         ),
     )
 
 
 def test_fig13(benchmark):
     table = run_once(benchmark, run_experiment)
-    emit("fig13_promotion", table)
+    suffix = "" if SCHEDULER == "serial" else f"_{SCHEDULER}"
+    emit(f"fig13_promotion{suffix}", table)

@@ -34,6 +34,7 @@ from .plancheck import (
     check_plans,
     verify_symmetry_conditions,
 )
+from .schedcheck import check_scheduler, promotable_constraints
 from .satisfiability import (
     check_duplicate_constraints,
     check_predecessor_buckets,
@@ -65,6 +66,8 @@ __all__ = [
     "check_plans",
     "check_alignment_feasibility",
     "check_constraint_alignments",
+    "check_scheduler",
+    "promotable_constraints",
     "verify_symmetry_conditions",
     "library_patterns",
     "selfcheck",

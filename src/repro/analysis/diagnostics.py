@@ -139,6 +139,37 @@ CODES: Dict[str, Tuple[str, str, str]] = {
         ERROR,
         "no valid exploration plan could be built for the pattern",
     ),
+    "CG501": (
+        "unknown-scheduler",
+        ERROR,
+        "the requested execution-core scheduler is not registered",
+    ),
+    "CG502": (
+        "cross-shard-promotion",
+        WARNING,
+        "promotion-eligible constraints under a sharded scheduler use "
+        "per-worker promotion registries; promotion and cancellation "
+        "counters diverge from a serial run (valid matches do not)",
+    ),
+    "CG503": (
+        "process-local-cancellation",
+        WARNING,
+        "cooperative cancellation cannot cross process boundaries: a "
+        "run-level token cancel or a lateral signal raised in one "
+        "shard never interrupts workers mid-shard",
+    ),
+    "CG504": (
+        "degenerate-worker-count",
+        WARNING,
+        "a parallel scheduler with fewer than two workers pays "
+        "sharding overhead without any parallelism",
+    ),
+    "CG505": (
+        "scheduler-ignored-workload",
+        WARNING,
+        "the workload runs a dedicated pipeline that does not accept "
+        "an execution-core scheduler; the request is ignored",
+    ),
 }
 
 

@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Optional, Set
 
 from ..core.constraints import maximality_constraints
 from ..core.runtime import ContigraEngine, ContigraResult
+from ..exec.scheduler import make_scheduler
 from ..graph.graph import Graph
 from ..patterns.quasicliques import quasi_clique_patterns_up_to
 
@@ -84,13 +85,17 @@ def maximal_quasi_cliques(
     max_size: int,
     min_size: int = 3,
     time_limit: Optional[float] = None,
+    scheduler: Optional[str] = None,
+    n_workers: int = 2,
     **engine_options,
 ) -> MaximalQuasiCliqueResult:
     """Mine maximal gamma-quasi-cliques with Contigra.
 
     ``engine_options`` forwards the runtime toggles
     (``enable_fusion``, ``enable_promotion``, ``enable_lateral``,
-    ``rl_strategy``).  Raises
+    ``rl_strategy``).  ``scheduler`` selects an execution-core
+    scheduler (``serial`` / ``process`` / ``workqueue``); None keeps
+    the in-process serial run.  Raises
     :class:`~repro.errors.TimeLimitExceeded` past ``time_limit``.
     """
     engine = build_mqc_engine(
@@ -101,4 +106,8 @@ def maximal_quasi_cliques(
         time_limit=time_limit,
         **engine_options,
     )
-    return MaximalQuasiCliqueResult(engine.run())
+    if scheduler is None or scheduler == "serial":
+        return MaximalQuasiCliqueResult(engine.run())
+    return MaximalQuasiCliqueResult(
+        engine.run_with(make_scheduler(scheduler, n_workers=n_workers))
+    )

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.constraints import nested_query_constraints
 from ..core.runtime import ContigraEngine, ContigraResult
+from ..exec.scheduler import make_scheduler
 from ..graph.graph import Graph
 from ..patterns.library import house, tailed_triangle, triangle
 from ..patterns.pattern import Pattern
@@ -30,12 +31,16 @@ def nested_subgraph_query(
     p_plus_list: Sequence[Pattern],
     induced: bool = False,
     time_limit: Optional[float] = None,
+    scheduler: Optional[str] = None,
+    n_workers: int = 2,
     **engine_options,
 ) -> ContigraResult:
     """Run one nested subgraph query with Contigra.
 
     Returns the :class:`~repro.core.runtime.ContigraResult` whose
     ``assignments()`` are the valid (non-contained) matches of ``p_m``.
+    ``scheduler`` selects an execution-core scheduler (``serial`` /
+    ``process`` / ``workqueue``); None keeps the serial in-process run.
     """
     constraint_set = nested_query_constraints(
         p_m, list(p_plus_list), induced=induced
@@ -46,7 +51,9 @@ def nested_subgraph_query(
         time_limit=time_limit,
         **engine_options,
     )
-    return engine.run()
+    if scheduler is None or scheduler == "serial":
+        return engine.run()
+    return engine.run_with(make_scheduler(scheduler, n_workers=n_workers))
 
 
 def paper_query_triangles() -> Tuple[Pattern, List[Pattern]]:

@@ -20,12 +20,11 @@ without Peregrine+'s result reuse).
 
 from __future__ import annotations
 
-import time
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from ..core import statespace
 from ..core.vtask import ValidationTarget
-from ..errors import TimeLimitExceeded
+from ..exec.context import Budget
 from ..graph.graph import Graph
 from ..mining.cache import SetOperationCache
 from ..mining.engine import MiningEngine
@@ -54,23 +53,14 @@ class PostHocResult:
         )
 
 
-class _Deadline:
-    """Cheap cooperative deadline shared across the baseline's loops."""
+def _baseline_budget(time_limit: Optional[float]) -> Budget:
+    """Cheap cooperative deadline shared across the baseline's loops.
 
-    def __init__(self, time_limit: Optional[float]) -> None:
-        self.time_limit = time_limit
-        self.start = time.monotonic()
-        self._tick = 0
-
-    def check(self) -> None:
-        if self.time_limit is None:
-            return
-        self._tick += 1
-        if self._tick % 128:
-            return
-        elapsed = time.monotonic() - self.start
-        if elapsed > self.time_limit:
-            raise TimeLimitExceeded(self.time_limit, elapsed)
+    The same single deadline implementation every engine uses
+    (:class:`repro.exec.context.Budget`), at the tick interval the
+    baseline historically polled at.
+    """
+    return Budget(time_limit=time_limit, check_interval=128)
 
 
 def posthoc_mqc(
@@ -91,7 +81,7 @@ def posthoc_mqc(
         raise ValueError(f"unknown schedule {schedule!r}")
     result = PostHocResult()
     stats = result.stats
-    deadline = _Deadline(time_limit)
+    budget = _baseline_budget(time_limit)
     engine = MiningEngine(
         graph, induced=True, cache_enabled=schedule == "peregrine"
     )
@@ -107,7 +97,7 @@ def posthoc_mqc(
     matches: List = []
 
     def collect(match) -> bool:
-        deadline.check()
+        budget.check_deadline()
         matches.append(match)
         return False
 
@@ -117,7 +107,7 @@ def posthoc_mqc(
     if not check_maximality:
         for match in matches:
             result.valid.add(match.vertex_set)
-        result.elapsed = time.monotonic() - deadline.start
+        result.elapsed = budget.elapsed()
         return result
 
     # Post-hoc phase: every match individually re-examined by a
@@ -127,13 +117,13 @@ def posthoc_mqc(
     # cache sharing, nothing skipped: the per-match cost the paper's
     # Figure 2 measures (453M checks on Patents, 2.3B on Youtube).
     for match in matches:
-        deadline.check()
+        budget.check_deadline()
         stats.matches_checked += 1
         if not _contained_in_larger_quasi_clique(
-            graph, match.vertex_set, gamma, max_size, stats, deadline
+            graph, match.vertex_set, gamma, max_size, stats, budget
         ):
             result.valid.add(match.vertex_set)
-    result.elapsed = time.monotonic() - deadline.start
+    result.elapsed = budget.elapsed()
     return result
 
 
@@ -143,7 +133,7 @@ def _contained_in_larger_quasi_clique(
     gamma: float,
     max_size: int,
     stats: ConstraintStats,
-    deadline: _Deadline,
+    budget: Budget,
 ) -> bool:
     """UDF-style maximality probe: search supersets up to ``max_size``.
 
@@ -158,7 +148,7 @@ def _contained_in_larger_quasi_clique(
     visited = set()
 
     def grow(members: FrozenSet[int]) -> bool:
-        deadline.check()
+        budget.check_deadline()
         if len(members) >= max_size:
             return False  # no room for a strictly larger mined pattern
         neighborhood = set()
@@ -194,7 +184,7 @@ def posthoc_nsq(
 
     result = PostHocResult()
     stats = result.stats
-    deadline = _Deadline(time_limit)
+    budget = _baseline_budget(time_limit)
     engine = MiningEngine(graph, induced=induced)
     engine.stats = stats
     engine.cache.stats = stats
@@ -209,7 +199,7 @@ def posthoc_nsq(
     valid_assignments: Set[tuple] = set()
 
     def on_match(match) -> bool:
-        deadline.check()
+        budget.check_deadline()
         stats.matches_checked += 1
         for target in targets:
             cold_cache = SetOperationCache(stats=stats)
@@ -221,7 +211,7 @@ def posthoc_nsq(
     engine.explore(p_m, CallbackProcessor(on_match))
     result.valid = {frozenset(a) for a in valid_assignments}
     result.stats = stats
-    result.elapsed = time.monotonic() - deadline.start
+    result.elapsed = budget.elapsed()
     # NSQ identity is per match orbit, not vertex set; keep both views.
     result.assignments = valid_assignments  # type: ignore[attr-defined]
     return result
@@ -248,14 +238,14 @@ def posthoc_kws(
     keyword_set = frozenset(keywords)
     result = PostHocResult()
     stats = result.stats
-    deadline = _Deadline(time_limit)
+    budget = _baseline_budget(time_limit)
     engine = MiningEngine(graph, induced=True)
     engine.stats = stats
     engine.cache.stats = stats
     covering: List[FrozenSet[int]] = []
 
     def on_match(match) -> bool:
-        deadline.check()
+        budget.check_deadline()
         if statespace.covers(graph, match.vertex_set, keyword_set):
             covering.append(match.vertex_set)
         return False
@@ -265,9 +255,9 @@ def posthoc_kws(
             engine.explore(structure, CallbackProcessor(on_match))
 
     for vertex_set in covering:
-        deadline.check()
+        budget.check_deadline()
         stats.matches_checked += 1
         if statespace.is_minimal_cover(graph, sorted(vertex_set), keyword_set):
             result.valid.add(vertex_set)
-    result.elapsed = time.monotonic() - deadline.start
+    result.elapsed = budget.elapsed()
     return result

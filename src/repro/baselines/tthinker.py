@@ -11,25 +11,22 @@ exhausted 64 GB of RAM (OOM).
 We cannot run the closed-source original, so this module implements
 the algorithmic skeleton faithfully — k-core pruning, set-enumeration
 with degree-feasibility bounds, candidate buffering, post-hoc
-maximality — and **simulates the budgets**: every buffered candidate
-and every enqueued task state is charged bytes against configurable
-memory/storage budgets, raising
+maximality — and **simulates the budgets** through the unified
+:class:`repro.exec.context.Budget`: every buffered candidate and every
+live recursion state is charged as resident memory, every enqueued
+task state as cumulative storage, raising
 :class:`~repro.errors.MemoryBudgetExceeded` /
 :class:`~repro.errors.StorageBudgetExceeded` exactly where the real
-system dies.  DESIGN.md documents this substitution.
+system dies.  The wall-clock deadline is the same shared budget check
+every other engine uses.  DESIGN.md documents this substitution.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Set
 
-from ..errors import (
-    MemoryBudgetExceeded,
-    StorageBudgetExceeded,
-    TimeLimitExceeded,
-)
+from ..exec.context import Budget
 from ..graph.algorithms import k_core
 from ..graph.graph import Graph
 from ..patterns.quasicliques import quasi_clique_min_degree
@@ -54,16 +51,33 @@ class TThinkerConfig:
     storage_budget_bytes: int = 128 * 1024 * 1024
     time_limit: Optional[float] = None
 
+    def budget(self) -> Budget:
+        """The unified exec-core budget enforcing this config.
+
+        ``check_interval=1``: the simulation's recursion states are
+        orders of magnitude coarser than ETask descents, so the
+        per-call clock read is cheap and keeps sub-millisecond test
+        deadlines firing on tiny graphs.
+        """
+        return Budget(
+            time_limit=self.time_limit,
+            memory_budget_bytes=self.memory_budget_bytes,
+            storage_budget_bytes=self.storage_budget_bytes,
+            check_interval=1,
+        )
+
 
 @dataclass
 class TThinkerAccounting:
-    """Running byte counters, checked against the budgets.
+    """Running byte counters mirroring the budget's view of the run.
 
     The model mirrors how the real system dies in the paper: RAM holds
     the *live* recursion states plus the buffered candidates (hubs with
     huge candidate sets spike live bytes — the Patents/Youtube/Products
     OOMs), while the spilled task buffer accumulates on disk (millions
-    of small tasks — the MiCo OOS).
+    of small tasks — the MiCo OOS).  Enforcement happens in the shared
+    :class:`~repro.exec.context.Budget`; these counters keep the
+    breakdown (candidates vs live states) the budget folds together.
     """
 
     candidate_bytes: int = 0
@@ -73,33 +87,27 @@ class TThinkerAccounting:
     candidates_buffered: int = 0
     tasks_created: int = 0
 
-    def charge_candidate(self, size: int, config: TThinkerConfig) -> None:
+    def charge_candidate(self, size: int, budget: Budget) -> None:
         self.candidates_buffered += 1
-        self.candidate_bytes += _CANDIDATE_OVERHEAD + _BYTES_PER_VERTEX * size
-        self._check_memory(config)
+        n_bytes = _CANDIDATE_OVERHEAD + _BYTES_PER_VERTEX * size
+        self.candidate_bytes += n_bytes
+        budget.charge_memory(n_bytes)  # one-way: buffered until post-hoc
+        self.peak_memory_bytes = budget.peak_memory_bytes
 
-    def enter_task(self, state_size: int, config: TThinkerConfig) -> int:
+    def enter_task(self, state_size: int, budget: Budget) -> int:
         """Charge one recursion state; returns its bytes for release."""
         self.tasks_created += 1
         bytes_used = _TASK_OVERHEAD + _BYTES_PER_VERTEX * state_size
         self.task_bytes += bytes_used
         self.live_bytes += bytes_used
-        if self.task_bytes > config.storage_budget_bytes:
-            raise StorageBudgetExceeded(
-                config.storage_budget_bytes, self.task_bytes
-            )
-        self._check_memory(config)
+        budget.charge_storage(bytes_used)
+        budget.charge_memory(bytes_used)
+        self.peak_memory_bytes = budget.peak_memory_bytes
         return bytes_used
 
-    def exit_task(self, bytes_used: int) -> None:
+    def exit_task(self, bytes_used: int, budget: Budget) -> None:
         self.live_bytes -= bytes_used
-
-    def _check_memory(self, config: TThinkerConfig) -> None:
-        used = self.candidate_bytes + self.live_bytes
-        if used > self.peak_memory_bytes:
-            self.peak_memory_bytes = used
-        if used > config.memory_budget_bytes:
-            raise MemoryBudgetExceeded(config.memory_budget_bytes, used)
+        budget.release_memory(bytes_used)
 
 
 @dataclass
@@ -135,16 +143,9 @@ def tthinker_mqc(
             "(diameter-2 property of quasi-cliques)"
         )
     config = config or TThinkerConfig()
+    budget = config.budget()
     result = TThinkerResult()
     accounting = result.accounting
-    start = time.monotonic()
-
-    def check_time() -> None:
-        if config.time_limit is None:
-            return
-        elapsed = time.monotonic() - start
-        if elapsed > config.time_limit:
-            raise TimeLimitExceeded(config.time_limit, elapsed)
 
     # Phase 0 — Quick-style pruning: vertices outside the
     # ceil(gamma (min_size - 1))-core can't join any mined quasi-clique.
@@ -193,14 +194,14 @@ def tthinker_mqc(
     # within distance 2 of every current member — a necessary condition
     # for any gamma >= 0.5 quasi-clique superset, so nothing is lost.
     def expand(members: Set[int], candidates: Set[int]) -> None:
-        check_time()
+        budget.check_deadline()
         state_bytes = accounting.enter_task(
-            len(members) + len(candidates), config
+            len(members) + len(candidates), budget
         )
         try:
             _expand_body(members, candidates)
         finally:
-            accounting.exit_task(state_bytes)
+            accounting.exit_task(state_bytes, budget)
 
     def _expand_body(members: Set[int], candidates: Set[int]) -> None:
         size = len(members)
@@ -209,7 +210,7 @@ def tthinker_mqc(
             if min(degrees) >= quasi_clique_min_degree(size, gamma):
                 if graph.is_connected_subset(sorted(members)):
                     buffered.append(frozenset(members))
-                    accounting.charge_candidate(size, config)
+                    accounting.charge_candidate(size, budget)
         if size == max_size:
             return
         for v in sorted(candidates):
@@ -240,7 +241,7 @@ def tthinker_mqc(
     for size_index, size in enumerate(sizes):
         larger_sizes = sizes[:size_index]
         for candidate in by_size[size]:
-            check_time()
+            budget.check_deadline()
             result.candidates_examined += 1
             contained = any(
                 candidate < other
@@ -249,5 +250,5 @@ def tthinker_mqc(
             )
             if not contained:
                 result.maximal.add(candidate)
-    result.elapsed = time.monotonic() - start
+    result.elapsed = budget.elapsed()
     return result

@@ -11,7 +11,6 @@ reported for these large graphs are only a lower bound").
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
@@ -20,11 +19,32 @@ from ..errors import (
     StorageBudgetExceeded,
     TimeLimitExceeded,
 )
+from ..exec.context import Budget
 
 OK = "ok"
 TLE = "TLE"
 OOM = "OOM"
 OOS = "OOS"
+
+# The budget-violation vocabulary, in the order the paper's tables use.
+_FAILURE_STATUS = (
+    (TimeLimitExceeded, TLE),
+    (MemoryBudgetExceeded, OOM),
+    (StorageBudgetExceeded, OOS),
+)
+
+
+def failure_status(exc: BaseException) -> Optional[str]:
+    """Map a budget exception to its outcome tag (None if not one).
+
+    The single place that translates :mod:`repro.errors` budget types
+    — raised anywhere, including across process boundaries by the
+    sharded schedulers — into the paper's TLE/OOM/OOS cells.
+    """
+    for exc_type, status in _FAILURE_STATUS:
+        if isinstance(exc, exc_type):
+            return status
+    return None
 
 
 @dataclass
@@ -58,16 +78,18 @@ def timed_run(
     do not accept a deadline themselves; workloads that do should be
     given the deadline directly (cooperative checks abort earlier).
     """
-    start = time.monotonic()
+    clock = Budget()  # measurement clock; no limits enforced here
     try:
         value = workload()
-    except TimeLimitExceeded:
-        return RunOutcome(TLE, time.monotonic() - start)
-    except MemoryBudgetExceeded:
-        return RunOutcome(OOM, time.monotonic() - start)
-    except StorageBudgetExceeded:
-        return RunOutcome(OOS, time.monotonic() - start)
-    seconds = time.monotonic() - start
+    except (
+        TimeLimitExceeded,
+        MemoryBudgetExceeded,
+        StorageBudgetExceeded,
+    ) as exc:
+        status = failure_status(exc)
+        assert status is not None
+        return RunOutcome(status, clock.elapsed())
+    seconds = clock.elapsed()
     outcome = RunOutcome(OK, seconds, value=value)
     count = getattr(value, "count", None)
     if isinstance(count, int):

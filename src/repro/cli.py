@@ -34,6 +34,7 @@ from .apps import (
 from .apps.nsq import paper_query_tailed_triangles, paper_query_triangles
 from .bench import dataset, dataset_keys, spec
 from .bench.report import format_table
+from .exec.scheduler import SCHEDULER_NAMES
 from .graph.graph import Graph
 from .graph.io import read_edge_list
 
@@ -59,18 +60,53 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    _add_format_argument(parser)
 
 
-def _report(args: argparse.Namespace, payload: dict) -> None:
-    if args.json:
-        print(json.dumps(payload, indent=2, default=str))
+def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
+    """Execution-core scheduler selection (mqc and nsq runs)."""
+    parser.add_argument(
+        "--scheduler", choices=SCHEDULER_NAMES, default="serial",
+        help="execution-core scheduler (default: serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count for parallel schedulers (default: 2)",
+    )
+
+
+def _report(
+    args: argparse.Namespace,
+    payload: dict,
+    json_extra: Optional[dict] = None,
+) -> None:
+    """Print a run result: short summary as text, full record as json.
+
+    ``json_extra`` carries fields that only make sense machine-readable
+    (the full counter snapshot, exact wall time); they are merged into
+    the payload when ``--format json`` / legacy ``--json`` is active.
+    """
+    if _resolve_format(args) == "json":
+        full = dict(payload)
+        if json_extra:
+            full.update(json_extra)
+        print(json.dumps(full, indent=2, default=str))
         return
     for key, value in payload.items():
         print(f"{key}: {value}")
 
 
+def _run_record(result, scheduler: str) -> dict:
+    """The json-only run envelope: scheduler, wall time, all counters."""
+    return {
+        "scheduler": scheduler,
+        "wall_time_seconds": result.elapsed,
+        "counters": result.stats.as_dict(),
+    }
+
+
 def _add_format_argument(parser: argparse.ArgumentParser) -> None:
-    """Shared ``--format {text,json}`` flag (explain and analyze)."""
+    """Shared ``--format {text,json}`` flag."""
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output format (default: text)",
@@ -118,6 +154,8 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
         max_size=args.max_size,
         min_size=args.min_size,
         time_limit=args.time_limit,
+        scheduler=args.scheduler,
+        n_workers=args.workers,
     )
     _report(
         args,
@@ -133,6 +171,7 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
             "promotions": result.stats.promotions,
             "cache_hit_rate": round(result.stats.cache_hit_rate, 3),
         },
+        json_extra=_run_record(result, args.scheduler),
     )
     return 0
 
@@ -152,6 +191,7 @@ def _cmd_quasicliques(args: argparse.Namespace) -> int:
             "elapsed_seconds": round(result.elapsed, 3),
             "mode": "fused" if args.fused else "per-pattern",
         },
+        json_extra=_run_record(result, "serial"),
     )
     return 0
 
@@ -179,6 +219,7 @@ def _cmd_kws(args: argparse.Namespace) -> int:
             "patterns_skipped": result.patterns_skipped,
             "matches_checked": result.stats.matches_checked,
         },
+        json_extra=_run_record(result, "serial"),
     )
     return 0
 
@@ -190,7 +231,10 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
     else:
         p_m, p_plus = paper_query_tailed_triangles()
     result = nested_subgraph_query(
-        graph, p_m, p_plus, time_limit=args.time_limit
+        graph, p_m, p_plus,
+        time_limit=args.time_limit,
+        scheduler=args.scheduler,
+        n_workers=args.workers,
     )
     _report(
         args,
@@ -200,6 +244,7 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
             "elapsed_seconds": round(result.elapsed, 3),
             "vtasks": result.stats.vtasks_started,
         },
+        json_extra=_run_record(result, args.scheduler),
     )
     return 0
 
@@ -230,6 +275,22 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         text,
     )
     return 0
+
+
+def _sched_report(
+    args: argparse.Namespace, constraint_set=None, workload=None
+):
+    """CG5xx scheduler-feasibility report for ``analyze --scheduler``."""
+    from .analysis import AnalysisReport, check_scheduler
+
+    if args.scheduler is None:
+        return AnalysisReport()
+    return check_scheduler(
+        args.scheduler,
+        n_workers=args.workers,
+        constraint_set=constraint_set,
+        workload=workload,
+    )
 
 
 def _analyze_report(args: argparse.Namespace):
@@ -284,6 +345,7 @@ def _analyze_report(args: argparse.Namespace):
                     induced=args.induced,
                 )
             )
+        report.merge(_sched_report(args))
         return report
     if args.workload == "mqc":
         from .core import maximality_constraints
@@ -295,7 +357,9 @@ def _analyze_report(args: argparse.Namespace):
             ),
             induced=True,
         )
-        return analyze_constraint_set(constraint_set)
+        report = analyze_constraint_set(constraint_set)
+        report.merge(_sched_report(args, constraint_set=constraint_set))
+        return report
     if args.workload == "kws":
         try:
             keywords = [int(k) for k in args.keywords.split(",")]
@@ -304,8 +368,12 @@ def _analyze_report(args: argparse.Namespace):
                 f"--keywords expects comma-separated label ids, "
                 f"got {args.keywords!r}"
             )
-        return analyze_kws_workload(keywords, args.max_size)
-    return selfcheck(max_size=args.max_size, gamma=args.gamma)
+        report = analyze_kws_workload(keywords, args.max_size)
+        report.merge(_sched_report(args, workload="kws"))
+        return report
+    report = selfcheck(max_size=args.max_size, gamma=args.gamma)
+    report.merge(_sched_report(args))
+    return report
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -330,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     mqc = sub.add_parser("mqc", help="maximal quasi-cliques")
     _add_graph_arguments(mqc)
+    _add_scheduler_arguments(mqc)
     mqc.add_argument("--gamma", type=float, default=0.8)
     mqc.add_argument("--max-size", type=int, default=5)
     mqc.add_argument("--min-size", type=int, default=3)
@@ -352,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     nsq = sub.add_parser("nsq", help="nested subgraph queries")
     _add_graph_arguments(nsq)
+    _add_scheduler_arguments(nsq)
     nsq.add_argument(
         "--query", choices=("triangles", "tailed-triangles"),
         default="triangles",
@@ -361,7 +431,6 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="describe an MQC workload's plans and schedules"
     )
     _add_graph_arguments(explain)
-    _add_format_argument(explain)
     explain.add_argument("--gamma", type=float, default=0.8)
     explain.add_argument("--max-size", type=int, default=5)
     explain.add_argument("--min-size", type=int, default=3)
@@ -406,6 +475,15 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--suppress", metavar="CODES",
         help="comma-separated CGxxx codes to filter out",
+    )
+    analyze.add_argument(
+        "--scheduler", metavar="NAME",
+        help="also check whether this execution-core scheduler can "
+        "honor the query's constraints (CG5xx diagnostics)",
+    )
+    analyze.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count assumed for --scheduler checks",
     )
     return parser
 

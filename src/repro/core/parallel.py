@@ -1,5 +1,11 @@
 """Process-parallel execution of the Contigra runtime.
 
+This module is now a thin compatibility shim over the unified
+execution core: :func:`run_sharded` builds a
+:class:`~repro.core.runtime.ContigraJob` and hands it to
+:class:`repro.exec.scheduler.ProcessShardScheduler`.  New code should
+use ``ContigraEngine.run_with(make_scheduler(...))`` directly.
+
 The paper's implementation exploits 80 hardware threads; CPython's GIL
 makes fine-grained thread parallelism useless for this workload, so
 the parallel mode shards *tasks* across processes instead — the same
@@ -12,7 +18,8 @@ is processed twice (once per shard).  Results stay exact — valid
 matches are canonical and deduplicated at merge time — but cross-shard
 promotions are not shared, exactly like distributed Contigra workers
 would behave without a shared registry.  Counters are summed across
-shards.
+shards.  Worker budget failures (TLE/OOM/OOS) cross the process
+boundary as their original exception types.
 
 Use :func:`run_sharded` for graphs big enough that the fork/pickle
 overhead (tens of milliseconds per worker) is amortized.
@@ -20,23 +27,12 @@ overhead (tens of milliseconds per worker) is amortized.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
+from ..exec.scheduler import ProcessShardScheduler
 from ..graph.graph import Graph
-from ..mining.stats import ConstraintStats
 from .constraints import ConstraintSet
-from .runtime import ContigraEngine, ContigraResult
-
-
-def _run_shard(
-    payload: Tuple[Graph, ConstraintSet, dict, Sequence[int], int]
-) -> Tuple[List, dict, float]:
-    """Worker entry point: run one root-shard end to end."""
-    graph, constraint_set, options, roots, shard_index = payload
-    engine = ContigraEngine(graph, constraint_set, **options)
-    result = engine.run(roots=list(roots))
-    return result.valid, result.stats.as_dict(), result.elapsed
+from .runtime import ContigraEngine, ContigraJob, ContigraResult
 
 
 def run_sharded(
@@ -51,52 +47,10 @@ def run_sharded(
     (deduplicated canonically), integer counters are summed, and
     ``elapsed`` is the wall-clock of the whole sharded run.
     """
-    import time
-
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
     options = dict(engine_options or {})
-    start = time.monotonic()
+    engine = ContigraEngine(graph, constraint_set, **options)
     if n_workers == 1:
-        engine = ContigraEngine(graph, constraint_set, **options)
         return engine.run()
-
-    shards: List[List[int]] = [[] for _ in range(n_workers)]
-    for index, vertex in enumerate(graph.vertices()):
-        shards[index % n_workers].append(vertex)
-    payloads = [
-        (graph, constraint_set, options, shard, i)
-        for i, shard in enumerate(shards)
-        if shard
-    ]
-    merged = ContigraResult()
-    seen: set = set()
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        for valid, stats_dict, _elapsed in pool.map(_run_shard, payloads):
-            for pattern, assignment in valid:
-                key = (pattern.structure_key(), assignment)
-                if key in seen:
-                    continue
-                seen.add(key)
-                merged.valid.append((pattern, assignment))
-            _merge_stats(merged.stats, stats_dict)
-    merged.elapsed = time.monotonic() - start
-    return merged
-
-
-def _merge_stats(
-    stats: ConstraintStats, shard_dict: Dict[str, float]
-) -> None:
-    """Sum a shard's integer counters into ``stats`` (rates recompute)."""
-    for field in (
-        "etasks_started", "etasks_completed", "rl_paths", "matches_found",
-        "candidate_computations", "set_intersections", "cache_hits",
-        "cache_misses", "extensions_attempted", "vtasks_started",
-        "vtasks_matched", "vtasks_canceled_lateral", "etasks_canceled",
-        "etasks_skipped", "promotions", "constraint_checks",
-        "matches_checked", "eager_filter_cuts", "bridge_steps",
-    ):
-        setattr(
-            stats, field,
-            getattr(stats, field) + int(shard_dict.get(field, 0)),
-        )
+    return engine.run_with(ProcessShardScheduler(n_workers=n_workers))

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..errors import QueryAnalysisError
+from ..exec.scheduler import SCHEDULER_NAMES, make_scheduler
 from ..graph.graph import Graph
 from ..mining.cache import SetOperationCache
 from ..patterns.pattern import Pattern
@@ -65,6 +66,8 @@ class Query:
         self._fusion = True
         self._lateral = True
         self._strict = False
+        self._scheduler: Optional[str] = None
+        self._n_workers = 2
 
     # ------------------------------------------------------------------
     # Builder steps (each returns self for chaining)
@@ -121,6 +124,20 @@ class Query:
         self._lateral = False
         return self
 
+    def scheduler(self, name: str, n_workers: int = 2) -> "Query":
+        """Run under an execution-core scheduler (``serial`` /
+        ``process`` / ``workqueue``)."""
+        if name not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown scheduler {name!r} "
+                f"(choose from {SCHEDULER_NAMES})"
+            )
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self._scheduler = name
+        self._n_workers = n_workers
+        return self._recheck()
+
     # ------------------------------------------------------------------
     # Static analysis
     # ------------------------------------------------------------------
@@ -140,13 +157,21 @@ class Query:
     def analyze(self) -> "AnalysisReport":
         """Run the static analyzer over the query as built so far."""
         from ..analysis.analyzer import analyze_query_spec
+        from ..analysis.schedcheck import check_scheduler
 
-        return analyze_query_spec(
+        report = analyze_query_spec(
             self._pattern,
             not_within=self._not_within,
             only_within=self._only_within,
             induced=self._induced,
         )
+        if self._scheduler is not None:
+            report.merge(
+                check_scheduler(
+                    self._scheduler, n_workers=self._n_workers
+                )
+            )
+        return report
 
     def strict(self) -> "Query":
         """Raise :class:`QueryAnalysisError` on error diagnostics.
@@ -192,7 +217,12 @@ class Query:
             rl_strategy=self._rl_strategy,
             time_limit=self._time_limit,
         )
-        result = engine.run()
+        if self._scheduler is None or self._scheduler == "serial":
+            result = engine.run()
+        else:
+            result = engine.run_with(
+                make_scheduler(self._scheduler, n_workers=self._n_workers)
+            )
         if self._only_within:
             self._apply_only_within(result, graph)
         return result

@@ -8,6 +8,26 @@ when the containing pattern is itself in the workload — promote into
 immediate processing of the containing subgraph, canceling the ETask
 work that would rediscover it.
 
+The engine is split along the execution core's task model:
+
+* **ContigraEngine** holds the pattern-level precomputation (§8.1:
+  alignment tables, lateral schedulers, promotability sets) — built
+  once, shared by every run and every scheduler worker.
+* **EngineSession** holds the per-run state (promotion registry,
+  result, live task cache, stats, :class:`~repro.exec.TaskContext`).
+  Serial runs use one session; process shards and work-stealing
+  workers each get their own, over the same engine.
+* **ContigraJob** adapts an engine to the
+  :class:`~repro.exec.scheduler.ExecutionJob` protocol so any
+  scheduler (``serial`` / ``process`` / ``workqueue``) can run it.
+
+Deadlines, byte budgets, and cancellation all flow through the
+session's TaskContext — the engine has no deadline code of its own
+(:meth:`repro.exec.context.Budget._check_deadline` is the single
+implementation).  Lifecycle counters (cancellations, promotions,
+checked matches) travel over the context's event bus and land in the
+session stats through :class:`~repro.exec.events.StatsSubscriber`.
+
 Predecessor-constrained workloads (keyword search) run on the
 dedicated explorer in :mod:`repro.apps.kws`, which is built on the
 virtual state-space analysis (§7); the two pipelines match the
@@ -26,9 +46,19 @@ Every toggle the paper ablates is a constructor flag:
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from ..errors import TimeLimitExceeded
+from ..exec.context import TaskContext
+from ..exec.events import CANCEL, EventBus, MATCH_CHECKED, PROMOTE, StatsSubscriber
+from ..exec.scheduler import merge_counter_dict
 from ..graph.graph import Graph
 from ..mining.cache import SetOperationCache
 from ..mining.candidates import root_candidates
@@ -83,7 +113,13 @@ class ContigraResult:
 
 
 class ContigraEngine:
-    """Constraint-aware mining engine for successor dependencies."""
+    """Constraint-aware mining engine for successor dependencies.
+
+    The engine itself is immutable after construction (pattern-level
+    tables only); all mutable run state lives in
+    :class:`EngineSession`, so one engine can back many concurrent
+    sessions (the work-queue scheduler relies on this).
+    """
 
     def __init__(
         self,
@@ -106,16 +142,6 @@ class ContigraEngine:
         self.time_limit = time_limit
         self.stats = ConstraintStats()
         self._cache_entries = cache_entries
-        self._registry = PromotionRegistry()
-        self._deadline: Optional[float] = None
-        self._match_tick = 0
-        self._result: Optional[ContigraResult] = None
-        # Caches are scoped per rooted task, as in the paper's task
-        # state ⟨P, S, C⟩: fusion lets VTasks read/extend the live
-        # task's cache, promotion carries it into the containing
-        # subgraph's processing.  There is no global cross-task cache —
-        # that is exactly what promotion is for (Fig 10 / Fig 13).
-        self._task_cache: Optional[SetOperationCache] = None
 
         unsupported = [
             c for c in constraint_set.all_constraints if c.is_predecessor
@@ -159,74 +185,181 @@ class ContigraEngine:
                 strategy=rl_strategy,
                 enable_cancellation=enable_lateral,
             )
+        # Smallest patterns first: their VTask promotions pre-populate
+        # the registry (and the cache) before larger patterns' ETasks
+        # run, which is where promotion pays off (§5.3).
+        self._ordered_patterns: List[Pattern] = sorted(
+            constraint_set.patterns,
+            key=lambda p: (p.num_vertices, -p.num_edges),
+        )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
-    def run(self, roots: Optional[Sequence[int]] = None) -> ContigraResult:
+    def session(
+        self,
+        stats: Optional[ConstraintStats] = None,
+        ctx: Optional[TaskContext] = None,
+    ) -> "EngineSession":
+        """A fresh run session (own registry/result) over this engine."""
+        return EngineSession(self, stats=stats, ctx=ctx)
+
+    def run(
+        self,
+        roots: Optional[Sequence[int]] = None,
+        ctx: Optional[TaskContext] = None,
+    ) -> ContigraResult:
         """Mine all workload patterns under their containment constraints.
 
         ``roots`` restricts ETasks to the given root vertices — the
-        sharding hook used by :mod:`repro.core.parallel`.  Validation
-        (VTasks) is never restricted: a shard's matches are checked
-        against the whole graph, so per-shard results are exact for
-        the subgraphs their roots own.
+        sharding hook the process scheduler uses.  Validation (VTasks)
+        is never restricted: a shard's matches are checked against the
+        whole graph, so per-shard results are exact for the subgraphs
+        their roots own.  ``ctx`` supplies an external deadline/token;
+        without one the engine's ``time_limit`` applies.
         """
-        start = time.monotonic()
-        self._deadline = (
-            start + self.time_limit if self.time_limit is not None else None
-        )
-        result = ContigraResult()
-        result.stats = self.stats
-        self._result = result
-        self._registry.clear()
+        session = self.session(stats=self.stats, ctx=ctx)
+        session.run_roots(roots)
+        return session.finish()
 
-        # Smallest patterns first: their VTask promotions pre-populate
-        # the registry (and the cache) before larger patterns' ETasks
-        # run, which is where promotion pays off (§5.3).
-        ordered = sorted(
-            self.constraints.patterns,
-            key=lambda p: (p.num_vertices, -p.num_edges),
-        )
+    def run_with(
+        self,
+        scheduler: Any,
+        ctx: Optional[TaskContext] = None,
+    ) -> ContigraResult:
+        """Run under a pluggable scheduler from :mod:`repro.exec`."""
+        if ctx is None:
+            ctx = TaskContext.create(
+                time_limit=self.time_limit,
+                check_interval=_DEADLINE_CHECK_INTERVAL,
+            )
+        return scheduler.run(ContigraJob(self), ctx=ctx)
+
+    def all_roots(self) -> List[int]:
+        """Every vertex a root shard may own (the sharding universe)."""
+        return list(self.graph.vertices())
+
+
+class EngineSession:
+    """Mutable state of one constraint-aware run over one engine.
+
+    Owns the promotion registry, the in-progress result, the live task
+    cache, the stats sink, and the :class:`TaskContext` whose budget
+    and cancellation token govern the run.  Scheduler workers create
+    one session each and feed it roots incrementally via
+    :meth:`run_roots`; :meth:`finish` seals and returns the result.
+    """
+
+    def __init__(
+        self,
+        engine: ContigraEngine,
+        stats: Optional[ConstraintStats] = None,
+        ctx: Optional[TaskContext] = None,
+    ) -> None:
+        self.engine = engine
+        self.stats = stats if stats is not None else ConstraintStats()
+        if ctx is None:
+            self.ctx = TaskContext.create(
+                time_limit=engine.time_limit,
+                stats=self.stats,
+                check_interval=_DEADLINE_CHECK_INTERVAL,
+            )
+        else:
+            # Keep the caller's token and budget (shared deadline,
+            # cooperative cancellation across sessions) but give the
+            # session its own bus wired to its own stats — worker
+            # sessions must not write into each other's counters.
+            self.ctx = TaskContext(
+                token=ctx.token,
+                budget=ctx.budget,
+                bus=EventBus(),
+                stats=self.stats,
+            )
+            StatsSubscriber(self.stats).attach(self.ctx.bus)
+        self.result = ContigraResult()
+        self.result.stats = self.stats
+        self.registry = PromotionRegistry()
+        # Caches are scoped per rooted task, as in the paper's task
+        # state ⟨P, S, C⟩: fusion lets VTasks read/extend the live
+        # task's cache, promotion carries it into the containing
+        # subgraph's processing.  There is no global cross-task cache —
+        # that is exactly what promotion is for (Fig 10 / Fig 13).
+        self._task_cache: Optional[SetOperationCache] = None
+        self._pattern_roots: Dict[tuple, List[int]] = {}
+        self._start = time.monotonic()
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Root execution
+    # ------------------------------------------------------------------
+
+    def _roots_for(self, pattern: Pattern) -> List[int]:
+        """Root candidates for one pattern, memoized per session."""
+        key = pattern.structure_key()
+        cached = self._pattern_roots.get(key)
+        if cached is None:
+            plan = plan_for(pattern, induced=self.engine.induced)
+            cached = root_candidates(self.engine.graph, plan)
+            self._pattern_roots[key] = cached
+        return cached
+
+    def run_roots(self, roots: Optional[Sequence[int]] = None) -> None:
+        """Run every workload pattern over ``roots`` (None = all roots).
+
+        Patterns run smallest first within the given root set, so the
+        promotion registry fills in the same order as a full serial
+        run restricted to those roots.  May be called repeatedly (the
+        work-stealing scheduler feeds one root at a time).
+        """
+        engine = self.engine
         shard = set(roots) if roots is not None else None
-        for pattern in ordered:
-            plan = plan_for(pattern, induced=self.induced)
-            pattern_roots = root_candidates(self.graph, plan)
+        for pattern in engine._ordered_patterns:
+            plan = plan_for(pattern, induced=engine.induced)
+            pattern_roots = self._roots_for(pattern)
             if shard is not None:
                 pattern_roots = [r for r in pattern_roots if r in shard]
             for root in pattern_roots:
+                if self.ctx.cancelled:
+                    return
                 self._task_cache = SetOperationCache(
-                    max_entries=self._cache_entries, stats=self.stats
+                    max_entries=engine._cache_entries, stats=self.stats
                 )
                 task = ETask(
-                    self.graph, plan, root, self._task_cache, self.stats,
-                    pattern=pattern,
+                    engine.graph, plan, root, self._task_cache, self.stats,
+                    pattern=pattern, ctx=self.ctx,
                 )
                 task.run(self._on_etask_match)
         self._task_cache = None
-        result.elapsed = time.monotonic() - start
-        return result
+
+    def finish(self) -> ContigraResult:
+        """Seal the session and return its result (idempotent)."""
+        self._task_cache = None
+        if not self._finished:
+            self.result.elapsed = time.monotonic() - self._start
+            self._finished = True
+        return self.result
 
     # ------------------------------------------------------------------
     # Match handling (Algorithm 1 lines 2–19)
     # ------------------------------------------------------------------
 
     def _on_etask_match(self, match: Match) -> bool:
-        self._check_deadline()
-        if match.pattern.structure_key() not in self._promotable:
+        self.ctx.check_deadline()
+        engine = self.engine
+        if match.pattern.structure_key() not in engine._promotable:
             # Nothing can pre-register this pattern's matches (it is
             # not a promotion target), and symmetry breaking already
             # emits each match once — skip the registry entirely.
             self._process_subgraph(match.pattern, match.assignment)
             return False
         canonical = canonical_assignment(match.assignment, match.pattern)
-        if self._registry.seen(match.pattern, canonical):
+        if self.registry.seen(match.pattern, canonical):
             # Already handled through promotion: the from-scratch ETask
             # work for this subgraph is canceled (§5.3).
-            self.stats.etasks_canceled += 1
+            self.ctx.emit(CANCEL, kind="etask", count=1)
             return False
-        self._registry.mark(match.pattern, canonical)
+        self.registry.mark(match.pattern, canonical)
         self._process_subgraph(match.pattern, canonical)
         return False
 
@@ -239,28 +372,28 @@ class ContigraEngine:
         promotion path and raw (symmetry-broken, still unique per
         orbit) when it came straight from an ETask.
         """
-        assert self._result is not None
-        self.stats.matches_checked += 1
-        scheduler = self._schedulers[pattern.structure_key()]
+        engine = self.engine
+        self.ctx.emit(MATCH_CHECKED, count=1)
+        scheduler = engine._schedulers[pattern.structure_key()]
         cache = (
             self._task_cache
-            if self.enable_fusion and self._task_cache is not None
+            if engine.enable_fusion and self._task_cache is not None
             else SetOperationCache(stats=self.stats)
         )
         violation = scheduler.validate(
-            assignment, self.graph, cache, self.stats
+            assignment, engine.graph, cache, self.stats, ctx=self.ctx
         )
         if violation is None:
             # Results are stored canonically (idempotent for matches
             # that arrived through the promotion path).
-            self._result.valid.append(
+            self.result.valid.append(
                 (pattern, canonical_assignment(assignment, pattern))
             )
             return
         target, completion = violation
-        if not self.enable_promotion:
+        if not engine.enable_promotion:
             return
-        workload_pattern = self._workload_pattern_for.get(
+        workload_pattern = engine._workload_pattern_for.get(
             target.p_plus.structure_key()
         )
         if workload_pattern is None:
@@ -276,29 +409,64 @@ class ContigraEngine:
         # from-scratch ETasks skip them later.
         completions: List[Tuple[int, ...]] = []
         target.enumerate_completions(
-            assignment, self.graph, cache, self.stats, completions.append
+            assignment, engine.graph, cache, self.stats,
+            completions.append, ctx=self.ctx,
         )
         for found in completions:
             canonical = canonical_assignment(found, workload_pattern)
-            if self._registry.seen(workload_pattern, canonical):
+            if self.registry.seen(workload_pattern, canonical):
                 continue
-            self._registry.mark(workload_pattern, canonical)
-            self.stats.promotions += 1
+            self.registry.mark(workload_pattern, canonical)
+            self.ctx.emit(PROMOTE, count=1)
             self._process_subgraph(workload_pattern, canonical)
 
-    # ------------------------------------------------------------------
-    # Time budget
-    # ------------------------------------------------------------------
 
-    def _check_deadline(self) -> None:
-        if self._deadline is None:
-            return
-        self._match_tick += 1
-        if self._match_tick % _DEADLINE_CHECK_INTERVAL:
-            return
-        now = time.monotonic()
-        if now > self._deadline:
-            assert self.time_limit is not None
-            raise TimeLimitExceeded(
-                self.time_limit, now - (self._deadline - self.time_limit)
-            )
+class ContigraJob:
+    """Adapter: a ContigraEngine as a scheduler-runnable ExecutionJob.
+
+    Implements the :class:`repro.exec.scheduler.ExecutionJob` protocol.
+    The job pickles with its engine, so process workers reuse the
+    already-built pattern-level tables instead of rebuilding them.
+    """
+
+    def __init__(self, engine: ContigraEngine) -> None:
+        self.engine = engine
+
+    def all_roots(self) -> List[int]:
+        return self.engine.all_roots()
+
+    def run_serial(self, ctx: Optional[TaskContext] = None) -> ContigraResult:
+        return self.engine.run(ctx=ctx)
+
+    def run_shard(
+        self,
+        roots: Sequence[int],
+        ctx: Optional[TaskContext] = None,
+    ) -> ContigraResult:
+        """One root shard with its own registry and fresh counters."""
+        session = self.engine.session(ctx=ctx)
+        session.run_roots(list(roots))
+        return session.finish()
+
+    def shard_payload(self, roots: Sequence[int]) -> Tuple[Any, List[int]]:
+        return (self, list(roots))
+
+    def worker_session(self, ctx: TaskContext) -> EngineSession:
+        return self.engine.session(ctx=ctx)
+
+    def merge(
+        self, partials: Sequence[Any], elapsed: float
+    ) -> ContigraResult:
+        """Combine shard results: canonical dedup + summed counters."""
+        merged = ContigraResult()
+        seen: set = set()
+        for valid, stats_dict, _elapsed in partials:
+            for pattern, assignment in valid:
+                key = (pattern.structure_key(), assignment)
+                if key in seen:
+                    continue
+                seen.add(key)
+                merged.valid.append((pattern, assignment))
+            merge_counter_dict(merged.stats, stats_dict)
+        merged.elapsed = elapsed
+        return merged

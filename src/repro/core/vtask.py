@@ -35,6 +35,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..exec.context import TaskContext
 from ..graph.graph import Graph
 from ..mining.cache import SetOperationCache
 from ..mining.candidates import raw_intersection
@@ -243,13 +244,17 @@ class ValidationTarget:
         graph: Graph,
         cache: SetOperationCache,
         stats: ConstraintStats,
+        ctx: Optional[TaskContext] = None,
     ) -> Optional[Tuple[int, ...]]:
         """Search for one P⁺ match containing the P^M match ``assignment``.
 
         ``assignment[v]`` is the data vertex bound to P^M vertex ``v``.
         Returns the full P⁺ assignment (indexed by P⁺ vertex) of the
         first containing match found, or None — VTASK-MATCHED vs
-        NO-VTASK-MATCH in Algorithm 2.
+        NO-VTASK-MATCH in Algorithm 2.  With a ``ctx``, the run-wide
+        deadline is checked *inside* the bridging recursion, so a
+        pathological single VTask (dense graph, deep gap) cannot
+        overshoot the time budget unchecked.
         """
         stats.vtasks_started += 1
         stats.constraint_checks += 1
@@ -258,7 +263,9 @@ class ValidationTarget:
                 p_plus_v: assignment[p_m_v]
                 for p_m_v, p_plus_v in enumerate(recipe.embedding)
             }
-            completion = self._extend(recipe, 0, bound, graph, cache, stats)
+            completion = self._extend(
+                recipe, 0, bound, graph, cache, stats, ctx
+            )
             if completion is not None:
                 stats.vtasks_matched += 1
                 return completion
@@ -271,6 +278,7 @@ class ValidationTarget:
         cache: SetOperationCache,
         stats: ConstraintStats,
         emit: Callable[[Tuple[int, ...]], None],
+        ctx: Optional[TaskContext] = None,
     ) -> None:
         """Emit *every* P⁺ match containing the P^M match (no early exit).
 
@@ -287,7 +295,9 @@ class ValidationTarget:
                 p_plus_v: assignment[p_m_v]
                 for p_m_v, p_plus_v in enumerate(recipe.embedding)
             }
-            self._extend_all(recipe, 0, bound, graph, cache, stats, emit)
+            self._extend_all(
+                recipe, 0, bound, graph, cache, stats, emit, ctx
+            )
 
     def _extend_all(
         self,
@@ -298,14 +308,19 @@ class ValidationTarget:
         cache: SetOperationCache,
         stats: ConstraintStats,
         emit: Callable[[Tuple[int, ...]], None],
+        ctx: Optional[TaskContext] = None,
     ) -> None:
+        if ctx is not None:
+            ctx.check_deadline()
         if step == len(recipe.order):
             emit(tuple(bound[v] for v in self.p_plus.vertices()))
             return
         new_vertex = recipe.order[step]
         for v in self._candidates(recipe, step, bound, graph, cache, stats):
             bound[new_vertex] = v
-            self._extend_all(recipe, step + 1, bound, graph, cache, stats, emit)
+            self._extend_all(
+                recipe, step + 1, bound, graph, cache, stats, emit, ctx
+            )
             del bound[new_vertex]
 
     def _candidates(
@@ -360,7 +375,12 @@ class ValidationTarget:
         graph: Graph,
         cache: SetOperationCache,
         stats: ConstraintStats,
+        ctx: Optional[TaskContext] = None,
     ) -> Optional[Tuple[int, ...]]:
+        # The deadline must fire inside bridging too: a multi-level gap
+        # over a dense graph can spend the whole budget in one VTask.
+        if ctx is not None:
+            ctx.check_deadline()
         if step == len(recipe.order):
             return tuple(bound[v] for v in self.p_plus.vertices())
         if step > 0:
@@ -368,7 +388,9 @@ class ValidationTarget:
         new_vertex = recipe.order[step]
         for v in self._candidates(recipe, step, bound, graph, cache, stats):
             bound[new_vertex] = v
-            result = self._extend(recipe, step + 1, bound, graph, cache, stats)
+            result = self._extend(
+                recipe, step + 1, bound, graph, cache, stats, ctx
+            )
             if result is not None:
                 return result
             del bound[new_vertex]

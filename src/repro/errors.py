@@ -42,6 +42,14 @@ class TimeLimitExceeded(ReproError):
         self.limit_seconds = limit_seconds
         self.elapsed = elapsed
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with the
+        # formatted message as the only argument, which breaks
+        # two-argument constructors — and with it, re-raising budget
+        # failures across process-pool boundaries.  Reconstruct from
+        # the original constructor arguments instead.
+        return (type(self), (self.limit_seconds, self.elapsed))
+
 
 class MemoryBudgetExceeded(ReproError):
     """A run exceeded its simulated memory budget (paper's OOM outcome).
@@ -58,6 +66,11 @@ class MemoryBudgetExceeded(ReproError):
         self.budget_bytes = budget_bytes
         self.used_bytes = used_bytes
 
+    def __reduce__(self):
+        # See TimeLimitExceeded.__reduce__: keep the original class
+        # across process boundaries.
+        return (type(self), (self.budget_bytes, self.used_bytes))
+
 
 class StorageBudgetExceeded(ReproError):
     """A run exceeded its simulated disk budget (paper's OOS outcome)."""
@@ -69,3 +82,8 @@ class StorageBudgetExceeded(ReproError):
         )
         self.budget_bytes = budget_bytes
         self.used_bytes = used_bytes
+
+    def __reduce__(self):
+        # See TimeLimitExceeded.__reduce__: keep the original class
+        # across process boundaries.
+        return (type(self), (self.budget_bytes, self.used_bytes))

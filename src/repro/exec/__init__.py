@@ -1,0 +1,62 @@
+"""``repro.exec`` — the unified execution core.
+
+One substrate for every engine in the reproduction: task contexts
+(hierarchical cancellation tokens + unified deadline/byte budgets),
+pluggable schedulers (serial, process-sharded, work-stealing queues),
+and the instrumentation event bus counters subscribe to.  See
+``docs/execution.md`` for the architecture and lifecycle diagram.
+"""
+
+from .context import Budget, CancellationToken, TaskContext
+from .events import (
+    CACHE_HIT,
+    CACHE_MISS,
+    CANCEL,
+    EVENTS,
+    MATCH,
+    MATCH_CHECKED,
+    PROMOTE,
+    TASK_COMPLETE,
+    TASK_START,
+    VTASK_MATCH,
+    VTASK_SPAWN,
+    EventBus,
+    EventLog,
+    StatsSubscriber,
+)
+from .scheduler import (
+    SCHEDULER_NAMES,
+    ExecutionJob,
+    ProcessShardScheduler,
+    SerialScheduler,
+    WorkQueueScheduler,
+    make_scheduler,
+    merge_counter_dict,
+)
+
+__all__ = [
+    "Budget",
+    "CancellationToken",
+    "TaskContext",
+    "EventBus",
+    "EventLog",
+    "StatsSubscriber",
+    "EVENTS",
+    "TASK_START",
+    "TASK_COMPLETE",
+    "MATCH",
+    "MATCH_CHECKED",
+    "VTASK_SPAWN",
+    "VTASK_MATCH",
+    "CANCEL",
+    "PROMOTE",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "ExecutionJob",
+    "SerialScheduler",
+    "ProcessShardScheduler",
+    "WorkQueueScheduler",
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+    "merge_counter_dict",
+]

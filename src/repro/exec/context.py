@@ -1,0 +1,268 @@
+"""Task context: cancellation tokens and unified run budgets.
+
+This module is the single home of the lifecycle plumbing that used to
+be reimplemented by every engine (``ContigraEngine._check_deadline``,
+``peregrine_plus._Deadline``, the KWS closure deadline, TThinker's
+byte accounting):
+
+* :class:`CancellationToken` — hierarchical cooperative cancellation.
+  Cancelling a parent cancels every descendant, which is how one
+  matching VTask cancels its lateral siblings (§6) and how an aborted
+  ETask takes its pending child VTasks down with it.
+* :class:`Budget` — wall-clock deadline plus simulated memory/storage
+  byte budgets, raising the :mod:`repro.errors` vocabulary (TLE / OOM
+  / OOS).  The deadline check is tick-gated so hot loops pay one
+  integer op per call, one clock read per ``check_interval`` calls.
+* :class:`TaskContext` — the bundle engines carry: token + budget +
+  event bus + stats sink.  ``child()`` derives a context whose token
+  is subordinate but whose budget/bus/stats are shared — the task
+  hierarchy of the paper's ETask → VTask spawning.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from ..errors import (
+    MemoryBudgetExceeded,
+    StorageBudgetExceeded,
+    TimeLimitExceeded,
+)
+from .events import EventBus, StatsSubscriber
+
+
+class CancellationToken:
+    """Cooperative cancellation flag with parent propagation.
+
+    A token is cancelled when :meth:`cancel` was called on it **or on
+    any ancestor** — checking walks the (short) parent chain, so parent
+    cancellation is visible to children without any fan-out
+    bookkeeping.  Cancellation is one-way and idempotent.
+    """
+
+    __slots__ = ("_cancelled", "_parent", "reason")
+
+    def __init__(self, parent: Optional["CancellationToken"] = None) -> None:
+        self._cancelled = False
+        self._parent = parent
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Cancel this token (and, transitively, all its descendants)."""
+        if not self._cancelled:
+            self._cancelled = True
+            self.reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        token: Optional[CancellationToken] = self
+        while token is not None:
+            if token._cancelled:
+                return True
+            token = token._parent
+        return False
+
+    def child(self) -> "CancellationToken":
+        """A subordinate token: cancelled with the parent, cancellable
+        alone."""
+        return CancellationToken(parent=self)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "live"
+        return f"CancellationToken({state})"
+
+
+class Budget:
+    """Unified wall-clock / memory / storage budget for one run.
+
+    This is the *only* deadline implementation in the codebase; every
+    engine and baseline checks time through it.  Memory is modeled as
+    resident bytes (charge/release pairs around live state, one-way
+    charges for buffered results); storage is cumulative spill.  All
+    three violations raise the shared :mod:`repro.errors` types the
+    benchmark harness maps to the paper's TLE / OOM / OOS cells.
+    """
+
+    __slots__ = (
+        "time_limit",
+        "memory_budget_bytes",
+        "storage_budget_bytes",
+        "check_interval",
+        "start",
+        "memory_used_bytes",
+        "peak_memory_bytes",
+        "storage_used_bytes",
+        "_tick",
+    )
+
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        memory_budget_bytes: Optional[int] = None,
+        storage_budget_bytes: Optional[int] = None,
+        check_interval: int = 256,
+    ) -> None:
+        if check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        self.time_limit = time_limit
+        self.memory_budget_bytes = memory_budget_bytes
+        self.storage_budget_bytes = storage_budget_bytes
+        self.check_interval = check_interval
+        self.start = time.monotonic()
+        self.memory_used_bytes = 0
+        self.peak_memory_bytes = 0
+        self.storage_used_bytes = 0
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    # Wall clock
+    # ------------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.start
+
+    def restart(self) -> None:
+        """Re-anchor the clock (a fresh run reusing the same budget)."""
+        self.start = time.monotonic()
+        self._tick = 0
+
+    def _check_deadline(self) -> None:
+        """The one shared deadline check (tick-gated; raises TLE)."""
+        if self.time_limit is None:
+            return
+        self._tick += 1
+        if self._tick % self.check_interval:
+            return
+        elapsed = time.monotonic() - self.start
+        if elapsed > self.time_limit:
+            raise TimeLimitExceeded(self.time_limit, elapsed)
+
+    # Public spelling; same single implementation.
+    check_deadline = _check_deadline
+
+    # ------------------------------------------------------------------
+    # Bytes
+    # ------------------------------------------------------------------
+
+    def charge_memory(self, n_bytes: int) -> int:
+        """Charge resident bytes; raises OOM past the budget.
+
+        Returns ``n_bytes`` so callers can pair the charge with a later
+        :meth:`release_memory`.
+        """
+        self.memory_used_bytes += n_bytes
+        if self.memory_used_bytes > self.peak_memory_bytes:
+            self.peak_memory_bytes = self.memory_used_bytes
+        if (
+            self.memory_budget_bytes is not None
+            and self.memory_used_bytes > self.memory_budget_bytes
+        ):
+            raise MemoryBudgetExceeded(
+                self.memory_budget_bytes, self.memory_used_bytes
+            )
+        return n_bytes
+
+    def release_memory(self, n_bytes: int) -> None:
+        self.memory_used_bytes -= n_bytes
+
+    def charge_storage(self, n_bytes: int) -> int:
+        """Charge cumulative spill bytes; raises OOS past the budget."""
+        self.storage_used_bytes += n_bytes
+        if (
+            self.storage_budget_bytes is not None
+            and self.storage_used_bytes > self.storage_budget_bytes
+        ):
+            raise StorageBudgetExceeded(
+                self.storage_budget_bytes, self.storage_used_bytes
+            )
+        return n_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"Budget(time_limit={self.time_limit}, "
+            f"mem={self.memory_used_bytes}/{self.memory_budget_bytes}, "
+            f"disk={self.storage_used_bytes}/{self.storage_budget_bytes})"
+        )
+
+
+class TaskContext:
+    """Everything a task needs from its runtime, in one handle.
+
+    ``token`` gates cooperative cancellation, ``budget`` owns the
+    deadline and byte accounting, ``bus`` carries instrumentation
+    events, ``stats`` is the counter sink subscribed to the bus.
+    Contexts are cheap; derive per-scope children with :meth:`child`.
+    """
+
+    __slots__ = ("token", "budget", "bus", "stats")
+
+    def __init__(
+        self,
+        token: Optional[CancellationToken] = None,
+        budget: Optional[Budget] = None,
+        bus: Optional[EventBus] = None,
+        stats: Optional[Any] = None,
+    ) -> None:
+        self.token = token if token is not None else CancellationToken()
+        self.budget = budget if budget is not None else Budget()
+        self.bus = bus if bus is not None else EventBus()
+        self.stats = stats
+
+    @classmethod
+    def create(
+        cls,
+        time_limit: Optional[float] = None,
+        stats: Optional[Any] = None,
+        check_interval: int = 256,
+        memory_budget_bytes: Optional[int] = None,
+        storage_budget_bytes: Optional[int] = None,
+        bus: Optional[EventBus] = None,
+    ) -> "TaskContext":
+        """Standard context: fresh token, fresh budget, stats wired to
+        the bus through a :class:`StatsSubscriber`."""
+        ctx = cls(
+            token=CancellationToken(),
+            budget=Budget(
+                time_limit=time_limit,
+                memory_budget_bytes=memory_budget_bytes,
+                storage_budget_bytes=storage_budget_bytes,
+                check_interval=check_interval,
+            ),
+            bus=bus if bus is not None else EventBus(),
+            stats=stats,
+        )
+        if stats is not None:
+            StatsSubscriber(stats).attach(ctx.bus)
+        return ctx
+
+    @classmethod
+    def for_stats(cls, stats: Any) -> "TaskContext":
+        """Minimal context around an existing stats object (legacy call
+        sites that pass bare counters)."""
+        return cls.create(stats=stats)
+
+    def child(self) -> "TaskContext":
+        """Derived context: subordinate token, shared budget/bus/stats."""
+        ctx = TaskContext.__new__(TaskContext)
+        ctx.token = self.token.child()
+        ctx.budget = self.budget
+        ctx.bus = self.bus
+        ctx.stats = self.stats
+        return ctx
+
+    @property
+    def cancelled(self) -> bool:
+        return self.token.cancelled
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        self.token.cancel(reason)
+
+    def check_deadline(self) -> None:
+        self.budget.check_deadline()
+
+    def emit(self, event: str, **payload: Any) -> None:
+        self.bus.emit(event, **payload)
+
+    def __repr__(self) -> str:
+        return f"TaskContext({self.token!r}, {self.budget!r})"

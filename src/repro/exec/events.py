@@ -1,0 +1,158 @@
+"""Instrumentation event bus for the execution core.
+
+Engines publish task-lifecycle events to an :class:`EventBus` instead
+of threading counter objects through every call signature.  Subscribers
+(the built-in :class:`StatsSubscriber`, future tracing/metrics sinks)
+attach without the engines knowing about them — the same decoupling
+the paper's runtime gets from its per-task counter sinks, generalized.
+
+Event vocabulary (the ``on_*`` hooks of the execution model):
+
+==================  ==================================================
+``task_start``      an ETask/engine run begins (payload: kind, root)
+``task_complete``   a run or root-task finished
+``match``           a match was accepted as valid
+``match_checked``   a match entered constraint validation
+``vtask_spawn``     a VTask began validating one constraint target
+``vtask_match``     a VTask found a containing match
+``cancel``          work was canceled (payload: kind, count)
+``promote``         a VTask match was promoted to task processing
+``cache_hit``       a set-operation cache hit (coarse; opt-in)
+``cache_miss``      a set-operation cache miss (coarse; opt-in)
+==================  ==================================================
+
+Emission is cheap when nobody listens: :meth:`EventBus.emit` is a dict
+lookup plus a truthiness test per event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+Handler = Callable[..., None]
+
+TASK_START = "task_start"
+TASK_COMPLETE = "task_complete"
+MATCH = "match"
+MATCH_CHECKED = "match_checked"
+VTASK_SPAWN = "vtask_spawn"
+VTASK_MATCH = "vtask_match"
+CANCEL = "cancel"
+PROMOTE = "promote"
+CACHE_HIT = "cache_hit"
+CACHE_MISS = "cache_miss"
+
+EVENTS = (
+    TASK_START,
+    TASK_COMPLETE,
+    MATCH,
+    MATCH_CHECKED,
+    VTASK_SPAWN,
+    VTASK_MATCH,
+    CANCEL,
+    PROMOTE,
+    CACHE_HIT,
+    CACHE_MISS,
+)
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for execution events."""
+
+    __slots__ = ("_handlers",)
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List[Handler]] = {}
+
+    def subscribe(self, event: str, handler: Handler) -> None:
+        """Register ``handler`` for ``event`` (called on every emit)."""
+        if event not in EVENTS:
+            raise ValueError(f"unknown execution event {event!r}")
+        self._handlers.setdefault(event, []).append(handler)
+
+    def subscribe_all(self, handler: Handler) -> None:
+        """Register ``handler`` for every event; it receives
+        ``(event, **payload)``."""
+        for event in EVENTS:
+            self._handlers.setdefault(event, []).append(
+                _BoundEvent(event, handler)
+            )
+
+    def has_subscribers(self, event: str) -> bool:
+        """Whether emitting ``event`` would reach anyone (hot-path gate)."""
+        return bool(self._handlers.get(event))
+
+    def emit(self, event: str, **payload: Any) -> None:
+        """Publish one event to all subscribers, in subscription order."""
+        handlers = self._handlers.get(event)
+        if not handlers:
+            return
+        for handler in handlers:
+            handler(**payload)
+
+
+class _BoundEvent:
+    """Adapter giving ``subscribe_all`` handlers the event name."""
+
+    __slots__ = ("_event", "_handler")
+
+    def __init__(
+        self, event: str, handler: Callable[..., None]
+    ) -> None:
+        self._event = event
+        self._handler = handler
+
+    def __call__(self, **payload: Any) -> None:
+        self._handler(self._event, **payload)
+
+
+class StatsSubscriber:
+    """Maps lifecycle events onto the MiningStats/ConstraintStats counters.
+
+    The hot exploration counters (set intersections, extensions, cache
+    internals) stay as direct integer adds on the stats object — they
+    fire millions of times and live inside the cache/candidate layer.
+    The *lifecycle* counters (cancellations, promotions, checked
+    matches) arrive through the bus, so engines no longer thread them
+    through call signatures.
+    """
+
+    def __init__(self, stats: Any) -> None:
+        self.stats = stats
+
+    def attach(self, bus: EventBus) -> "StatsSubscriber":
+        bus.subscribe(CANCEL, self.on_cancel)
+        bus.subscribe(PROMOTE, self.on_promote)
+        bus.subscribe(MATCH_CHECKED, self.on_match_checked)
+        return self
+
+    def on_cancel(self, kind: str = "lateral", count: int = 1) -> None:
+        if kind == "lateral":
+            self.stats.vtasks_canceled_lateral += count
+        elif kind == "etask":
+            self.stats.etasks_canceled += count
+
+    def on_promote(self, count: int = 1, **_: Any) -> None:
+        self.stats.promotions += count
+
+    def on_match_checked(self, count: int = 1, **_: Any) -> None:
+        self.stats.matches_checked += count
+
+
+class EventLog:
+    """Recording subscriber: keeps ``(event, payload)`` tuples.
+
+    Useful in tests and for the CLI's machine-readable counter
+    snapshots; not meant for hot production paths.
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        self.records: List[Any] = []
+        if bus is not None:
+            bus.subscribe_all(self.record)
+
+    def record(self, event: str, **payload: Any) -> None:
+        self.records.append((event, payload))
+
+    def count(self, event: str) -> int:
+        return sum(1 for name, _ in self.records if name == event)

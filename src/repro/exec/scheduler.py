@@ -1,0 +1,254 @@
+"""Pluggable schedulers for constraint-aware mining runs.
+
+A :class:`Scheduler` decides *where and in what order* the independent
+root-level ETask groups of a run execute; the execution semantics
+(match sets, TLE/OOM/OOS vocabulary) are identical across schedulers:
+
+``SerialScheduler``
+    One engine, one promotion registry, roots in order — the paper's
+    single-worker execution and the reference for equivalence tests.
+
+``ProcessShardScheduler``
+    Roots partitioned round-robin across worker *processes* (CPython's
+    GIL makes threads useless for this workload).  Each shard keeps a
+    local promotion registry, exactly like distributed Contigra
+    workers without a shared registry; results are canonically
+    deduplicated and counters summed at merge.  Worker budget failures
+    (TLE/OOM/OOS) cross the process boundary as their original
+    exception types.
+
+``WorkQueueScheduler``
+    Per-root work stealing: every worker owns a deque of root tasks
+    and steals from the busiest victim when idle.  Workers share one
+    engine's pattern-level precomputation and one cancellation
+    token/deadline, so a budget failure in any worker cancels the
+    rest cooperatively.
+
+All three consume an :class:`ExecutionJob` — the bridge the Contigra
+runtime implements (:class:`repro.core.runtime.ContigraJob` is built
+by :func:`contigra_job`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+try:  # pragma: no cover - version split
+    from typing import Protocol
+except ImportError:  # pragma: no cover - python < 3.8 has no Protocol
+    Protocol = object  # type: ignore[assignment]
+
+from .context import TaskContext
+
+SCHEDULER_NAMES = ("serial", "process", "workqueue")
+
+
+class ExecutionJob(Protocol):
+    """What a scheduler needs from a runnable workload."""
+
+    def all_roots(self) -> List[int]:
+        """Every root vertex the run may explore."""
+        ...
+
+    def run_serial(self, ctx: Optional[TaskContext] = None) -> Any:
+        """Run the whole job in-process with one registry."""
+        ...
+
+    def run_shard(
+        self, roots: Sequence[int], ctx: Optional[TaskContext] = None
+    ) -> Any:
+        """Run one root shard in-process (local registry)."""
+        ...
+
+    def shard_payload(self, roots: Sequence[int]) -> Any:
+        """A picklable payload for :func:`run_shard_payload`."""
+        ...
+
+    def worker_session(self, ctx: TaskContext) -> Any:
+        """An incremental session for work-stealing workers."""
+        ...
+
+    def merge(self, partials: Sequence[Any], elapsed: float) -> Any:
+        """Combine per-shard results (dedup + counter sums)."""
+        ...
+
+
+def merge_counter_dict(stats: Any, shard_dict: Dict[str, float]) -> None:
+    """Sum a shard's integer counters into ``stats`` (rates recompute).
+
+    Works for any stats dataclass whose fields are integer counters —
+    the single merge implementation behind every sharded path.
+    """
+    for field in dataclasses.fields(stats):
+        value = shard_dict.get(field.name)
+        if value is None:
+            continue
+        setattr(
+            stats, field.name, getattr(stats, field.name) + int(value)
+        )
+
+
+def run_shard_payload(payload: Any) -> Tuple[Any, Dict[str, float], float]:
+    """Process-pool entry point: run one shard end to end.
+
+    Module-level so it pickles; budget exceptions propagate with their
+    original types (see ``repro.errors`` ``__reduce__``).
+    """
+    job, roots = payload
+    result = job.run_shard(roots)
+    return result.valid, result.stats.as_dict(), result.elapsed
+
+
+class SerialScheduler:
+    """Run the whole job in-process, roots in order."""
+
+    name = "serial"
+
+    def run(self, job: ExecutionJob, ctx: Optional[TaskContext] = None) -> Any:
+        return job.run_serial(ctx=ctx)
+
+    def __repr__(self) -> str:
+        return "SerialScheduler()"
+
+
+class ProcessShardScheduler:
+    """Round-robin root shards across worker processes."""
+
+    name = "process"
+
+    def __init__(self, n_workers: int = 2) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+
+    def run(self, job: ExecutionJob, ctx: Optional[TaskContext] = None) -> Any:
+        run_ctx = ctx if ctx is not None else TaskContext()
+        if self.n_workers == 1:
+            return job.run_serial(ctx=ctx)
+        shards: List[List[int]] = [[] for _ in range(self.n_workers)]
+        for index, vertex in enumerate(job.all_roots()):
+            shards[index % self.n_workers].append(vertex)
+        payloads = [job.shard_payload(shard) for shard in shards if shard]
+        if not payloads:
+            return job.merge([], run_ctx.budget.elapsed())
+        partials = []
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            # pool.map re-raises worker exceptions here; the budget
+            # exceptions carry __reduce__ so a worker OOM/TLE/OOS
+            # surfaces as its original class, not a pickling error.
+            for partial in pool.map(run_shard_payload, payloads):
+                partials.append(partial)
+        return job.merge(partials, run_ctx.budget.elapsed())
+
+    def __repr__(self) -> str:
+        return f"ProcessShardScheduler(n_workers={self.n_workers})"
+
+
+class WorkQueueScheduler:
+    """Per-root work queues with stealing, over shared precomputation.
+
+    Workers are threads: the GIL serializes the Python bytecode, so
+    this scheduler is about *load-balanced task order* and structural
+    fidelity (the paper's 80-thread work stealing), not wall-clock
+    parallelism — see DESIGN.md's substitutions table.  Each worker
+    keeps private stats and a private promotion registry (shard
+    semantics); one shared budget and cancellation token span all
+    workers, so a deadline hit anywhere cancels everyone.
+    """
+
+    name = "workqueue"
+
+    def __init__(self, n_workers: int = 2) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+
+    def run(self, job: ExecutionJob, ctx: Optional[TaskContext] = None) -> Any:
+        import threading
+        from collections import deque
+
+        run_ctx = ctx if ctx is not None else TaskContext()
+        roots = job.all_roots()
+        if self.n_workers == 1 or len(roots) <= 1:
+            return job.run_serial(ctx=ctx)
+
+        queues: List[Any] = [deque() for _ in range(self.n_workers)]
+        for index, root in enumerate(roots):
+            queues[index % self.n_workers].append(root)
+        lock = threading.Lock()
+        results: List[Any] = [None] * self.n_workers
+        failures: List[BaseException] = []
+
+        def next_root(me: int) -> Optional[int]:
+            with lock:
+                if queues[me]:
+                    return int(queues[me].popleft())
+                victim = max(
+                    (q for q in queues if q), key=len, default=None
+                )
+                if victim is None:
+                    return None
+                # Steal from the back: the victim keeps its cache-warm
+                # front-of-queue roots.
+                return int(victim.pop())
+
+        def worker(me: int) -> None:
+            session = job.worker_session(run_ctx.child())
+            try:
+                while True:
+                    if run_ctx.token.cancelled:
+                        break
+                    root = next_root(me)
+                    if root is None:
+                        break
+                    session.run_roots([root])
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                with lock:
+                    failures.append(exc)
+                # Lateral cancellation across workers: one budget
+                # failure stops the whole run cooperatively.
+                run_ctx.token.cancel("worker failure")
+            finally:
+                results[me] = session.finish()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(self.n_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        partials = [
+            (r.valid, r.stats.as_dict(), r.elapsed)
+            for r in results
+            if r is not None
+        ]
+        return job.merge(partials, run_ctx.budget.elapsed())
+
+    def __repr__(self) -> str:
+        return f"WorkQueueScheduler(n_workers={self.n_workers})"
+
+
+def make_scheduler(name: str, n_workers: int = 2) -> Any:
+    """Scheduler factory for the CLI/apps ``--scheduler`` knob."""
+    if name == "serial":
+        return SerialScheduler()
+    if name == "process":
+        return ProcessShardScheduler(n_workers=n_workers)
+    if name == "workqueue":
+        return WorkQueueScheduler(n_workers=n_workers)
+    raise ValueError(
+        f"unknown scheduler {name!r} (choose from {SCHEDULER_NAMES})"
+    )

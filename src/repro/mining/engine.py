@@ -6,6 +6,15 @@ exploration.  Constraint-aware execution lives in
 :class:`repro.core.runtime.ContigraEngine`, which builds on the same
 pieces.
 
+Matches move through a **streaming pipeline**: :meth:`MiningEngine.stream`
+is a generator over all ETasks of a pattern, and processors consume it
+incrementally (:meth:`~repro.mining.processors.Processor.consume`).
+Early-exit consumers (``exists``, bounded ``find_all``) close the
+generator, which unwinds the DFS — the exploration stops, it is not
+just ignored.  Deadlines and cancellation arrive through an optional
+:class:`~repro.exec.context.TaskContext` shared with the execution
+core.
+
 Parallelism note: the paper's implementation uses 80 hardware threads;
 pure Python cannot profit from fine-grained thread parallelism (GIL),
 so ``n_workers`` exists for structural fidelity — tasks are genuinely
@@ -17,8 +26,9 @@ preserves every relative result (see DESIGN.md, substitutions).
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
+from ..exec.context import TaskContext
 from ..graph.graph import Graph
 from ..patterns.pattern import Pattern
 from ..patterns.plan import ExplorationPlan, plan_for
@@ -50,6 +60,9 @@ class MiningEngine:
         Control the shared set-operation cache.
     n_workers:
         Thread-pool width for root partitioning (see module docstring).
+    ctx:
+        Optional execution context (deadline + cancellation token)
+        honored by every ETask this engine runs.
     """
 
     def __init__(
@@ -60,6 +73,7 @@ class MiningEngine:
         cache_entries: int = 200_000,
         n_workers: int = 1,
         per_task_caches: bool = True,
+        ctx: Optional[TaskContext] = None,
     ) -> None:
         """``per_task_caches`` follows the paper's task model (§2.3): the
         cache C is task-local, created fresh per rooted ETask.  Setting
@@ -72,6 +86,7 @@ class MiningEngine:
         self.induced = induced
         self.n_workers = n_workers
         self.per_task_caches = per_task_caches
+        self.ctx = ctx
         self._cache_entries = cache_entries
         self._cache_enabled = cache_enabled
         self.stats = MiningStats()
@@ -99,31 +114,51 @@ class MiningEngine:
         """The (memoized) exploration plan for ``pattern``."""
         return plan_for(pattern, induced=self.induced)
 
+    def stream(
+        self,
+        pattern: Pattern,
+        roots: Optional[Sequence[int]] = None,
+        ctx: Optional[TaskContext] = None,
+    ) -> Iterator[Match]:
+        """Stream every match of ``pattern``, root task by root task.
+
+        The generator is the engine's primitive: processors,
+        ``find_all``/``exists`` conveniences, and app pipelines all
+        pull from it.  Closing it stops the underlying DFS.
+        """
+        run_ctx = ctx if ctx is not None else self.ctx
+        plan = self.plan(pattern)
+        task_roots = list(roots) if roots is not None else root_candidates(
+            self.graph, plan
+        )
+        for root in task_roots:
+            task = ETask(
+                self.graph, plan, root, self._task_cache(), self.stats,
+                pattern=pattern, ctx=run_ctx,
+            )
+            yield from task.matches()
+
     def explore(
         self,
         pattern: Pattern,
         processor: Processor,
         roots: Optional[Sequence[int]] = None,
+        ctx: Optional[TaskContext] = None,
     ) -> Processor:
         """Run all ETasks for ``pattern``, feeding matches to ``processor``."""
-        plan = self.plan(pattern)
-        task_roots = list(roots) if roots is not None else root_candidates(
-            self.graph, plan
-        )
         if self.n_workers == 1:
-            for root in task_roots:
-                task = ETask(
-                    self.graph, plan, root, self._task_cache(), self.stats,
-                    pattern=pattern,
-                )
-                if task.run(processor.process):
-                    break
+            processor.consume(self.stream(pattern, roots=roots, ctx=ctx))
             return processor
 
         # Thread-pool path: partition roots; each worker keeps private
         # counters that are merged afterwards.  The processor is shared
         # and must tolerate interleaved calls (built-ins do: their
         # mutations are single bytecode ops under the GIL).
+        run_ctx = ctx if ctx is not None else self.ctx
+        plan = self.plan(pattern)
+        task_roots = list(roots) if roots is not None else root_candidates(
+            self.graph, plan
+        )
         chunks = _partition(task_roots, self.n_workers)
 
         def run_chunk(chunk: List[int]) -> MiningStats:
@@ -131,7 +166,7 @@ class MiningEngine:
             for root in chunk:
                 task = ETask(
                     self.graph, plan, root, self._task_cache(), local,
-                    pattern=pattern,
+                    pattern=pattern, ctx=run_ctx,
                 )
                 if task.run(processor.process):
                     break
@@ -183,25 +218,13 @@ class MiningEngine:
         Contigra's fused VTasks, which is exactly the gap the paper
         measures.
         """
-        plan = self.plan(pattern)
-        found = FirstMatchProcessor()
-
-        def check(match: Match) -> bool:
-            if required_vertices <= match.vertex_set:
-                return found.process(match)
-            return False
-
         # Only roots that can reach the required vertices are relevant,
         # but the baseline faithfully scans all roots (it has no way to
         # know better without Contigra's dependency machinery).
-        for root in root_candidates(self.graph, plan):
-            task = ETask(
-                self.graph, plan, root, self._task_cache(), self.stats,
-                pattern=pattern,
-            )
-            if task.run(check):
-                break
-        return found.result() is not None
+        for match in self.stream(pattern):
+            if required_vertices <= match.vertex_set:
+                return True
+        return False
 
 
 def _partition(items: List[int], parts: int) -> List[List[int]]:

@@ -7,15 +7,25 @@ vertices by order position is the task's current subgraph S; the
 shared :class:`~repro.mining.cache.SetOperationCache` plays the role
 of C (entries survive across steps and across fused/promoted tasks).
 
+The DFS is a **generator**: :meth:`ETask.matches` yields matches as
+they are discovered, so consumers pull incrementally instead of
+materializing result lists — closing the generator (an early-exit
+``first``/bounded ``collect``, a cancellation) genuinely stops the
+exploration mid-descent.  The callback protocol (:meth:`ETask.run`)
+is a thin wrapper over the same generator.
+
 The plain ETask knows nothing about containment constraints — that is
-Contigra's job (:mod:`repro.core.runtime`), which subclasses the same
-recursion with validation hooks.
+Contigra's job (:mod:`repro.core.runtime`), which drives the same
+recursion with validation hooks.  It *does* understand the execution
+core: give it a :class:`~repro.exec.context.TaskContext` and it
+honors the shared deadline and cooperative cancellation token.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Iterator, List, Optional
 
+from ..exec.context import TaskContext
 from ..graph.graph import Graph
 from ..patterns.plan import ExplorationPlan
 from .cache import SetOperationCache
@@ -39,10 +49,14 @@ class ETask:
         Shared set-operation cache (the C of the task state).
     stats:
         Counter sink.
+    ctx:
+        Optional execution context: the task checks its deadline and
+        cancellation token cooperatively while descending.
     """
 
     __slots__ = (
         "graph", "plan", "root", "cache", "stats", "_stopped", "pattern",
+        "ctx",
     )
 
     def __init__(
@@ -53,6 +67,7 @@ class ETask:
         cache: SetOperationCache,
         stats: MiningStats,
         pattern=None,
+        ctx: Optional[TaskContext] = None,
     ) -> None:
         """``pattern`` overrides the pattern reported on matches: plans
         are memoized per *structure*, so the cached plan may carry a
@@ -64,32 +79,49 @@ class ETask:
         self.cache = cache
         self.stats = stats
         self.pattern = pattern if pattern is not None else plan.pattern
+        self.ctx = ctx
         self._stopped = False
 
-    def run(self, on_match: OnMatch) -> bool:
-        """Explore all matches rooted here; returns True if stopped early."""
+    def matches(self) -> Iterator[Match]:
+        """Stream all matches rooted here, depth first.
+
+        Counters follow the callback protocol exactly: a task counts
+        as completed only when the generator runs to exhaustion — a
+        consumer that stops early (closes the generator) leaves the
+        task uncompleted, like a canceled task.
+        """
         self.stats.etasks_started += 1
         plan = self.plan
         if plan.labels_at[0] is not None and (
             self.graph.label(self.root) != plan.labels_at[0]
         ):
             self.stats.etasks_completed += 1
-            return False
+            return
         bound: List[int] = [self.root]
-        self._descend(bound, on_match)
-        if not self._stopped:
-            self.stats.etasks_completed += 1
+        for match in self._descend(bound):
+            yield match
+        self.stats.etasks_completed += 1
+
+    def run(self, on_match: OnMatch) -> bool:
+        """Explore all matches rooted here; returns True if stopped early."""
+        for match in self.matches():
+            if on_match(match):
+                self._stopped = True
+                break
         return self._stopped
 
-    def _descend(self, bound: List[int], on_match: OnMatch) -> None:
+    def _descend(self, bound: List[int]) -> Iterator[Match]:
+        ctx = self.ctx
+        if ctx is not None:
+            ctx.check_deadline()
+            if ctx.token.cancelled:
+                return
         plan = self.plan
         step = len(bound)
         if step == plan.num_steps:
             self.stats.rl_paths += 1
             self.stats.matches_found += 1
-            match = self._to_match(bound)
-            if on_match(match):
-                self._stopped = True
+            yield self._to_match(bound)
             return
         candidates = compute_candidates(
             self.graph, plan, step, bound, self.cache, self.stats
@@ -101,10 +133,8 @@ class ETask:
         for v in candidates:
             self.stats.extensions_attempted += 1
             bound.append(v)
-            self._descend(bound, on_match)
+            yield from self._descend(bound)
             bound.pop()
-            if self._stopped:
-                return
 
     def _to_match(self, bound: List[int]) -> Match:
         """Convert order-position bindings to a pattern-vertex assignment."""
@@ -115,15 +145,15 @@ class ETask:
         return Match(self.pattern, assignment)
 
 
-def run_single_pattern(
+def stream_single_pattern(
     graph: Graph,
     plan: ExplorationPlan,
-    on_match: OnMatch,
     cache: Optional[SetOperationCache] = None,
     stats: Optional[MiningStats] = None,
     roots: Optional[List[int]] = None,
-) -> MiningStats:
-    """Run ETasks for one pattern over all (or the given) roots, serially."""
+    ctx: Optional[TaskContext] = None,
+) -> Iterator[Match]:
+    """Stream matches of one pattern over all (or the given) roots."""
     stats = stats if stats is not None else MiningStats()
     cache = cache if cache is not None else SetOperationCache(stats=stats)
     if roots is None:
@@ -131,7 +161,24 @@ def run_single_pattern(
 
         roots = root_candidates(graph, plan)
     for root in roots:
-        task = ETask(graph, plan, root, cache, stats)
-        if task.run(on_match):
+        task = ETask(graph, plan, root, cache, stats, ctx=ctx)
+        yield from task.matches()
+
+
+def run_single_pattern(
+    graph: Graph,
+    plan: ExplorationPlan,
+    on_match: OnMatch,
+    cache: Optional[SetOperationCache] = None,
+    stats: Optional[MiningStats] = None,
+    roots: Optional[List[int]] = None,
+    ctx: Optional[TaskContext] = None,
+) -> MiningStats:
+    """Run ETasks for one pattern over all (or the given) roots, serially."""
+    stats = stats if stats is not None else MiningStats()
+    for match in stream_single_pattern(
+        graph, plan, cache=cache, stats=stats, roots=roots, ctx=ctx
+    ):
+        if on_match(match):
             break
     return stats

@@ -5,11 +5,18 @@ collection, or a user-defined callback (how the Peregrine+ baseline
 implements constraint checking, §8.2).  A processor's ``process``
 returns True to stop the whole exploration early — used for
 existence-style queries.
+
+Processors are stream consumers: :meth:`Processor.consume` drains a
+match generator (:meth:`repro.mining.engine.MiningEngine.stream`) and
+stops pulling — which closes the generator and genuinely halts the
+DFS — the moment ``process`` signals a stop.  ``FirstMatchProcessor``
+and a bounded ``CollectProcessor`` therefore end exploration instead
+of merely ignoring further matches.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .match import Match
 
@@ -24,6 +31,18 @@ class Processor:
     def result(self):
         """Final value once exploration completes."""
         raise NotImplementedError
+
+    def consume(self, stream: Iterable[Match]) -> bool:
+        """Drain a match stream until it ends or ``process`` stops it.
+
+        Returns True when the stream was stopped early.  Breaking out
+        of the loop closes a generator-backed stream, unwinding the
+        exploration DFS — early-exit stops the actual work.
+        """
+        for match in stream:
+            if self.process(match):
+                return True
+        return False
 
 
 class CountProcessor(Processor):

@@ -305,3 +305,89 @@ class TestOnlyWithinRuntime:
     def test_only_within_requires_larger_pattern(self):
         with pytest.raises(ValueError):
             Query(triangle()).only_within(triangle())
+
+
+class TestSchedulerFeasibility:
+    def _mqc_constraints(self):
+        from repro.core import maximality_constraints
+        from repro.patterns import quasi_clique_patterns_up_to
+
+        return maximality_constraints(
+            quasi_clique_patterns_up_to(4, 0.7), induced=True
+        )
+
+    def test_unknown_scheduler_is_cg501(self):
+        from repro.analysis import check_scheduler
+
+        report = check_scheduler("bogus")
+        assert report.has_errors
+        assert report.errors[0].code == "CG501"
+
+    def test_serial_scheduler_is_clean(self):
+        from repro.analysis import check_scheduler
+
+        report = check_scheduler(
+            "serial", constraint_set=self._mqc_constraints()
+        )
+        assert not report.diagnostics
+
+    def test_sharded_promotion_warns_cg502(self):
+        from repro.analysis import check_scheduler
+
+        constraint_set = self._mqc_constraints()
+        codes = {
+            d.code
+            for d in check_scheduler(
+                "process", constraint_set=constraint_set
+            ).diagnostics
+        }
+        assert "CG502" in codes
+        assert "CG503" in codes  # process workers: no shared token
+
+    def test_workqueue_shares_the_token(self):
+        from repro.analysis import check_scheduler
+
+        codes = {
+            d.code
+            for d in check_scheduler(
+                "workqueue", constraint_set=self._mqc_constraints()
+            ).diagnostics
+        }
+        assert "CG502" in codes
+        assert "CG503" not in codes
+
+    def test_nsq_style_constraints_are_not_promotable(self):
+        from repro.analysis import check_scheduler, promotable_constraints
+        from repro.core import nested_query_constraints
+        from repro.patterns import house, triangle
+
+        constraint_set = nested_query_constraints(triangle(), [house()])
+        assert promotable_constraints(constraint_set) == []
+        codes = {
+            d.code
+            for d in check_scheduler(
+                "workqueue", constraint_set=constraint_set
+            ).diagnostics
+        }
+        assert "CG502" not in codes
+
+    def test_single_worker_warns_cg504(self):
+        from repro.analysis import check_scheduler
+
+        codes = {
+            d.code for d in check_scheduler("process", n_workers=1).diagnostics
+        }
+        assert "CG504" in codes
+
+    def test_query_builder_surfaces_scheduler_diagnostics(self):
+        from repro.patterns import house, triangle
+
+        report = (
+            Query(triangle())
+            .not_within(house())
+            .scheduler("process")
+            .analyze()
+        )
+        codes = {d.code for d in report.diagnostics}
+        assert "CG503" in codes
+        assert not report.has_errors

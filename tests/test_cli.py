@@ -171,3 +171,85 @@ class TestAnalyze:
         assert main(
             ["analyze", "--workload", "mqc", "--max-size", "4"]
         ) == 0
+
+
+class TestSchedulerFlags:
+    def test_mqc_scheduler_workqueue_json_counters(self, capsys):
+        assert main(
+            ["mqc", "--dataset", "dblp", "--max-size", "4",
+             "--scheduler", "workqueue", "--workers", "2",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheduler"] == "workqueue"
+        assert payload["wall_time_seconds"] > 0
+        counters = payload["counters"]
+        assert counters["matches_found"] > 0
+        assert "vtasks_canceled_lateral" in counters
+        assert "promotions" in counters
+
+    def test_text_output_stays_a_short_summary(self, capsys):
+        assert main(
+            ["mqc", "--dataset", "dblp", "--max-size", "4",
+             "--scheduler", "serial"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "maximal_quasi_cliques:" in out
+        assert "counters" not in out
+
+    def test_nsq_scheduler_matches_serial(self, capsys):
+        assert main(
+            ["nsq", "--dataset", "dblp", "--format", "json"]
+        ) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(
+            ["nsq", "--dataset", "dblp", "--scheduler", "workqueue",
+             "--format", "json"]
+        ) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded["valid_matches"] == serial["valid_matches"]
+        assert sharded["scheduler"] == "workqueue"
+
+    def test_unknown_scheduler_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mqc", "--dataset", "dblp", "--scheduler", "bogus"]
+            )
+
+
+class TestAnalyzeScheduler:
+    def test_mqc_workload_process_scheduler_warns(self, capsys):
+        assert main(
+            ["analyze", "--workload", "mqc", "--max-size", "4",
+             "--scheduler", "process", "--format", "json"]
+        ) == 0  # warnings never fail the command
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "CG502" in codes
+        assert "CG503" in codes
+
+    def test_serial_scheduler_is_silent(self, capsys):
+        assert main(
+            ["analyze", "--workload", "mqc", "--max-size", "4",
+             "--scheduler", "serial", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert not any(code.startswith("CG5") for code in codes)
+
+    def test_unknown_scheduler_is_an_error(self, capsys):
+        assert main(
+            ["analyze", "--workload", "mqc", "--max-size", "4",
+             "--scheduler", "bogus"]
+        ) == 1
+        assert "CG501" in capsys.readouterr().out
+
+    def test_kws_workload_scheduler_ignored(self, capsys):
+        assert main(
+            ["analyze", "--workload", "kws", "--keywords", "0,1",
+             "--max-size", "3", "--scheduler", "workqueue",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "CG505" in codes

@@ -1,0 +1,283 @@
+"""Tests for the execution core: tokens, budgets, bus, task contexts.
+
+Covers the ``repro.exec`` primitives directly plus the two lifecycle
+guarantees the refactor was for: budget exceptions survive pickling
+with their original types (the process-scheduler contract), and a
+parent token cancellation stops pending child VTasks.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import LateralScheduler, ValidationTarget
+from repro.errors import (
+    MemoryBudgetExceeded,
+    StorageBudgetExceeded,
+    TimeLimitExceeded,
+)
+from repro.exec import (
+    CANCEL,
+    MATCH_CHECKED,
+    PROMOTE,
+    Budget,
+    CancellationToken,
+    EventBus,
+    EventLog,
+    StatsSubscriber,
+    TaskContext,
+)
+from repro.graph import erdos_renyi, graph_from_edges
+from repro.mining import ConstraintStats, SetOperationCache
+from repro.patterns import clique, quasi_clique_patterns, triangle
+
+
+class TestCancellationToken:
+    def test_parent_cancel_propagates_to_descendants(self):
+        parent = CancellationToken()
+        child = parent.child()
+        grandchild = child.child()
+        parent.cancel("deadline")
+        assert child.cancelled
+        assert grandchild.cancelled
+        assert parent.reason == "deadline"
+
+    def test_child_cancel_does_not_touch_parent_or_siblings(self):
+        parent = CancellationToken()
+        left = parent.child()
+        right = parent.child()
+        left.cancel()
+        assert left.cancelled
+        assert not parent.cancelled
+        assert not right.cancelled
+
+    def test_cancel_is_idempotent_and_keeps_first_reason(self):
+        token = CancellationToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.reason == "first"
+
+
+class TestBudget:
+    def test_no_limit_never_raises(self):
+        budget = Budget(check_interval=1)
+        for _ in range(1000):
+            budget.check_deadline()
+
+    def test_expired_deadline_raises_tle(self):
+        budget = Budget(time_limit=1e-9, check_interval=1)
+        with pytest.raises(TimeLimitExceeded) as info:
+            budget.check_deadline()
+        assert info.value.limit_seconds == 1e-9
+        assert info.value.elapsed > 0
+
+    def test_tick_gating_skips_intermediate_checks(self):
+        budget = Budget(time_limit=1e-9, check_interval=4)
+        for _ in range(3):
+            budget.check_deadline()  # ticks 1-3: no clock read
+        with pytest.raises(TimeLimitExceeded):
+            budget.check_deadline()  # tick 4 reads the clock
+
+    def test_restart_reanchors_the_clock(self):
+        budget = Budget(time_limit=30.0, check_interval=1)
+        budget.start -= 60.0  # pretend a minute passed
+        with pytest.raises(TimeLimitExceeded):
+            budget.check_deadline()
+        budget.restart()
+        budget.check_deadline()
+
+    def test_memory_charge_release_and_peak(self):
+        budget = Budget(memory_budget_bytes=100)
+        budget.charge_memory(60)
+        budget.charge_memory(30)
+        budget.release_memory(50)
+        assert budget.memory_used_bytes == 40
+        assert budget.peak_memory_bytes == 90
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.charge_memory(61)
+
+    def test_storage_is_cumulative(self):
+        budget = Budget(storage_budget_bytes=100)
+        budget.charge_storage(60)
+        with pytest.raises(StorageBudgetExceeded) as info:
+            budget.charge_storage(41)
+        assert info.value.budget_bytes == 100
+        assert info.value.used_bytes == 101
+
+    def test_invalid_check_interval(self):
+        with pytest.raises(ValueError):
+            Budget(check_interval=0)
+
+
+class TestBudgetExceptionPickling:
+    """Budget exceptions must cross process boundaries intact.
+
+    Default unpickling replays ``Exception.__init__`` with the
+    formatted message, which breaks multi-argument constructors; the
+    ``__reduce__`` implementations preserve the real constructor args
+    so ``ProcessShardScheduler`` re-raises original types with their
+    structured fields (the satellite bugfix for ``run_sharded``).
+    """
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TimeLimitExceeded(2.0, 3.5),
+            MemoryBudgetExceeded(64, 128),
+            StorageBudgetExceeded(1024, 4096),
+        ],
+    )
+    def test_round_trip_preserves_type_and_fields(self, exc):
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is type(exc)
+        assert str(clone) == str(exc)
+        for attr in ("limit_seconds", "elapsed", "budget_bytes", "used_bytes"):
+            if hasattr(exc, attr):
+                assert getattr(clone, attr) == getattr(exc, attr)
+
+    def test_round_trip_maps_to_paper_cells(self):
+        from repro.bench.harness import failure_status
+
+        clone = pickle.loads(pickle.dumps(MemoryBudgetExceeded(64, 128)))
+        assert failure_status(clone) == "OOM"
+
+
+class TestEventBus:
+    def test_unknown_event_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.subscribe("made_up_event", lambda **kw: None)
+
+    def test_emit_without_subscribers_is_a_noop(self):
+        EventBus().emit(CANCEL, kind="lateral", count=1)
+
+    def test_stats_subscriber_maps_lifecycle_events(self):
+        stats = ConstraintStats()
+        bus = EventBus()
+        StatsSubscriber(stats).attach(bus)
+        bus.emit(CANCEL, kind="lateral", count=3)
+        bus.emit(CANCEL, kind="etask", count=2)
+        bus.emit(PROMOTE, count=4)
+        bus.emit(MATCH_CHECKED, count=5)
+        assert stats.vtasks_canceled_lateral == 3
+        assert stats.etasks_canceled == 2
+        assert stats.promotions == 4
+        assert stats.matches_checked == 5
+
+    def test_event_log_records_everything(self):
+        bus = EventBus()
+        log = EventLog(bus)
+        bus.emit(PROMOTE, count=1)
+        bus.emit(CANCEL, kind="lateral", count=2)
+        assert log.count(PROMOTE) == 1
+        assert log.count(CANCEL) == 1
+        assert log.records[1] == (CANCEL, {"kind": "lateral", "count": 2})
+        assert bus.has_subscribers(MATCH_CHECKED)
+
+
+class TestTaskContext:
+    def test_create_wires_stats_to_the_bus(self):
+        stats = ConstraintStats()
+        ctx = TaskContext.create(stats=stats)
+        ctx.emit(CANCEL, kind="lateral", count=7)
+        assert stats.vtasks_canceled_lateral == 7
+
+    def test_child_shares_budget_bus_stats_with_subordinate_token(self):
+        ctx = TaskContext.create(time_limit=10.0, stats=ConstraintStats())
+        child = ctx.child()
+        assert child.budget is ctx.budget
+        assert child.bus is ctx.bus
+        assert child.stats is ctx.stats
+        ctx.cancel("parent gone")
+        assert child.cancelled
+        grandchild = child.child()
+        assert grandchild.cancelled
+
+    def test_deadline_flows_through_the_context(self):
+        ctx = TaskContext.create(time_limit=1e-9, check_interval=1)
+        with pytest.raises(TimeLimitExceeded):
+            ctx.check_deadline()
+
+
+def lateral_scheduler(graph, cancellation=True):
+    targets = [
+        ValidationTarget(triangle(), bigger, graph, induced=True)
+        for bigger in (
+            quasi_clique_patterns(4, 0.8) + quasi_clique_patterns(5, 0.8)
+        )
+    ]
+    return LateralScheduler(
+        targets, graph, enable_cancellation=cancellation
+    )
+
+
+class TestParentCancellation:
+    def test_cancelled_parent_cancels_all_pending_child_vtasks(self):
+        g = erdos_renyi(10, 0.9, seed=1)
+        scheduler = lateral_scheduler(g)
+        stats = ConstraintStats()
+        ctx = TaskContext.create(stats=stats)
+        ctx.cancel("parent aborted")
+        cache = SetOperationCache(stats=stats)
+        result = scheduler.validate([0, 1, 2], g, cache, stats, ctx=ctx)
+        assert result is None
+        assert stats.vtasks_started == 0
+        assert stats.vtasks_canceled_lateral == len(scheduler)
+
+    def test_live_parent_runs_the_chain_normally(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2)])  # lone triangle
+        scheduler = lateral_scheduler(g)
+        stats = ConstraintStats()
+        ctx = TaskContext.create(stats=stats)
+        cache = SetOperationCache(stats=stats)
+        assert (
+            scheduler.validate([0, 1, 2], g, cache, stats, ctx=ctx)
+            is None
+        )
+        assert stats.vtasks_started == len(scheduler)
+        assert stats.vtasks_canceled_lateral == 0
+
+    def test_lateral_match_cancels_chain_via_the_bus(self):
+        g = erdos_renyi(10, 0.9, seed=1)  # nearly complete: contained
+        scheduler = lateral_scheduler(g)
+        stats = ConstraintStats()
+        ctx = TaskContext.create(stats=stats)
+        cache = SetOperationCache(stats=stats)
+        hit = scheduler.validate([0, 1, 2], g, cache, stats, ctx=ctx)
+        assert hit is not None
+        assert (
+            stats.vtasks_started + stats.vtasks_canceled_lateral
+            == len(scheduler)
+        )
+
+
+class TestBridgeDeadline:
+    """The shared deadline must fire *inside* VTask bridging recursion.
+
+    A triangle → 5-clique validation bridges a two-level gap; with an
+    expired budget the TLE must surface from within the bridge walk,
+    not wait for the next subgraph boundary (the historic bug).
+    """
+
+    def _target(self, graph):
+        return ValidationTarget(
+            triangle(), clique(5), graph, induced=False
+        )
+
+    def test_expired_deadline_fires_inside_bridging(self):
+        g = erdos_renyi(12, 0.95, seed=3)  # dense: deep bridge walks
+        target = self._target(g)
+        stats = ConstraintStats()
+        ctx = TaskContext.create(
+            time_limit=1e-9, stats=stats, check_interval=1
+        )
+        cache = SetOperationCache(stats=stats)
+        with pytest.raises(TimeLimitExceeded):
+            target.run([0, 1, 2], g, cache, stats, ctx=ctx)
+
+    def test_without_context_the_bridge_completes(self):
+        g = erdos_renyi(12, 0.95, seed=3)
+        target = self._target(g)
+        stats = ConstraintStats()
+        cache = SetOperationCache(stats=stats)
+        target.run([0, 1, 2], g, cache, stats)
