@@ -1,0 +1,241 @@
+"""Candidate-kernel microbenchmarks with a perf-regression gate.
+
+Not a paper figure: this suite guards the `repro.graph.index` kernel
+layer itself.  Three experiments run per invocation:
+
+* **dense**: pool production (common-neighbor intersection, native
+  representation) on a dense seeded G(n, p) — the regime the bitset
+  kernel exists for.  The acceptance floor is a >=2x speedup of
+  ``bitset`` over the legacy frozenset path.
+* **labeled**: the same with label restriction, where the kernels
+  apply the label inside the intersection (one mask AND / a
+  label-partitioned seed window) while the legacy path filters
+  per-vertex afterwards.
+* **mqc end-to-end**: the fig13-style MQC workload on the synthetic
+  dblp analog, timing ``auto`` against ``sets``.  ``auto`` must not
+  lose: on sparse graphs it *is* the legacy path (graph-level tier of
+  the hybrid), so the check guards that dispatch.
+
+Results go to ``benchmarks/results/kernels_micro.txt`` (human) and
+``benchmarks/results/kernels_micro.json`` (machine).  The committed
+``benchmarks/kernels_micro_baseline.json`` pins expected speedups; the
+gate fails when any measured speedup drops below half its baseline
+(>2x regression), which is what the CI kernel-smoke job enforces.
+"""
+
+import json
+import os
+import random
+import time
+
+from repro.apps import maximal_quasi_cliques
+from repro.bench import dataset, format_table
+from repro.graph import Graph, erdos_renyi
+from repro.mining import MiningStats
+
+from _common import RESULTS_DIR, emit, run_once
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "kernels_micro_baseline.json"
+)
+
+#: Gate: fail when a measured speedup falls below baseline / FACTOR.
+REGRESSION_FACTOR = 2.0
+
+SAMPLES = 300
+ROUNDS = 5
+
+
+def _best_of(fn, rounds=ROUNDS):
+    return min(fn() for _ in range(rounds))
+
+
+def _dense_workload():
+    """Pool production per mode on G(500, 0.4): native representations.
+
+    The legacy path's product is a frozenset (its filters hash-probe);
+    the kernels' products are a bitmask / sorted tuple (their filters
+    mask or slice).  Timing each path to its own representation is the
+    honest comparison — no path pays for a decode its consumers skip.
+    """
+    graph = erdos_renyi(500, 0.4, seed=42)
+    rng = random.Random(1)
+    samples = [
+        tuple(rng.sample(range(500), rng.choice((2, 2, 3))))
+        for _ in range(SAMPLES)
+    ]
+    indexes = {
+        mode: graph.kernel_index(mode) for mode in ("bitset", "csr", "auto")
+    }
+    stats = MiningStats()
+    for v in graph.vertices():  # warm lazy adjacency forms
+        graph.neighbor_set(v)
+        indexes["bitset"].neighbor_bits(v)
+
+    def time_sets():
+        start = time.perf_counter()
+        for anchors in samples:
+            pool = graph.neighbor_set(anchors[0])
+            for v in anchors[1:]:
+                pool = pool & graph.neighbor_set(v)
+        return time.perf_counter() - start
+
+    def time_mode(index):
+        def run():
+            start = time.perf_counter()
+            for anchors in samples:
+                index.pool(anchors, None, stats)
+            return time.perf_counter() - start
+
+        return run
+
+    times = {"sets": _best_of(time_sets)}
+    for mode, index in indexes.items():
+        times[mode] = _best_of(time_mode(index))
+    return times
+
+
+def _labeled_workload():
+    """Label-restricted pool production on a labeled G(400, 0.35)."""
+    rng = random.Random(7)
+    base = erdos_renyi(400, 0.35, seed=7)
+    labels = [rng.randrange(4) for _ in base.vertices()]
+    graph = Graph(
+        [base.neighbors(v) for v in base.vertices()], labels=labels
+    )
+    samples = [
+        (tuple(rng.sample(range(400), 2)), rng.randrange(4))
+        for _ in range(SAMPLES)
+    ]
+    indexes = {
+        mode: graph.kernel_index(mode) for mode in ("bitset", "csr", "auto")
+    }
+    stats = MiningStats()
+    for v in graph.vertices():
+        graph.neighbor_set(v)
+        indexes["bitset"].neighbor_bits(v)
+
+    def time_sets():
+        start = time.perf_counter()
+        for anchors, label in samples:
+            pool = graph.neighbor_set(anchors[0])
+            for v in anchors[1:]:
+                pool = pool & graph.neighbor_set(v)
+            [v for v in pool if graph.label(v) == label]
+        return time.perf_counter() - start
+
+    def time_mode(index):
+        def run():
+            start = time.perf_counter()
+            for anchors, label in samples:
+                index.pool(anchors, label, stats)
+            return time.perf_counter() - start
+
+        return run
+
+    times = {"sets": _best_of(time_sets)}
+    for mode, index in indexes.items():
+        times[mode] = _best_of(time_mode(index))
+    return times
+
+
+def _mqc_workload():
+    """End-to-end MQC (fig13 shape) on the dblp analog, auto vs sets."""
+    graph = dataset("dblp")
+    times = {}
+    results = {}
+    for mode in ("sets", "auto"):  # warm lazy structures first
+        maximal_quasi_cliques(graph, 0.7, 5, adjacency=mode)
+    for _ in range(3):
+        for mode in ("sets", "auto"):
+            start = time.perf_counter()
+            outcome = maximal_quasi_cliques(graph, 0.7, 5, adjacency=mode)
+            elapsed = time.perf_counter() - start
+            times[mode] = min(times.get(mode, elapsed), elapsed)
+            results[mode] = outcome.all_sets()
+    assert results["auto"] == results["sets"]
+    return times
+
+
+def _speedups(times):
+    return {
+        mode: times["sets"] / times[mode]
+        for mode in times
+        if mode != "sets"
+    }
+
+
+def run_experiment() -> str:
+    dense = _dense_workload()
+    labeled = _labeled_workload()
+    mqc = _mqc_workload()
+
+    metrics = {}
+    for name, times in (("dense", dense), ("labeled", labeled)):
+        for mode, speedup in _speedups(times).items():
+            metrics[f"{name}_{mode}_speedup"] = round(speedup, 3)
+    metrics["mqc_auto_speedup"] = round(mqc["sets"] / mqc["auto"], 3)
+
+    rows = []
+    for name, times in (("dense", dense), ("labeled", labeled), ("mqc", mqc)):
+        for mode in ("sets", "bitset", "csr", "auto"):
+            if mode not in times:
+                continue
+            speedup = times["sets"] / times[mode]
+            rows.append(
+                (
+                    name,
+                    mode,
+                    f"{times[mode] * 1000:.3f}",
+                    f"{speedup:.2f}x",
+                )
+            )
+    table = format_table(
+        ["workload", "mode", "best ms", "vs sets"],
+        rows,
+        title="Candidate-kernel microbenchmarks (best-of-N, seeded)",
+    )
+
+    # Acceptance floors for the kernels themselves.
+    failures = []
+    if metrics["dense_bitset_speedup"] < 2.0:
+        failures.append(
+            f"dense bitset speedup {metrics['dense_bitset_speedup']}x < 2x"
+        )
+    if metrics["mqc_auto_speedup"] < 0.90:
+        # auto must never lose to sets end-to-end; 10% absorbs timer noise.
+        failures.append(
+            f"mqc auto speedup {metrics['mqc_auto_speedup']}x < 0.90x"
+        )
+
+    # Regression gate against the committed baseline.
+    baseline_note = "no committed baseline (bootstrap run)"
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as handle:
+            baseline = json.load(handle)["metrics"]
+        for key, floor in baseline.items():
+            current = metrics.get(key)
+            if current is None:
+                failures.append(f"metric {key} missing from this run")
+            elif current < floor / REGRESSION_FACTOR:
+                failures.append(
+                    f"{key}: {current}x is a >{REGRESSION_FACTOR}x "
+                    f"regression vs baseline {floor}x"
+                )
+        baseline_note = (
+            f"gate: each speedup must stay above baseline/"
+            f"{REGRESSION_FACTOR:g} ({BASELINE_PATH})"
+        )
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "kernels_micro.json"), "w") as handle:
+        json.dump({"metrics": metrics}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert not failures, "; ".join(failures)
+    return table + "\n" + baseline_note
+
+
+def test_kernels_micro(benchmark):
+    table = run_once(benchmark, run_experiment)
+    emit("kernels_micro", table)

@@ -58,6 +58,7 @@ def build_mqc_engine(
     enable_lateral: bool = True,
     rl_strategy: str = "heuristic",
     time_limit: Optional[float] = None,
+    adjacency: str = "auto",
 ) -> ContigraEngine:
     """Construct the Contigra engine for an MQC workload.
 
@@ -76,6 +77,7 @@ def build_mqc_engine(
         enable_lateral=enable_lateral,
         rl_strategy=rl_strategy,
         time_limit=time_limit,
+        adjacency=adjacency,
     )
 
 

@@ -56,12 +56,14 @@ def mine_quasi_cliques(
     max_size: int,
     min_size: int = 3,
     cache_enabled: bool = True,
+    adjacency: str = "auto",
 ) -> QuasiCliqueResult:
     """Baseline mode: every pattern explored by its own ETasks."""
     start = time.monotonic()
     result = QuasiCliqueResult()
     engine = MiningEngine(
-        graph, induced=True, cache_enabled=cache_enabled
+        graph, induced=True, cache_enabled=cache_enabled,
+        adjacency=adjacency,
     )
     patterns_by_size = quasi_clique_patterns_up_to(
         max_size, gamma, min_size=min_size

@@ -36,6 +36,7 @@ from .bench import dataset, dataset_keys, spec
 from .bench.report import format_table
 from .exec.scheduler import SCHEDULER_NAMES
 from .graph.graph import Graph
+from .graph.index import ADJACENCY_MODES
 from .graph.io import read_edge_list
 
 
@@ -61,6 +62,16 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
         "--json", action="store_true", help="machine-readable output"
     )
     _add_format_argument(parser)
+
+
+def _add_adjacency_argument(parser: argparse.ArgumentParser) -> None:
+    """Candidate-kernel adjacency selection (engine-backed commands)."""
+    parser.add_argument(
+        "--adjacency", choices=ADJACENCY_MODES, default="auto",
+        help="candidate-kernel adjacency mode (default: auto — "
+             "degree-threshold bitset/CSR hybrid; 'sets' is the "
+             "legacy frozenset path)",
+    )
 
 
 def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
@@ -96,10 +107,18 @@ def _report(
         print(f"{key}: {value}")
 
 
-def _run_record(result, scheduler: str) -> dict:
-    """The json-only run envelope: scheduler, wall time, all counters."""
+def _run_record(
+    result, scheduler: str, adjacency: Optional[str] = None
+) -> dict:
+    """The json-only run envelope: scheduler, wall time, all counters.
+
+    ``adjacency`` records the candidate-kernel mode the run used
+    (``None`` for commands that do not go through the kernel layer,
+    e.g. the keyword-search state-space explorer).
+    """
     return {
         "scheduler": scheduler,
+        "adjacency": adjacency,
         "wall_time_seconds": result.elapsed,
         "counters": result.stats.as_dict(),
     }
@@ -156,6 +175,7 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
         time_limit=args.time_limit,
         scheduler=args.scheduler,
         n_workers=args.workers,
+        adjacency=args.adjacency,
     )
     _report(
         args,
@@ -171,15 +191,26 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
             "promotions": result.stats.promotions,
             "cache_hit_rate": round(result.stats.cache_hit_rate, 3),
         },
-        json_extra=_run_record(result, args.scheduler),
+        json_extra=_run_record(result, args.scheduler, args.adjacency),
     )
     return 0
 
 
 def _cmd_quasicliques(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    miner = mine_quasi_cliques_fused if args.fused else mine_quasi_cliques
-    result = miner(graph, args.gamma, args.max_size, min_size=args.min_size)
+    if args.fused:
+        # Fused mode walks the shared ESU tree directly; the kernel
+        # layer applies only to per-pattern ETask exploration.
+        result = mine_quasi_cliques_fused(
+            graph, args.gamma, args.max_size, min_size=args.min_size
+        )
+        adjacency: Optional[str] = None
+    else:
+        result = mine_quasi_cliques(
+            graph, args.gamma, args.max_size, min_size=args.min_size,
+            adjacency=args.adjacency,
+        )
+        adjacency = args.adjacency
     _report(
         args,
         {
@@ -191,7 +222,7 @@ def _cmd_quasicliques(args: argparse.Namespace) -> int:
             "elapsed_seconds": round(result.elapsed, 3),
             "mode": "fused" if args.fused else "per-pattern",
         },
-        json_extra=_run_record(result, "serial"),
+        json_extra=_run_record(result, "serial", adjacency),
     )
     return 0
 
@@ -235,6 +266,7 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
         time_limit=args.time_limit,
         scheduler=args.scheduler,
         n_workers=args.workers,
+        adjacency=args.adjacency,
     )
     _report(
         args,
@@ -244,7 +276,7 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
             "elapsed_seconds": round(result.elapsed, 3),
             "vtasks": result.stats.vtasks_started,
         },
-        json_extra=_run_record(result, args.scheduler),
+        json_extra=_run_record(result, args.scheduler, args.adjacency),
     )
     return 0
 
@@ -399,12 +431,14 @@ def build_parser() -> argparse.ArgumentParser:
     mqc = sub.add_parser("mqc", help="maximal quasi-cliques")
     _add_graph_arguments(mqc)
     _add_scheduler_arguments(mqc)
+    _add_adjacency_argument(mqc)
     mqc.add_argument("--gamma", type=float, default=0.8)
     mqc.add_argument("--max-size", type=int, default=5)
     mqc.add_argument("--min-size", type=int, default=3)
 
     qcs = sub.add_parser("quasicliques", help="unconstrained quasi-cliques")
     _add_graph_arguments(qcs)
+    _add_adjacency_argument(qcs)
     qcs.add_argument("--gamma", type=float, default=0.8)
     qcs.add_argument("--max-size", type=int, default=5)
     qcs.add_argument("--min-size", type=int, default=3)
@@ -422,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     nsq = sub.add_parser("nsq", help="nested subgraph queries")
     _add_graph_arguments(nsq)
     _add_scheduler_arguments(nsq)
+    _add_adjacency_argument(nsq)
     nsq.add_argument(
         "--query", choices=("triangles", "tailed-triangles"),
         default="triangles",

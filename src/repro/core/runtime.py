@@ -60,9 +60,10 @@ from ..exec.context import TaskContext
 from ..exec.events import CANCEL, EventBus, MATCH_CHECKED, PROMOTE, StatsSubscriber
 from ..exec.scheduler import merge_counter_dict
 from ..graph.graph import Graph
+from ..graph.index import ADJACENCY_MODES
 from ..mining.cache import SetOperationCache
 from ..mining.candidates import root_candidates
-from ..mining.etask import ETask
+from ..mining.etask import ETask, resolve_index
 from ..mining.match import Match
 from ..mining.stats import ConstraintStats
 from ..patterns.pattern import Pattern
@@ -131,7 +132,17 @@ class ContigraEngine:
         rl_strategy: str = "heuristic",
         cache_entries: int = 200_000,
         time_limit: Optional[float] = None,
+        adjacency: str = "auto",
     ) -> None:
+        """``adjacency`` selects the candidate kernels for every ETask
+        and VTask this engine runs (see :mod:`repro.graph.index`);
+        only the mode string is stored, so pickled engines ship no
+        index data — process-scheduler workers rebuild lazily."""
+        if adjacency not in ADJACENCY_MODES:
+            raise ValueError(
+                f"adjacency must be one of {ADJACENCY_MODES}, "
+                f"got {adjacency!r}"
+            )
         self.graph = graph
         self.constraints = constraint_set
         self.induced = constraint_set.induced
@@ -139,6 +150,7 @@ class ContigraEngine:
         self.enable_promotion = enable_promotion
         self.enable_lateral = enable_lateral
         self.rl_strategy = rl_strategy
+        self.adjacency = adjacency
         self.time_limit = time_limit
         self.stats = ConstraintStats()
         self._cache_entries = cache_entries
@@ -176,6 +188,7 @@ class ContigraEngine:
                     graph,
                     induced=self.induced,
                     strategy=rl_strategy,
+                    adjacency=adjacency,
                 )
                 for c in constraint_set.successor_constraints_for(pattern)
             ]
@@ -280,6 +293,10 @@ class EngineSession:
         self.result = ContigraResult()
         self.result.stats = self.stats
         self.registry = PromotionRegistry()
+        # Resolved per session (not stored on the engine): the graph
+        # caches one index per mode, so sessions share kernels while
+        # pickled engines stay lean.
+        self._index = resolve_index(engine.graph, engine.adjacency)
         # Caches are scoped per rooted task, as in the paper's task
         # state ⟨P, S, C⟩: fusion lets VTasks read/extend the live
         # task's cache, promotion carries it into the containing
@@ -327,7 +344,7 @@ class EngineSession:
                 )
                 task = ETask(
                     engine.graph, plan, root, self._task_cache, self.stats,
-                    pattern=pattern, ctx=self.ctx,
+                    pattern=pattern, ctx=self.ctx, index=self._index,
                 )
                 task.run(self._on_etask_match)
         self._task_cache = None

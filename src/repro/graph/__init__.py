@@ -24,10 +24,24 @@ from .generators import (
     powerlaw_graph,
 )
 from .graph import Graph
+from .index import (
+    ADJACENCY_MODES,
+    GraphIndex,
+    auto_selects_kernels,
+    bits_from_sorted,
+    bits_to_sorted,
+    intersect_sorted,
+)
 from .io import read_edge_list, write_edge_list, write_labels
 
 __all__ = [
     "Graph",
+    "GraphIndex",
+    "ADJACENCY_MODES",
+    "auto_selects_kernels",
+    "bits_from_sorted",
+    "bits_to_sorted",
+    "intersect_sorted",
     "DiGraph",
     "DiGraphBuilder",
     "directed_erdos_renyi",

@@ -14,7 +14,9 @@ paper.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from .index import GraphIndex
 
 
 class Graph:
@@ -38,6 +40,9 @@ class Graph:
         "_name",
         "_label_index",
         "_adj_sets",
+        "_max_degree",
+        "_label_freq",
+        "_indexes",
     )
 
     def __init__(
@@ -62,7 +67,10 @@ class Graph:
         self._num_edges = degree_sum // 2
         self._name = name
         self._label_index: Optional[dict] = None
-        self._adj_sets: Optional[Tuple[frozenset, ...]] = None
+        self._adj_sets: Dict[int, frozenset] = {}
+        self._max_degree: Optional[int] = None
+        self._label_freq: Optional[dict] = None
+        self._indexes: Dict[str, GraphIndex] = {}
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -109,16 +117,31 @@ class Graph:
         return i < len(neighbors) and neighbors[i] == v
 
     def neighbor_set(self, v: int) -> frozenset:
-        """Neighbors of ``v`` as a frozenset (lazily built, then cached).
+        """Neighbors of ``v`` as a frozenset (lazily built per vertex).
 
         The mining engine's candidate computation is intersection-heavy;
-        set form makes each intersection O(min degree).
+        set form makes each intersection O(min degree).  Sets are built
+        on first touch of each vertex — tasks that visit a handful of
+        vertices of a large graph never pay an O(n + m) spike.
         """
-        if self._adj_sets is None:
-            self._adj_sets = tuple(
-                frozenset(neighbors) for neighbors in self._adj
-            )
-        return self._adj_sets[v]
+        cached = self._adj_sets.get(v)
+        if cached is None:
+            cached = frozenset(self._adj[v])
+            self._adj_sets[v] = cached
+        return cached
+
+    def kernel_index(self, mode: str = "auto") -> GraphIndex:
+        """The :class:`~repro.graph.index.GraphIndex` for ``mode``.
+
+        One index per mode is cached on the graph, so every engine and
+        task over the same graph shares the lazily-built CSR arrays,
+        bitsets, and label partitions.
+        """
+        index = self._indexes.get(mode)
+        if index is None:
+            index = GraphIndex(self, mode=mode)
+            self._indexes[mode] = index
+        return index
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate undirected edges once each, as ``(u, v)`` with ``u < v``."""
@@ -168,13 +191,20 @@ class Graph:
         return self._label_index.get(label, ())
 
     def label_frequencies(self) -> dict:
-        """Map label -> number of vertices carrying it."""
+        """Map label -> number of vertices carrying it (cached).
+
+        Used repeatedly by the density heuristics and keyword-search
+        planning; computed once, then served from the cache (a copy,
+        so callers may mutate their result freely).
+        """
         if self._labels is None:
             return {}
-        freq: dict = {}
-        for lab in self._labels:
-            freq[lab] = freq.get(lab, 0) + 1
-        return freq
+        if self._label_freq is None:
+            freq: dict = {}
+            for lab in self._labels:
+                freq[lab] = freq.get(lab, 0) + 1
+            self._label_freq = freq
+        return dict(self._label_freq)
 
     # ------------------------------------------------------------------
     # Derived structure
@@ -182,10 +212,14 @@ class Graph:
 
     @property
     def max_degree(self) -> int:
-        """Maximum vertex degree (0 on the empty graph)."""
-        if not self._adj:
-            return 0
-        return max(len(neighbors) for neighbors in self._adj)
+        """Maximum vertex degree (0 on the empty graph; cached)."""
+        if self._max_degree is None:
+            self._max_degree = (
+                max(len(neighbors) for neighbors in self._adj)
+                if self._adj
+                else 0
+            )
+        return self._max_degree
 
     @property
     def density(self) -> float:
@@ -248,6 +282,24 @@ class Graph:
     # ------------------------------------------------------------------
     # Dunder conveniences
     # ------------------------------------------------------------------
+
+    def __getstate__(self) -> tuple:
+        """Pickle only the canonical data, never the derived caches.
+
+        Process-scheduler shards pickle engines (and their graphs);
+        shipping lazily-built frozensets, label indexes, or kernel
+        bitsets would multiply the payload for structures each worker
+        rebuilds lazily anyway.
+        """
+        return (self._adj, self._labels, self._num_edges, self._name)
+
+    def __setstate__(self, state: tuple) -> None:
+        self._adj, self._labels, self._num_edges, self._name = state
+        self._label_index = None
+        self._adj_sets = {}
+        self._max_degree = None
+        self._label_freq = None
+        self._indexes = {}
 
     def __repr__(self) -> str:
         tag = f" {self._name!r}" if self._name else ""

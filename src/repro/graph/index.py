@@ -1,0 +1,422 @@
+"""Fast adjacency kernels: CSR arrays, bitsets, label partitions.
+
+The mining inner loop is dominated by *candidate-pool computation*:
+intersect the adjacency of a handful of anchor vertices, restrict to a
+label, and filter by symmetry bounds and injectivity.  The seed
+implementation does all of that with per-vertex ``frozenset``s and a
+per-candidate Python filter loop.  This module provides the kernel
+layer the engines rewire onto (the cache-friendly substrate of the
+paper's Peregrine+ baseline, §2.3, with GraphMini-style pruned
+auxiliary adjacency):
+
+``csr``
+    Flat ``array('i')`` CSR adjacency (one contiguous neighbor array
+    plus offsets).  Intersections run by *galloping* — the smallest
+    adjacency window seeds the pool and every other operand filters it
+    with a narrowing binary search — and return already-sorted
+    results, so the candidate loop never re-sorts.
+
+``bitset``
+    Per-vertex Python big-int bitmasks.  CPython big-int ``&`` is a
+    vectorized word-wise intersection, so ANDing two neighbor bitsets
+    intersects 64 vertices per machine word.  Symmetry bounds,
+    injectivity, label restriction, and non-neighbor filters all stay
+    in bitset form (mask ANDs); only the final surviving candidates
+    are decoded back to a sorted vertex list.
+
+``auto``
+    Degree-threshold hybrid: pools seeded at a high-degree anchor use
+    bitsets, pools seeded at a low-degree anchor use CSR galloping.
+    This is the default engine mode.
+
+``sets``
+    The seed ``frozenset`` path, kept verbatim in
+    :mod:`repro.mining.candidates` for comparability (no index built).
+
+Label partitioning: ``neighbors_with_label(v, label)`` and
+``label_bits(label)`` push per-step label constraints *inside* the
+intersection instead of a per-candidate post-filter.
+
+Everything is built lazily per vertex / per label, so tasks touching a
+few vertices of a large graph never pay an O(n + m) spike.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .graph import Graph
+
+#: Public adjacency-mode names, as accepted by engines and the CLI.
+ADJACENCY_MODES: Tuple[str, ...] = ("auto", "sets", "bitset", "csr")
+
+#: ``auto`` seeds a bitset pool when the smallest anchor degree is at
+#: least this; below it, galloping over CSR windows wins (the AND cost
+#: of a bitset is proportional to n/64 regardless of degree).
+DEFAULT_BITSET_MIN_DEGREE = 16
+
+#: Graph-level tier of the ``auto`` hybrid: below this average degree
+#: the whole graph stays on the legacy frozenset path.  Sparse pools
+#: are so small that the kernel layer's fixed per-step cost (semantic
+#: cache keys, reuse-table probes) exceeds what its intersections
+#: save over C-speed hash-set ``&``.
+AUTO_MIN_AVG_DEGREE = 16.0
+
+
+def auto_selects_kernels(graph: "Graph") -> bool:
+    """Whether ``auto`` engages the kernel layer for ``graph``.
+
+    This is the coarse tier of the degree-threshold hybrid; the fine
+    tier (:meth:`GraphIndex.seed_is_bitset`) picks the pool
+    representation per intersection once kernels are in play.
+    """
+    if graph.num_vertices == 0:
+        return False
+    return 2.0 * graph.num_edges / graph.num_vertices >= AUTO_MIN_AVG_DEGREE
+
+#: A candidate pool in kernel form: an ascending vertex tuple (CSR
+#: form) or a big-int bitmask (bitset form).
+Pool = Union[int, Tuple[int, ...]]
+
+# Bit positions set in each byte value, precomputed once: decoding a
+# bitset walks its bytes (C-speed ``int.to_bytes``) and only touches
+# non-zero ones.
+_BYTE_BITS: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(bit for bit in range(8) if byte >> bit & 1)
+    for byte in range(256)
+)
+
+
+def bits_from_sorted(vertices: Sequence[int], num_vertices: int) -> int:
+    """Big-int bitmask with one bit per vertex in ``vertices``.
+
+    Built through a ``bytearray`` so construction is O(n/8 + d) rather
+    than the O(d * n/64) of repeated ``1 << v`` shifting.
+    """
+    if not vertices:
+        return 0
+    buf = bytearray(num_vertices // 8 + 1)
+    for v in vertices:
+        buf[v >> 3] |= 1 << (v & 7)
+    return int.from_bytes(bytes(buf), "little")
+
+
+def bits_to_sorted(bits: int) -> List[int]:
+    """Decode a bitmask to its ascending list of set bit positions."""
+    out: List[int] = []
+    if bits <= 0:
+        return out
+    raw = bits.to_bytes((bits.bit_length() + 7) >> 3, "little")
+    append = out.append
+    byte_bits = _BYTE_BITS
+    base = 0
+    for byte in raw:
+        if byte:
+            for bit in byte_bits[byte]:
+                append(base + bit)
+        base += 8
+    return out
+
+
+def bits_count(bits: int) -> int:
+    """Number of set bits (population count)."""
+    return bin(bits).count("1") if bits > 0 else 0
+
+
+def intersect_sorted(
+    pool: Sequence[int], other: Sequence[int], lo: int = 0, hi: int = -1
+) -> List[int]:
+    """Members of ``pool`` present in sorted ``other[lo:hi]``.
+
+    The search window narrows as the pool advances (both sides are
+    ascending), so each probe is a galloping binary search over the
+    remaining suffix only.  Returns an ascending list.
+    """
+    if hi < 0:
+        hi = len(other)
+    out: List[int] = []
+    append = out.append
+    pos = lo
+    for x in pool:
+        pos = bisect_left(other, x, pos, hi)
+        if pos >= hi:
+            break
+        if other[pos] == x:
+            append(x)
+            pos += 1
+    return out
+
+
+class GraphIndex:
+    """Kernel-form adjacency for one :class:`~repro.graph.graph.Graph`.
+
+    One index serves every engine over the graph; obtain it through
+    :meth:`Graph.kernel_index`, which caches one instance per mode.
+    All heavy structures are lazy: the CSR arrays are built on first
+    construction (O(n + m), flat ints), bitsets and label partitions
+    per vertex / per label on first touch.
+    """
+
+    __slots__ = (
+        "graph",
+        "mode",
+        "bitset_min_degree",
+        "_offsets",
+        "_flat",
+        "_bits",
+        "_label_bits",
+        "_label_adj",
+    )
+
+    def __init__(
+        self,
+        graph: "Graph",
+        mode: str = "auto",
+        bitset_min_degree: int = DEFAULT_BITSET_MIN_DEGREE,
+    ) -> None:
+        if mode not in ("auto", "bitset", "csr"):
+            raise ValueError(
+                f"GraphIndex mode must be auto/bitset/csr, got {mode!r} "
+                "(the 'sets' mode needs no index)"
+            )
+        self.graph = graph
+        self.mode = mode
+        self.bitset_min_degree = bitset_min_degree
+        offsets = array("l", [0])
+        flat = array("l")
+        for v in graph.vertices():
+            flat.extend(graph.neighbors(v))
+            offsets.append(len(flat))
+        self._offsets = offsets
+        self._flat = flat
+        self._bits: Dict[int, int] = {}
+        self._label_bits: Dict[int, int] = {}
+        self._label_adj: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Primitive accessors
+    # ------------------------------------------------------------------
+
+    def window(self, v: int) -> Tuple[int, int]:
+        """CSR window ``(lo, hi)`` of ``v`` inside the flat array."""
+        return self._offsets[v], self._offsets[v + 1]
+
+    def degree(self, v: int) -> int:
+        return self._offsets[v + 1] - self._offsets[v]
+
+    def neighbor_bits(self, v: int) -> int:
+        """Adjacency of ``v`` as a bitmask (lazy, cached per vertex)."""
+        bits = self._bits.get(v)
+        if bits is None:
+            lo, hi = self.window(v)
+            bits = bits_from_sorted(
+                self._flat[lo:hi], self.graph.num_vertices
+            )
+            self._bits[v] = bits
+        return bits
+
+    def label_bits(self, label: int) -> int:
+        """Bitmask of all vertices carrying ``label`` (lazy, cached)."""
+        bits = self._label_bits.get(label)
+        if bits is None:
+            bits = bits_from_sorted(
+                self.graph.vertices_with_label(label),
+                self.graph.num_vertices,
+            )
+            self._label_bits[label] = bits
+        return bits
+
+    def neighbors_with_label(self, v: int, label: int) -> Tuple[int, ...]:
+        """Label-partitioned adjacency: sorted neighbors of ``v`` with
+        ``label`` (lazy, cached per ``(vertex, label)`` pair)."""
+        key = (v, label)
+        part = self._label_adj.get(key)
+        if part is None:
+            graph = self.graph
+            lo, hi = self.window(v)
+            flat = self._flat
+            part = tuple(
+                w for w in flat[lo:hi] if graph.label(w) == label
+            )
+            self._label_adj[key] = part
+        return part
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge probe by binary search on the smaller CSR window."""
+        if u == v:
+            return False
+        if self.degree(v) < self.degree(u):
+            u, v = v, u
+        lo, hi = self.window(u)
+        i = bisect_left(self._flat, v, lo, hi)
+        return i < hi and self._flat[i] == v
+
+    # ------------------------------------------------------------------
+    # Pool kernels
+    # ------------------------------------------------------------------
+
+    def seed_is_bitset(self, min_degree: int) -> bool:
+        """Whether a pool seeded at this degree should use bitsets."""
+        if self.mode == "bitset":
+            return True
+        if self.mode == "csr":
+            return False
+        return min_degree >= self.bitset_min_degree
+
+    def pool(
+        self,
+        anchors: Sequence[int],
+        label: Optional[int],
+        stats: Optional["_IntersectionStats"] = None,
+    ) -> Pool:
+        """Common neighbors of ``anchors``, label-restricted, in kernel
+        form (bitmask or ascending tuple; see :data:`Pool`).
+
+        The smallest-degree anchor seeds the pool; label restriction
+        happens inside the kernel (label-partitioned seed window for
+        CSR pools, one label-mask AND for bitset pools).
+        """
+        ordered = sorted(anchors, key=self.degree)
+        seed = ordered[0]
+        if self.seed_is_bitset(self.degree(seed)):
+            bits = self.neighbor_bits(seed)
+            for v in ordered[1:]:
+                bits &= self.neighbor_bits(v)
+                if stats is not None:
+                    stats.set_intersections += 1
+                    stats.bitset_intersections += 1
+                if not bits:
+                    return 0
+            if label is not None:
+                bits &= self.label_bits(label)
+            return bits
+        if self.mode == "auto":
+            # Sparse seed under the hybrid: hash-set intersection runs
+            # at C speed and beats per-element galloping in pure
+            # Python; one final sort restores the kernel contract
+            # (ascending tuple).  Explicit ``csr`` mode keeps the
+            # galloping kernel for study.
+            members = self.graph.neighbor_set(seed)
+            for v in ordered[1:]:
+                members = members & self.graph.neighbor_set(v)
+                if stats is not None:
+                    stats.set_intersections += 1
+                if not members:
+                    return ()
+            if label is not None:
+                data_label = self.graph.label
+                return tuple(
+                    sorted(v for v in members if data_label(v) == label)
+                )
+            return tuple(sorted(members))
+        if label is not None:
+            current: Sequence[int] = self.neighbors_with_label(seed, label)
+        else:
+            lo, hi = self.window(seed)
+            current = self._flat[lo:hi]
+        result: List[int] = list(current)
+        for v in ordered[1:]:
+            lo, hi = self.window(v)
+            result = intersect_sorted(result, self._flat, lo, hi)
+            if stats is not None:
+                stats.set_intersections += 1
+                stats.galloping_intersections += 1
+            if not result:
+                break
+        return tuple(result)
+
+    def refine(
+        self,
+        pool: Pool,
+        anchors: Sequence[int],
+        stats: Optional["_IntersectionStats"] = None,
+    ) -> Pool:
+        """Intersect an existing pool with more anchors' adjacency.
+
+        This is the incremental-extension kernel: a cached pool from a
+        shallower step is narrowed by only the *new* anchors instead
+        of recomputing the whole intersection (the paper's "reuse
+        previous entries to compute new ones", §2.3).  The pool keeps
+        its representation; anchors of either degree class work.
+        """
+        if isinstance(pool, int):
+            for v in anchors:
+                pool &= self.neighbor_bits(v)
+                if stats is not None:
+                    stats.set_intersections += 1
+                    stats.bitset_intersections += 1
+                if not pool:
+                    return 0
+            return pool
+        if self.mode == "auto":
+            # Sorted pool + hash membership keeps the output ascending
+            # without a galloping pass (same rationale as in pool()).
+            kept: Sequence[int] = pool
+            for v in anchors:
+                members = self.graph.neighbor_set(v)
+                kept = [x for x in kept if x in members]
+                if stats is not None:
+                    stats.set_intersections += 1
+                if not kept:
+                    break
+            return tuple(kept)
+        result: List[int] = list(pool)
+        for v in anchors:
+            lo, hi = self.window(v)
+            result = intersect_sorted(result, self._flat, lo, hi)
+            if stats is not None:
+                stats.set_intersections += 1
+                stats.galloping_intersections += 1
+            if not result:
+                break
+        return tuple(result)
+
+    def apply_label(self, pool: Pool, label: int) -> Pool:
+        """Restrict a pool to vertices carrying ``label``."""
+        if isinstance(pool, int):
+            return pool & self.label_bits(label)
+        graph = self.graph
+        return tuple(v for v in pool if graph.label(v) == label)
+
+    def pool_to_sorted(self, pool: Pool) -> List[int]:
+        """Decode a pool to an ascending candidate list."""
+        if isinstance(pool, int):
+            return bits_to_sorted(pool)
+        return list(pool)
+
+    def pool_size(self, pool: Pool) -> int:
+        if isinstance(pool, int):
+            return bits_count(pool)
+        return len(pool)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphIndex(mode={self.mode!r}, |V|={self.graph.num_vertices}, "
+            f"|E|={self.graph.num_edges}, bitsets={len(self._bits)}, "
+            f"label_partitions={len(self._label_adj)})"
+        )
+
+
+class _IntersectionStats(Protocol):
+    """Structural protocol for the counters the kernels bump.
+
+    :class:`repro.mining.stats.MiningStats` satisfies it; typed here
+    so this module stays free of mining imports (strict mypy, no
+    cycles).
+    """
+
+    set_intersections: int
+    bitset_intersections: int
+    galloping_intersections: int

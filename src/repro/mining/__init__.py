@@ -1,7 +1,12 @@
 """Mining substrate: ETasks, caches, processors (the Peregrine+ layer)."""
 
 from .cache import SetOperationCache, TaskCache
-from .candidates import compute_candidates, raw_intersection, root_candidates
+from .candidates import (
+    compute_candidates,
+    kernel_pool,
+    raw_intersection,
+    root_candidates,
+)
 from .directed import (
     di_count,
     di_matches,
@@ -37,6 +42,7 @@ __all__ = [
     "SetOperationCache",
     "TaskCache",
     "compute_candidates",
+    "kernel_pool",
     "raw_intersection",
     "root_candidates",
     "Processor",

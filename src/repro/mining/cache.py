@@ -9,26 +9,34 @@ vertices' adjacency lists were intersected), so any task computing the
 same operation — the same ETask deeper in its tree, a fused VTask
 after permutation, or a promoted ETask — hits the same entry.
 
-The cache is bounded; eviction is FIFO (dict insertion order), which
-is close enough to LRU for the streaming access pattern and keeps the
-implementation trivially correct.
+The cache is bounded with true LRU eviction: hits refresh recency
+(``move_to_end``), so hot intersection keys — the small anchor sets
+every deep step re-derives — survive streams of one-shot entries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
 
 from .stats import MiningStats
 
-CacheKey = FrozenSet[int]
+#: Semantic identity of one set operation.  The legacy frozenset-path
+#: key is the frozenset of intersected data vertices; kernel-path keys
+#: add the label restriction and kernel form (see
+#: :mod:`repro.mining.candidates`).
+CacheKey = Hashable
 
 
 class SetOperationCache:
     """Bounded cache of adjacency-intersection results.
 
-    Keys are frozensets of data vertices whose neighbor sets were
-    intersected; values are the resulting candidate frozensets (before
-    label / symmetry / injectivity filtering, which is caller-local).
+    Keys identify the set operation semantically (which data vertices'
+    adjacency lists were intersected, plus any in-kernel label
+    restriction); values are candidate pools in the producing path's
+    form — frozensets on the legacy path, sorted tuples or big-int
+    bitmasks on the kernel paths — always *before* symmetry /
+    injectivity filtering, which is caller-local.
     """
 
     __slots__ = ("_entries", "_max_entries", "stats", "enabled")
@@ -41,7 +49,7 @@ class SetOperationCache:
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
-        self._entries: Dict[CacheKey, frozenset] = {}
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
         self._max_entries = max_entries
         self.stats = stats if stats is not None else MiningStats()
         self.enabled = enabled
@@ -49,8 +57,12 @@ class SetOperationCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def lookup(self, key: CacheKey) -> Optional[frozenset]:
-        """Cached candidates for ``key``, counting a hit or miss."""
+    def lookup(self, key: CacheKey) -> Optional[Any]:
+        """Cached candidates for ``key``, counting a hit or miss.
+
+        A hit refreshes the entry's recency so repeatedly-reused
+        intersections outlive one-shot ones under eviction pressure.
+        """
         if not self.enabled:
             self.stats.cache_misses += 1
             return None
@@ -58,16 +70,16 @@ class SetOperationCache:
         if value is None:
             self.stats.cache_misses += 1
             return None
+        self._entries.move_to_end(key)
         self.stats.cache_hits += 1
         return value
 
-    def store(self, key: CacheKey, value: frozenset) -> None:
-        """Insert a computed candidate set, evicting FIFO when full."""
+    def store(self, key: CacheKey, value: Any) -> None:
+        """Insert a computed candidate pool, evicting LRU when full."""
         if not self.enabled:
             return
         if len(self._entries) >= self._max_entries:
-            # Evict the oldest entry (dict preserves insertion order).
-            self._entries.pop(next(iter(self._entries)))
+            self._entries.popitem(last=False)
         self._entries[key] = value
 
     def clear(self) -> None:
@@ -75,11 +87,17 @@ class SetOperationCache:
 
 
 class TaskCache:
-    """Per-task view: one cached candidate set per matching-order step.
+    """Per-task view: one cached candidate pool per matching-order step.
 
     This is the ``C`` of ETask/VTask state ⟨P, S, C⟩.  Entries are
-    ``(key, candidates)`` pairs so fused tasks can re-derive the
-    semantic key after permutation (paper §5.2.1, "permute C").
+    ``(key, candidates)`` pairs so consumers can re-validate the
+    semantic key before reuse (the key is what makes an entry safe
+    across backtracking: a stale entry's key no longer matches the
+    anchors derived from the current partial match).  The kernel
+    engines use these entries for *incremental candidate extension* —
+    a step whose anchors extend a shallower step's anchors refines the
+    cached pool with only the new anchors (paper §2.3, "reuse
+    previous entries to compute new ones").
     """
 
     __slots__ = ("_entries",)
@@ -87,12 +105,10 @@ class TaskCache:
     def __init__(self, num_steps: int) -> None:
         self._entries: list = [None] * num_steps
 
-    def set_entry(
-        self, step: int, key: CacheKey, candidates: frozenset
-    ) -> None:
+    def set_entry(self, step: int, key: CacheKey, candidates: Any) -> None:
         self._entries[step] = (key, candidates)
 
-    def entry(self, step: int) -> Optional[Tuple[CacheKey, frozenset]]:
+    def entry(self, step: int) -> Optional[Tuple[CacheKey, Any]]:
         return self._entries[step]
 
     def clear_from(self, step: int) -> None:

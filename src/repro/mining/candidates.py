@@ -2,19 +2,40 @@
 
 Given a partial match, the candidates for the next matching-order step
 are the common neighbors of the already-bound data vertices that the
-new pattern vertex must attach to.  The raw intersection is cached by
-semantic key (see :mod:`repro.mining.cache`); label constraints,
-symmetry-breaking bounds, injectivity and induced-semantics filters
-are applied per call since they depend on task-local state.
+new pattern vertex must attach to.  Three execution paths compute them:
+
+* the legacy ``sets`` path — per-vertex ``frozenset`` intersection with
+  a per-candidate Python filter loop (the seed implementation, kept
+  verbatim for comparability and as the property-test oracle);
+* the ``csr`` kernel path — galloping intersection over flat sorted
+  adjacency windows, label-partitioned seed operand, already-sorted
+  results;
+* the ``bitset`` kernel path — big-int AND intersections with label,
+  symmetry-bound, injectivity, and non-neighbor filters all applied as
+  bitmask operations before a single decode.
+
+Kernel paths add two reuse tiers on top of the shared
+:class:`~repro.mining.cache.SetOperationCache` (semantic keys): when a
+step's anchors extend a shallower step's anchors, the shallower step's
+cached pool is *refined* with only the new anchors instead of being
+recomputed — the paper's "reuse previous entries to compute new ones"
+(§2.3), realized through the per-task
+:class:`~repro.mining.cache.TaskCache`.
+
+Label constraints are applied inside the kernels; symmetry-breaking
+bounds, injectivity and induced-semantics filters remain per call
+since they depend on task-local state.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Sequence
 
 from ..graph.graph import Graph
+from ..graph.index import GraphIndex, Pool, bits_to_sorted
 from ..patterns.plan import ExplorationPlan
-from .cache import SetOperationCache
+from .cache import SetOperationCache, TaskCache
 from .stats import MiningStats
 
 
@@ -24,7 +45,7 @@ def raw_intersection(
     cache: SetOperationCache,
     stats: MiningStats,
 ) -> frozenset:
-    """Common neighbors of ``anchor_vertices``, cached.
+    """Common neighbors of ``anchor_vertices``, cached (legacy path).
 
     ``anchor_vertices`` must be non-empty; the caller handles the
     root-step case (no anchors) by iterating all data vertices.
@@ -44,6 +65,104 @@ def raw_intersection(
     return result
 
 
+def kernel_pool(
+    index: GraphIndex,
+    anchors: Sequence[int],
+    label: Optional[int],
+    cache: SetOperationCache,
+    stats: MiningStats,
+) -> Pool:
+    """Label-restricted common-neighbor pool of ``anchors``, cached.
+
+    The shared-cache key carries the label and kernel mode alongside
+    the anchor identity, so fused tasks (VTasks sharing the parent
+    ETask's cache) hit the same entries the ETask populated.
+    """
+    key = (frozenset(anchors), label, index.mode)
+    cached = cache.lookup(key)
+    if cached is not None:
+        return cached
+    pool = index.pool(anchors, label, stats)
+    cache.store(key, pool)
+    return pool
+
+
+def _step_pool(
+    index: GraphIndex,
+    plan: ExplorationPlan,
+    step: int,
+    bound: Sequence[int],
+    anchors: Sequence[int],
+    cache: SetOperationCache,
+    stats: MiningStats,
+    task_cache: Optional[TaskCache],
+) -> Pool:
+    """The candidate pool for one matching-order step, all reuse tiers.
+
+    Lookup order: (1) the shared semantic cache, (2) incremental
+    refinement of the task's cached pool from the plan's reuse step,
+    (3) full kernel intersection.  Whatever produced the pool, it is
+    stored in both caches for deeper steps and fused tasks.
+    """
+    label = plan.labels_at[step]
+    key = (frozenset(anchors), label, index.mode)
+    pool: Optional[Pool] = cache.lookup(key)
+    if pool is None:
+        if task_cache is not None:
+            pool = _incremental_pool(
+                index, plan, step, bound, label, stats, task_cache
+            )
+        if pool is None:
+            pool = index.pool(anchors, label, stats)
+        cache.store(key, pool)
+    if task_cache is not None:
+        # The task-cache validation token is a plain anchor tuple —
+        # cheaper to build and compare than the shared cache's
+        # frozenset key (this runs on every step of every descent).
+        task_cache.set_entry(step, (tuple(anchors), label), pool)
+    return pool
+
+
+def _incremental_pool(
+    index: GraphIndex,
+    plan: ExplorationPlan,
+    step: int,
+    bound: Sequence[int],
+    label: Optional[int],
+    stats: MiningStats,
+    task_cache: TaskCache,
+) -> Optional[Pool]:
+    """Refine the reuse step's cached pool with only the new anchors.
+
+    Returns None when the plan has no reuse step for ``step`` or the
+    task-cache entry is stale (its semantic key no longer matches the
+    anchors derived from the current partial match — the safe-reuse
+    test that makes entries survive backtracking unguarded).
+    """
+    reuse = plan.step_reuse()[step]
+    if reuse is None:
+        return None
+    source_step, new_positions = reuse
+    entry = task_cache.entry(source_step)
+    if entry is None:
+        return None
+    entry_key, entry_pool = entry
+    source_label = plan.labels_at[source_step]
+    expected_key = (
+        tuple(bound[p] for p in plan.backward_neighbors[source_step]),
+        source_label,
+    )
+    if entry_key != expected_key:
+        return None
+    pool = index.refine(
+        entry_pool, [bound[p] for p in new_positions], stats
+    )
+    if label is not None and source_label is None:
+        pool = index.apply_label(pool, label)
+    stats.incremental_extensions += 1
+    return pool
+
+
 def compute_candidates(
     graph: Graph,
     plan: ExplorationPlan,
@@ -52,19 +171,22 @@ def compute_candidates(
     cache: SetOperationCache,
     stats: MiningStats,
     apply_symmetry: bool = True,
+    index: Optional[GraphIndex] = None,
+    task_cache: Optional[TaskCache] = None,
 ) -> List[int]:
     """Sorted data-vertex candidates for matching-order position ``step``.
 
     ``bound[i]`` is the data vertex at position ``i`` for ``i < step``.
     ``apply_symmetry=False`` drops the symmetry-breaking bounds — used
     by VTasks, where restrictions of the parent pattern must be undone
-    (paper §5.2.1).
+    (paper §5.2.1).  ``index=None`` selects the legacy frozenset path;
+    otherwise the index's kernels run, with ``task_cache`` enabling
+    incremental candidate extension across steps.
     """
     stats.candidate_computations += 1
     anchors = [bound[j] for j in plan.backward_neighbors[step]]
     if not anchors:
         raise ValueError("compute_candidates requires step >= 1 (connected order)")
-    candidates = raw_intersection(graph, anchors, cache, stats)
 
     lo = -1
     hi = graph.num_vertices
@@ -78,6 +200,30 @@ def compute_candidates(
                 if anchor < hi:
                     hi = anchor
 
+    if index is None:
+        return _filter_sets(graph, plan, step, bound, anchors, cache, stats, lo, hi)
+
+    pool = _step_pool(
+        index, plan, step, bound, anchors, cache, stats, task_cache
+    )
+    if isinstance(pool, int):
+        return _filter_bits(index, plan, step, bound, pool, lo, hi)
+    return _filter_sorted(index, plan, step, bound, pool, lo, hi)
+
+
+def _filter_sets(
+    graph: Graph,
+    plan: ExplorationPlan,
+    step: int,
+    bound: Sequence[int],
+    anchors: Sequence[int],
+    cache: SetOperationCache,
+    stats: MiningStats,
+    lo: int,
+    hi: int,
+) -> List[int]:
+    """The seed frozenset path: intersect, then post-filter per vertex."""
+    candidates = raw_intersection(graph, anchors, cache, stats)
     label = plan.labels_at[step]
     forbidden = plan.backward_nonneighbors[step]
     used = set(bound[:step])
@@ -100,6 +246,71 @@ def compute_candidates(
                 continue
         selected.append(v)
     selected.sort()
+    return selected
+
+
+def _filter_bits(
+    index: GraphIndex,
+    plan: ExplorationPlan,
+    step: int,
+    bound: Sequence[int],
+    pool: int,
+    lo: int,
+    hi: int,
+) -> List[int]:
+    """Bitset filtering: bounds, injectivity and non-neighbors as masks."""
+    if not pool:
+        return []
+    if lo >= 0:
+        pool &= -1 << (lo + 1)
+    if hi < index.graph.num_vertices:
+        pool &= (1 << hi) - 1
+    for v in bound[:step]:
+        if pool >> v & 1:
+            pool -= 1 << v
+    for j in plan.backward_nonneighbors[step]:
+        if not pool:
+            break
+        pool &= ~index.neighbor_bits(bound[j])
+    return bits_to_sorted(pool)
+
+
+def _filter_sorted(
+    index: GraphIndex,
+    plan: ExplorationPlan,
+    step: int,
+    bound: Sequence[int],
+    pool: Sequence[int],
+    lo: int,
+    hi: int,
+) -> List[int]:
+    """CSR filtering over an already-sorted, label-filtered pool.
+
+    Symmetry bounds become a binary-searched slice; no final sort.
+    """
+    start = 0
+    end = len(pool)
+    if lo >= 0:
+        start = bisect_right(pool, lo)
+    if hi < index.graph.num_vertices:
+        end = bisect_left(pool, hi, start)
+    forbidden = plan.backward_nonneighbors[step]
+    used = set(bound[:step])
+
+    selected: List[int] = []
+    for i in range(start, end):
+        v = pool[i]
+        if v in used:
+            continue
+        if forbidden:
+            adjacent = False
+            for j in forbidden:
+                if index.has_edge(v, bound[j]):
+                    adjacent = True
+                    break
+            if adjacent:
+                continue
+        selected.append(v)
     return selected
 
 

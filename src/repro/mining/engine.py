@@ -30,11 +30,12 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
 from ..exec.context import TaskContext
 from ..graph.graph import Graph
+from ..graph.index import ADJACENCY_MODES
 from ..patterns.pattern import Pattern
 from ..patterns.plan import ExplorationPlan, plan_for
 from .cache import SetOperationCache
 from .candidates import root_candidates
-from .etask import ETask
+from .etask import ETask, resolve_index
 from .match import Match
 from .processors import (
     CollectProcessor,
@@ -63,6 +64,10 @@ class MiningEngine:
     ctx:
         Optional execution context (deadline + cancellation token)
         honored by every ETask this engine runs.
+    adjacency:
+        Candidate-kernel mode: ``auto`` (default; degree-threshold
+        bitset/CSR hybrid), ``bitset``, ``csr``, or ``sets`` (the seed
+        frozenset path).  See :mod:`repro.graph.index`.
     """
 
     def __init__(
@@ -74,6 +79,7 @@ class MiningEngine:
         n_workers: int = 1,
         per_task_caches: bool = True,
         ctx: Optional[TaskContext] = None,
+        adjacency: str = "auto",
     ) -> None:
         """``per_task_caches`` follows the paper's task model (§2.3): the
         cache C is task-local, created fresh per rooted ETask.  Setting
@@ -82,11 +88,18 @@ class MiningEngine:
         experimentation."""
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if adjacency not in ADJACENCY_MODES:
+            raise ValueError(
+                f"adjacency must be one of {ADJACENCY_MODES}, "
+                f"got {adjacency!r}"
+            )
         self.graph = graph
         self.induced = induced
         self.n_workers = n_workers
         self.per_task_caches = per_task_caches
         self.ctx = ctx
+        self.adjacency = adjacency
+        self.index = resolve_index(graph, adjacency)
         self._cache_entries = cache_entries
         self._cache_enabled = cache_enabled
         self.stats = MiningStats()
@@ -134,7 +147,7 @@ class MiningEngine:
         for root in task_roots:
             task = ETask(
                 self.graph, plan, root, self._task_cache(), self.stats,
-                pattern=pattern, ctx=run_ctx,
+                pattern=pattern, ctx=run_ctx, index=self.index,
             )
             yield from task.matches()
 
@@ -166,7 +179,7 @@ class MiningEngine:
             for root in chunk:
                 task = ETask(
                     self.graph, plan, root, self._task_cache(), local,
-                    pattern=pattern, ctx=run_ctx,
+                    pattern=pattern, ctx=run_ctx, index=self.index,
                 )
                 if task.run(processor.process):
                     break

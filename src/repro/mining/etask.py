@@ -27,8 +27,9 @@ from typing import Callable, Iterator, List, Optional
 
 from ..exec.context import TaskContext
 from ..graph.graph import Graph
+from ..graph.index import GraphIndex, auto_selects_kernels
 from ..patterns.plan import ExplorationPlan
-from .cache import SetOperationCache
+from .cache import SetOperationCache, TaskCache
 from .candidates import compute_candidates
 from .match import Match
 from .stats import MiningStats
@@ -52,11 +53,17 @@ class ETask:
     ctx:
         Optional execution context: the task checks its deadline and
         cancellation token cooperatively while descending.
+    index:
+        Optional :class:`~repro.graph.index.GraphIndex`: candidate
+        computation runs on its kernels (bitset / CSR galloping, with
+        incremental extension through a per-task
+        :class:`~repro.mining.cache.TaskCache`).  ``None`` keeps the
+        seed frozenset path.
     """
 
     __slots__ = (
         "graph", "plan", "root", "cache", "stats", "_stopped", "pattern",
-        "ctx",
+        "ctx", "index", "task_cache",
     )
 
     def __init__(
@@ -68,6 +75,7 @@ class ETask:
         stats: MiningStats,
         pattern=None,
         ctx: Optional[TaskContext] = None,
+        index: Optional[GraphIndex] = None,
     ) -> None:
         """``pattern`` overrides the pattern reported on matches: plans
         are memoized per *structure*, so the cached plan may carry a
@@ -80,6 +88,10 @@ class ETask:
         self.stats = stats
         self.pattern = pattern if pattern is not None else plan.pattern
         self.ctx = ctx
+        self.index = index
+        self.task_cache = (
+            TaskCache(plan.num_steps) if index is not None else None
+        )
         self._stopped = False
 
     def matches(self) -> Iterator[Match]:
@@ -124,7 +136,8 @@ class ETask:
             yield self._to_match(bound)
             return
         candidates = compute_candidates(
-            self.graph, plan, step, bound, self.cache, self.stats
+            self.graph, plan, step, bound, self.cache, self.stats,
+            index=self.index, task_cache=self.task_cache,
         )
         if not candidates:
             # Dead end: this root-to-leaf path terminates below a match.
@@ -145,6 +158,22 @@ class ETask:
         return Match(self.pattern, assignment)
 
 
+def resolve_index(graph: Graph, adjacency: str) -> Optional[GraphIndex]:
+    """The kernel index for an engine-level adjacency mode.
+
+    ``"sets"`` means the seed frozenset path (no index), as does
+    ``"auto"`` on a sparse graph (see
+    :func:`~repro.graph.index.auto_selects_kernels`); every other mode
+    resolves through :meth:`Graph.kernel_index`, which shares one
+    lazily-built index per mode across all engines on the graph.
+    """
+    if adjacency == "sets":
+        return None
+    if adjacency == "auto" and not auto_selects_kernels(graph):
+        return None
+    return graph.kernel_index(adjacency)
+
+
 def stream_single_pattern(
     graph: Graph,
     plan: ExplorationPlan,
@@ -152,16 +181,18 @@ def stream_single_pattern(
     stats: Optional[MiningStats] = None,
     roots: Optional[List[int]] = None,
     ctx: Optional[TaskContext] = None,
+    adjacency: str = "auto",
 ) -> Iterator[Match]:
     """Stream matches of one pattern over all (or the given) roots."""
     stats = stats if stats is not None else MiningStats()
     cache = cache if cache is not None else SetOperationCache(stats=stats)
+    index = resolve_index(graph, adjacency)
     if roots is None:
         from .candidates import root_candidates
 
         roots = root_candidates(graph, plan)
     for root in roots:
-        task = ETask(graph, plan, root, cache, stats, ctx=ctx)
+        task = ETask(graph, plan, root, cache, stats, ctx=ctx, index=index)
         yield from task.matches()
 
 
@@ -173,11 +204,13 @@ def run_single_pattern(
     stats: Optional[MiningStats] = None,
     roots: Optional[List[int]] = None,
     ctx: Optional[TaskContext] = None,
+    adjacency: str = "auto",
 ) -> MiningStats:
     """Run ETasks for one pattern over all (or the given) roots, serially."""
     stats = stats if stats is not None else MiningStats()
     for match in stream_single_pattern(
-        graph, plan, cache=cache, stats=stats, roots=roots, ctx=ctx
+        graph, plan, cache=cache, stats=stats, roots=roots, ctx=ctx,
+        adjacency=adjacency,
     ):
         if on_match(match):
             break

@@ -23,6 +23,9 @@ class MiningStats:
     matches_found: int = 0
     candidate_computations: int = 0
     set_intersections: int = 0
+    bitset_intersections: int = 0
+    galloping_intersections: int = 0
+    incremental_extensions: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     extensions_attempted: int = 0
@@ -43,6 +46,9 @@ class MiningStats:
         self.matches_found += other.matches_found
         self.candidate_computations += other.candidate_computations
         self.set_intersections += other.set_intersections
+        self.bitset_intersections += other.bitset_intersections
+        self.galloping_intersections += other.galloping_intersections
+        self.incremental_extensions += other.incremental_extensions
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.extensions_attempted += other.extensions_attempted
@@ -55,6 +61,9 @@ class MiningStats:
             "matches_found": self.matches_found,
             "candidate_computations": self.candidate_computations,
             "set_intersections": self.set_intersections,
+            "bitset_intersections": self.bitset_intersections,
+            "galloping_intersections": self.galloping_intersections,
+            "incremental_extensions": self.incremental_extensions,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,

@@ -1,0 +1,517 @@
+"""Property tests for the candidate-kernel layer (repro.graph.index).
+
+The legacy frozenset path (``index=None``) is the oracle: every kernel
+mode must produce *identical* candidate lists at every step of every
+exploration, and identical match multisets end to end — under every
+scheduler.  The suite sweeps 100+ seeded (graph, plan, step) cases.
+"""
+
+import pickle
+import random
+from collections import Counter
+
+import pytest
+
+from repro.apps import maximal_quasi_cliques, mine_quasi_cliques
+from repro.apps.nsq import nested_subgraph_query, paper_query_triangles
+from repro.graph import (
+    ADJACENCY_MODES,
+    Graph,
+    bits_from_sorted,
+    bits_to_sorted,
+    erdos_renyi,
+    intersect_sorted,
+)
+from repro.graph.index import bits_count
+from repro.mining import (
+    MiningEngine,
+    MiningStats,
+    SetOperationCache,
+    TaskCache,
+    compute_candidates,
+    kernel_pool,
+    root_candidates,
+)
+from repro.patterns import clique, path, plan_for, star, triangle
+from repro.patterns.pattern import Pattern
+
+from conftest import labeled_random_graph, random_graph
+
+KERNEL_MODES = [m for m in ADJACENCY_MODES if m != "sets"]
+
+
+# ----------------------------------------------------------------------
+# Kernel primitives
+# ----------------------------------------------------------------------
+
+
+class TestBitsetPrimitives:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bits_round_trip(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(1, 300)
+        vertices = sorted(rng.sample(range(n), rng.randrange(0, n)))
+        bits = bits_from_sorted(vertices, n)
+        assert bits_to_sorted(bits) == vertices
+        assert bits_count(bits) == len(vertices)
+
+    def test_bits_empty(self):
+        assert bits_from_sorted([], 10) == 0
+        assert bits_to_sorted(0) == []
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_intersect_sorted_matches_set_intersection(self, seed):
+        rng = random.Random(100 + seed)
+        a = sorted(rng.sample(range(200), rng.randrange(0, 80)))
+        b = sorted(rng.sample(range(200), rng.randrange(0, 80)))
+        expected = sorted(set(a) & set(b))
+        assert list(intersect_sorted(tuple(a), tuple(b))) == expected
+
+    def test_intersect_sorted_window(self):
+        # The lo/hi window restricts the *first* operand's range.
+        a = (1, 3, 5, 7, 9)
+        b = (3, 5, 7)
+        assert list(intersect_sorted(a, b)) == [3, 5, 7]
+
+
+class TestGraphIndex:
+    @pytest.mark.parametrize("mode", KERNEL_MODES)
+    def test_adjacency_agrees_with_graph(self, mode):
+        graph = random_graph(40, 0.2, seed=7)
+        index = graph.kernel_index(mode)
+        for v in graph.vertices():
+            assert bits_to_sorted(index.neighbor_bits(v)) == sorted(
+                graph.neighbors(v)
+            )
+            for u in graph.vertices():
+                assert index.has_edge(u, v) == graph.has_edge(u, v)
+
+    def test_label_partitions(self):
+        graph = labeled_random_graph(40, 0.25, num_labels=3, seed=11)
+        index = graph.kernel_index("csr")
+        for v in graph.vertices():
+            for lab in range(3):
+                expected = sorted(
+                    u for u in graph.neighbors(v) if graph.label(u) == lab
+                )
+                assert list(index.neighbors_with_label(v, lab)) == expected
+        for lab in range(3):
+            assert bits_to_sorted(index.label_bits(lab)) == sorted(
+                graph.vertices_with_label(lab)
+            )
+
+    @pytest.mark.parametrize("mode", KERNEL_MODES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pool_matches_naive_intersection(self, mode, seed):
+        graph = labeled_random_graph(50, 0.3, num_labels=2, seed=seed)
+        index = graph.kernel_index(mode)
+        rng = random.Random(seed)
+        stats = MiningStats()
+        for _ in range(20):
+            anchors = rng.sample(range(50), rng.randrange(1, 4))
+            for label in (None, 0, 1):
+                expected = set.intersection(
+                    *(set(graph.neighbors(v)) for v in anchors)
+                )
+                if label is not None:
+                    expected = {
+                        v for v in expected if graph.label(v) == label
+                    }
+                pool = index.pool(anchors, label, stats)
+                assert index.pool_to_sorted(pool) == sorted(expected)
+                assert index.pool_size(pool) == len(expected)
+
+    def test_refine_keeps_representation(self):
+        graph = random_graph(60, 0.4, seed=3)
+        stats = MiningStats()
+        for mode in ("bitset", "csr"):
+            index = graph.kernel_index(mode)
+            pool = index.pool([0], None, stats)
+            refined = index.refine(pool, [1], stats)
+            assert isinstance(refined, type(pool))
+            expected = sorted(
+                set(graph.neighbors(0)) & set(graph.neighbors(1))
+            )
+            assert index.pool_to_sorted(refined) == expected
+
+    def test_kernel_index_is_cached_per_mode(self):
+        graph = random_graph(10, 0.3, seed=1)
+        assert graph.kernel_index("csr") is graph.kernel_index("csr")
+        assert graph.kernel_index("csr") is not graph.kernel_index("bitset")
+
+    def test_auto_graph_level_fallback(self):
+        from repro.graph import auto_selects_kernels
+        from repro.mining.etask import resolve_index
+
+        sparse = random_graph(40, 0.05, seed=2)
+        dense = random_graph(40, 0.6, seed=2)
+        assert not auto_selects_kernels(sparse)
+        assert auto_selects_kernels(dense)
+        # auto on a sparse graph IS the legacy path (no index at all),
+        # so it can never be slower than sets there.
+        assert resolve_index(sparse, "auto") is None
+        assert resolve_index(dense, "auto") is not None
+        assert resolve_index(sparse, "bitset") is not None
+        assert resolve_index(dense, "sets") is None
+        assert MiningEngine(sparse, adjacency="auto").index is None
+        assert MiningEngine(dense, adjacency="auto").index is not None
+
+    def test_invalid_mode_rejected(self):
+        graph = random_graph(5, 0.5, seed=1)
+        with pytest.raises(ValueError):
+            graph.kernel_index("nope")
+        with pytest.raises(ValueError):
+            MiningEngine(graph, adjacency="nope")
+
+
+class TestKernelPool:
+    def test_shared_cache_keys_do_not_collide_with_legacy(self):
+        graph = random_graph(20, 0.4, seed=5)
+        index = graph.kernel_index("bitset")
+        stats = MiningStats()
+        cache = SetOperationCache(stats=stats)
+        pool = kernel_pool(index, [0, 1], None, cache, stats)
+        # Legacy keys are bare frozensets; kernel keys carry label+mode.
+        assert cache.lookup(frozenset({0, 1})) is None
+        again = kernel_pool(index, [1, 0], None, cache, stats)
+        assert again == pool
+
+    def test_empty_pool_is_cached_not_recomputed(self):
+        # Two isolated-from-each-other vertices: empty intersection.
+        graph = Graph([(1,), (0,), (3,), (2,)])
+        index = graph.kernel_index("csr")
+        stats = MiningStats()
+        cache = SetOperationCache(stats=stats)
+        kernel_pool(index, [0, 2], None, cache, stats)
+        before = stats.cache_hits
+        kernel_pool(index, [0, 2], None, cache, stats)
+        assert stats.cache_hits == before + 1
+
+
+# ----------------------------------------------------------------------
+# Plan-level reuse table
+# ----------------------------------------------------------------------
+
+
+class TestStepReuse:
+    def _check_table(self, pattern: Pattern, induced: bool = False):
+        plan = plan_for(pattern, induced=induced)
+        table = plan.step_reuse()
+        assert len(table) == plan.num_steps
+        assert table[0] is None
+        for step in range(1, plan.num_steps):
+            reuse = table[step]
+            if reuse is None:
+                continue
+            source, new_positions = reuse
+            assert 1 <= source < step
+            source_anchors = set(plan.backward_neighbors[source])
+            step_anchors = set(plan.backward_neighbors[step])
+            assert source_anchors and source_anchors <= step_anchors
+            assert set(new_positions) == step_anchors - source_anchors
+            source_label = plan.labels_at[source]
+            assert source_label is None or (
+                source_label == plan.labels_at[step]
+            )
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [triangle(), clique(4), clique(5), path(3), star(4)],
+        ids=lambda p: p.name or "pattern",
+    )
+    def test_reuse_table_is_sound(self, pattern):
+        self._check_table(pattern)
+        self._check_table(pattern, induced=True)
+
+    def test_clique_reuses_previous_step(self):
+        # Step k of a clique anchors on all earlier positions, so it
+        # must refine step k-1's pool instead of recomputing.
+        plan = plan_for(clique(5))
+        table = plan.step_reuse()
+        for step in range(2, plan.num_steps):
+            assert table[step] is not None
+            source, new_positions = table[step]
+            assert source == step - 1
+            assert len(new_positions) == 1
+
+
+# ----------------------------------------------------------------------
+# Candidate-list equivalence: kernels vs the frozenset oracle
+# ----------------------------------------------------------------------
+
+
+def _assert_candidates_equivalent(
+    graph: Graph,
+    pattern: Pattern,
+    induced: bool,
+    apply_symmetry: bool,
+) -> int:
+    """Walk the full exploration tree comparing every kernel mode
+    against the legacy path at every step.  Returns the number of
+    (graph, plan, step) comparisons performed."""
+    plan = plan_for(pattern, induced=induced)
+    indexes = {mode: graph.kernel_index(mode) for mode in KERNEL_MODES}
+    stats = MiningStats()
+    oracle_cache = SetOperationCache(stats=stats)
+    kernel_cache = SetOperationCache(stats=stats)
+    comparisons = 0
+
+    def descend(bound, task_caches):
+        nonlocal comparisons
+        step = len(bound)
+        if step == plan.num_steps:
+            return
+        expected = compute_candidates(
+            graph, plan, step, bound, oracle_cache, stats,
+            apply_symmetry=apply_symmetry,
+        )
+        for mode, index in indexes.items():
+            got = compute_candidates(
+                graph, plan, step, bound, kernel_cache, stats,
+                apply_symmetry=apply_symmetry,
+                index=index, task_cache=task_caches[mode],
+            )
+            assert got == expected, (
+                f"mode={mode} step={step} bound={bound}: "
+                f"{got} != {expected}"
+            )
+            comparisons += 1
+        for v in expected:
+            descend(bound + [v], task_caches)
+
+    for root in root_candidates(graph, plan):
+        # Fresh per-task caches per root, matching real ETasks.
+        descend(
+            [root],
+            {mode: TaskCache(plan.num_steps) for mode in KERNEL_MODES},
+        )
+    return comparisons
+
+
+PATTERNS = [triangle(), clique(4), path(3), star(3)]
+
+
+class TestCandidateEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("induced", [False, True])
+    def test_unlabeled_sweep(self, seed, induced):
+        graph = random_graph(18 + 3 * seed, 0.3, seed=seed)
+        total = 0
+        for pattern in PATTERNS:
+            total += _assert_candidates_equivalent(
+                graph, pattern, induced, apply_symmetry=True
+            )
+        assert total >= 100  # the issue's case floor, per sweep
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_labeled_sweep(self, seed):
+        graph = labeled_random_graph(20, 0.35, num_labels=2, seed=seed)
+        labeled_triangle = Pattern(
+            3, [(0, 1), (1, 2), (0, 2)], labels=[0, 1, seed % 2]
+        )
+        labeled_path = Pattern(3, [(0, 1), (1, 2)], labels=[1, 0, 1])
+        total = 0
+        for pattern in (labeled_triangle, labeled_path, clique(4)):
+            total += _assert_candidates_equivalent(
+                graph, pattern, induced=False, apply_symmetry=True
+            )
+        assert total > 0
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_without_symmetry_breaking(self, seed):
+        # VTasks drop symmetry bounds; kernels must agree there too.
+        graph = random_graph(16, 0.35, seed=40 + seed)
+        for pattern in (triangle(), clique(4)):
+            _assert_candidates_equivalent(
+                graph, pattern, induced=False, apply_symmetry=False
+            )
+
+    def test_dense_graph_exercises_bitset_seed(self):
+        # Dense => auto picks the bitset representation for most pools.
+        graph = random_graph(30, 0.7, seed=9)
+        stats = MiningStats()
+        pool = graph.kernel_index("auto").pool([0, 1], None, stats)
+        assert isinstance(pool, int)  # bitset representation chosen
+        assert stats.bitset_intersections > 0
+        _assert_candidates_equivalent(
+            graph, clique(4), induced=False, apply_symmetry=True
+        )
+
+    def test_incremental_extensions_fire_and_stay_correct(self):
+        graph = random_graph(40, 0.5, seed=21)
+        plan = plan_for(clique(5))
+        index = graph.kernel_index("bitset")
+        stats = MiningStats()
+        cache = SetOperationCache(stats=stats, enabled=False)
+        task_cache = TaskCache(plan.num_steps)
+        oracle_stats = MiningStats()
+        oracle_cache = SetOperationCache(stats=oracle_stats)
+
+        def descend(bound):
+            step = len(bound)
+            if step == plan.num_steps:
+                return
+            expected = compute_candidates(
+                graph, plan, step, bound, oracle_cache, oracle_stats
+            )
+            got = compute_candidates(
+                graph, plan, step, bound, cache, stats,
+                index=index, task_cache=task_cache,
+            )
+            assert got == expected
+            for v in expected:
+                descend(bound + [v])
+
+        for root in root_candidates(graph, plan)[:10]:
+            descend([root])
+        # With the shared cache disabled, deep clique steps must have
+        # gone through the incremental-refinement tier.
+        assert stats.incremental_extensions > 0
+
+
+# ----------------------------------------------------------------------
+# End-to-end equivalence: engines, apps, schedulers
+# ----------------------------------------------------------------------
+
+
+def _match_multiset(graph, pattern, mode, induced=False):
+    engine = MiningEngine(graph, induced=induced, adjacency=mode)
+    return Counter(
+        m.assignment for m in engine.stream(pattern)
+    )
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("induced", [False, True])
+    def test_match_multisets_identical_across_modes(self, induced):
+        graph = labeled_random_graph(35, 0.25, num_labels=2, seed=13)
+        for pattern in (triangle(), clique(4), path(3)):
+            baseline = _match_multiset(graph, pattern, "sets", induced)
+            for mode in KERNEL_MODES:
+                assert (
+                    _match_multiset(graph, pattern, mode, induced)
+                    == baseline
+                ), (pattern, mode)
+
+    def test_mqc_identical_across_modes(self):
+        graph = random_graph(30, 0.35, seed=17)
+        baseline = maximal_quasi_cliques(
+            graph, 0.8, 5, adjacency="sets"
+        ).all_sets()
+        assert baseline
+        for mode in KERNEL_MODES:
+            assert (
+                maximal_quasi_cliques(
+                    graph, 0.8, 5, adjacency=mode
+                ).all_sets()
+                == baseline
+            ), mode
+
+    def test_quasicliques_identical_across_modes(self):
+        graph = random_graph(28, 0.4, seed=19)
+        baseline = mine_quasi_cliques(
+            graph, 0.7, 5, adjacency="sets"
+        ).all_sets()
+        for mode in KERNEL_MODES:
+            assert (
+                mine_quasi_cliques(graph, 0.7, 5, adjacency=mode).all_sets()
+                == baseline
+            ), mode
+
+    def test_nsq_identical_across_modes(self):
+        graph = random_graph(25, 0.35, seed=23)
+        p_m, p_plus = paper_query_triangles()
+        baseline = nested_subgraph_query(
+            graph, p_m, p_plus, adjacency="sets"
+        ).assignments()
+        for mode in KERNEL_MODES:
+            assert (
+                nested_subgraph_query(
+                    graph, p_m, p_plus, adjacency=mode
+                ).assignments()
+                == baseline
+            ), mode
+
+    @pytest.mark.parametrize("scheduler", ["serial", "process", "workqueue"])
+    def test_mqc_identical_across_schedulers(self, scheduler):
+        # Fig 13/14 workload shape: MQC with promotion+lateral active.
+        graph = random_graph(24, 0.4, seed=29)
+        baseline = maximal_quasi_cliques(
+            graph, 0.7, 5, adjacency="sets"
+        ).all_sets()
+        for mode in ("auto", "bitset"):
+            result = maximal_quasi_cliques(
+                graph, 0.7, 5,
+                scheduler=scheduler, n_workers=2, adjacency=mode,
+            )
+            assert result.all_sets() == baseline, (scheduler, mode)
+
+
+# ----------------------------------------------------------------------
+# Satellite behaviors: LRU cache, lazy/cached graph properties, pickling
+# ----------------------------------------------------------------------
+
+
+class TestLRUCache:
+    def test_lookup_refreshes_recency(self):
+        cache = SetOperationCache(max_entries=2)
+        cache.store(frozenset({1}), frozenset({10}))
+        cache.store(frozenset({2}), frozenset({20}))
+        # Touch {1}: now {2} is least recently used.
+        assert cache.lookup(frozenset({1})) is not None
+        cache.store(frozenset({3}), frozenset({30}))
+        assert cache.lookup(frozenset({2})) is None
+        assert cache.lookup(frozenset({1})) is not None
+        assert cache.lookup(frozenset({3})) is not None
+
+
+class TestGraphCaching:
+    def test_neighbor_set_is_lazy_and_cached(self):
+        graph = random_graph(20, 0.3, seed=31)
+        assert not graph._adj_sets
+        first = graph.neighbor_set(3)
+        assert graph._adj_sets.keys() == {3}
+        assert graph.neighbor_set(3) is first
+        assert first == frozenset(graph.neighbors(3))
+
+    def test_max_degree_cached(self):
+        graph = random_graph(20, 0.3, seed=33)
+        expected = max(graph.degree(v) for v in graph.vertices())
+        assert graph.max_degree == expected
+        assert graph._max_degree == expected
+
+    def test_label_frequencies_cached_and_copied(self):
+        graph = labeled_random_graph(20, 0.3, num_labels=3, seed=35)
+        freq = graph.label_frequencies()
+        assert sum(freq.values()) == graph.num_vertices
+        freq[0] = -1  # mutating the copy must not poison the cache
+        assert graph.label_frequencies()[0] != -1
+
+    def test_pickle_round_trip_drops_derived_state(self):
+        graph = labeled_random_graph(15, 0.4, num_labels=2, seed=37)
+        graph.neighbor_set(0)
+        graph.kernel_index("bitset")
+        _ = graph.max_degree
+        clone = pickle.loads(pickle.dumps(graph))
+        assert not clone._adj_sets
+        assert not clone._indexes
+        assert clone._max_degree is None
+        assert clone.num_edges == graph.num_edges
+        assert clone.labels == graph.labels
+        for v in graph.vertices():
+            assert clone.neighbors(v) == graph.neighbors(v)
+        # And the rebuilt-on-demand kernels still agree.
+        assert _match_multiset(clone, triangle(), "auto") == _match_multiset(
+            graph, triangle(), "sets"
+        )
+
+    def test_pickled_engine_carries_no_index_payload(self):
+        from repro.apps.mqc import build_mqc_engine
+
+        graph = erdos_renyi(20, 0.3, seed=39)
+        engine = build_mqc_engine(graph, 0.8, 4, adjacency="bitset")
+        graph.kernel_index("bitset")  # populate, then pickle
+        payload = pickle.dumps(engine)
+        revived = pickle.loads(payload)
+        assert revived.adjacency == "bitset"
+        assert not revived.graph._indexes
