@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Optional, Set
 
 from ..core.constraints import maximality_constraints
 from ..core.runtime import ContigraEngine, ContigraResult
+from ..exec.context import TaskContext
 from ..exec.scheduler import make_scheduler
 from ..graph.graph import Graph
 from ..patterns.quasicliques import quasi_clique_patterns_up_to
@@ -89,6 +90,7 @@ def maximal_quasi_cliques(
     time_limit: Optional[float] = None,
     scheduler: Optional[str] = None,
     n_workers: int = 2,
+    ctx: Optional[TaskContext] = None,
     **engine_options,
 ) -> MaximalQuasiCliqueResult:
     """Mine maximal gamma-quasi-cliques with Contigra.
@@ -97,7 +99,9 @@ def maximal_quasi_cliques(
     (``enable_fusion``, ``enable_promotion``, ``enable_lateral``,
     ``rl_strategy``).  ``scheduler`` selects an execution-core
     scheduler (``serial`` / ``process`` / ``workqueue``); None keeps
-    the in-process serial run.  Raises
+    the in-process serial run.  ``ctx`` supplies an external execution
+    context (deadline, cancellation, observability bus — see
+    :func:`repro.obs.observed_context`).  Raises
     :class:`~repro.errors.TimeLimitExceeded` past ``time_limit``.
     """
     engine = build_mqc_engine(
@@ -108,8 +112,13 @@ def maximal_quasi_cliques(
         time_limit=time_limit,
         **engine_options,
     )
-    if scheduler is None or scheduler == "serial":
+    if (scheduler is None or scheduler == "serial") and ctx is None:
         return MaximalQuasiCliqueResult(engine.run())
+    # With an external context (observability), even "serial" goes
+    # through the scheduler layer so the run-phase span opens uniformly.
     return MaximalQuasiCliqueResult(
-        engine.run_with(make_scheduler(scheduler, n_workers=n_workers))
+        engine.run_with(
+            make_scheduler(scheduler or "serial", n_workers=n_workers),
+            ctx=ctx,
+        )
     )

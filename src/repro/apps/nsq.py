@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.constraints import nested_query_constraints
 from ..core.runtime import ContigraEngine, ContigraResult
+from ..exec.context import TaskContext
 from ..exec.scheduler import make_scheduler
 from ..graph.graph import Graph
 from ..patterns.library import house, tailed_triangle, triangle
@@ -33,6 +34,7 @@ def nested_subgraph_query(
     time_limit: Optional[float] = None,
     scheduler: Optional[str] = None,
     n_workers: int = 2,
+    ctx: Optional[TaskContext] = None,
     **engine_options,
 ) -> ContigraResult:
     """Run one nested subgraph query with Contigra.
@@ -41,6 +43,8 @@ def nested_subgraph_query(
     ``assignments()`` are the valid (non-contained) matches of ``p_m``.
     ``scheduler`` selects an execution-core scheduler (``serial`` /
     ``process`` / ``workqueue``); None keeps the serial in-process run.
+    ``ctx`` supplies an external execution context (deadline,
+    cancellation, observability bus).
     """
     constraint_set = nested_query_constraints(
         p_m, list(p_plus_list), induced=induced
@@ -51,9 +55,13 @@ def nested_subgraph_query(
         time_limit=time_limit,
         **engine_options,
     )
-    if scheduler is None or scheduler == "serial":
+    if (scheduler is None or scheduler == "serial") and ctx is None:
         return engine.run()
-    return engine.run_with(make_scheduler(scheduler, n_workers=n_workers))
+    # With an external context (observability), even "serial" goes
+    # through the scheduler layer so the run-phase span opens uniformly.
+    return engine.run_with(
+        make_scheduler(scheduler or "serial", n_workers=n_workers), ctx=ctx
+    )
 
 
 def paper_query_triangles() -> Tuple[Pattern, List[Pattern]]:

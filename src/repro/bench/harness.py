@@ -49,13 +49,20 @@ def failure_status(exc: BaseException) -> Optional[str]:
 
 @dataclass
 class RunOutcome:
-    """Result of one timed workload execution."""
+    """Result of one timed workload execution.
+
+    ``metrics`` is an optional :meth:`MetricsRegistry.snapshot
+    <repro.obs.metrics.MetricsRegistry.snapshot>` of the run, embedded
+    when the workload ran under an observed context — experiment JSON
+    records then carry phase-duration histograms next to the counters.
+    """
 
     status: str
     seconds: float
     value: Any = None
     count: Optional[int] = None
     stats: Dict[str, float] = field(default_factory=dict)
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -71,12 +78,17 @@ class RunOutcome:
 def timed_run(
     workload: Callable[[], Any],
     time_limit: Optional[float] = None,
+    metrics: Optional[Any] = None,
 ) -> RunOutcome:
     """Run ``workload`` once, mapping budget failures to outcomes.
 
     ``time_limit`` here is a harness-side backstop for workloads that
     do not accept a deadline themselves; workloads that do should be
     given the deadline directly (cooperative checks abort earlier).
+    ``metrics`` is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry` fed by the workload's
+    bus; its snapshot is embedded in the outcome (failures included —
+    partial metrics from a TLE'd run are exactly what one debugs with).
     """
     clock = Budget()  # measurement clock; no limits enforced here
     try:
@@ -88,7 +100,10 @@ def timed_run(
     ) as exc:
         status = failure_status(exc)
         assert status is not None
-        return RunOutcome(status, clock.elapsed())
+        outcome = RunOutcome(status, clock.elapsed())
+        if metrics is not None:
+            outcome.metrics = metrics.snapshot()
+        return outcome
     seconds = clock.elapsed()
     outcome = RunOutcome(OK, seconds, value=value)
     count = getattr(value, "count", None)
@@ -97,6 +112,8 @@ def timed_run(
     stats = getattr(value, "stats", None)
     if stats is not None and hasattr(stats, "as_dict"):
         outcome.stats = stats.as_dict()
+    if metrics is not None:
+        outcome.metrics = metrics.snapshot()
     if time_limit is not None and seconds > time_limit:
         outcome.status = TLE
     return outcome

@@ -38,7 +38,8 @@ class ExperimentRecord:
     def add_outcome(
         self, label: str, outcome: RunOutcome, **extra
     ) -> None:
-        """Record a :class:`RunOutcome` with its counters."""
+        """Record a :class:`RunOutcome` with its counters (and, when
+        the run was observed, its metrics snapshot)."""
         row = {
             "label": label,
             "status": outcome.status,
@@ -46,6 +47,8 @@ class ExperimentRecord:
             "count": outcome.count,
         }
         row.update({k: v for k, v in outcome.stats.items()})
+        if outcome.metrics is not None:
+            row["metrics"] = outcome.metrics
         row.update(extra)
         self.rows.append(row)
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional
 
@@ -84,6 +85,48 @@ def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=2,
         help="worker count for parallel schedulers (default: 2)",
     )
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """Span-trace / metrics export flags (mqc and nsq runs)."""
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a Chrome trace_event JSON span trace of the run",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE",
+        help="write run metrics in Prometheus text exposition format",
+    )
+
+
+def _make_observability(args: argparse.Namespace):
+    """An observed TaskContext when ``--trace``/``--metrics`` asked for one.
+
+    Returns ``(ctx, tracer, registry)`` or ``(None, None, None)`` —
+    unobserved runs must not pay for bus subscriptions.
+    """
+    if not getattr(args, "trace", None) and not getattr(args, "metrics", None):
+        return None, None, None
+    from .obs import observed_context
+
+    return observed_context(time_limit=args.time_limit)
+
+
+def _export_observability(args: argparse.Namespace, tracer, registry) -> dict:
+    """Finalize + write requested exports; returns json-extra fields."""
+    extra: dict = {}
+    if tracer is None:
+        return extra
+    tracer.finalize()
+    if args.trace:
+        tracer.write_chrome(args.trace)
+        extra["trace_file"] = args.trace
+        extra["trace_coverage"] = round(tracer.coverage(), 4)
+    if args.metrics:
+        registry.write_prometheus(args.metrics)
+        extra["metrics_file"] = args.metrics
+    extra["metrics"] = registry.snapshot()
+    return extra
 
 
 def _report(
@@ -167,6 +210,7 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 def _cmd_mqc(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
+    ctx, tracer, registry = _make_observability(args)
     result = maximal_quasi_cliques(
         graph,
         gamma=args.gamma,
@@ -176,7 +220,9 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         n_workers=args.workers,
         adjacency=args.adjacency,
+        ctx=ctx,
     )
+    obs_extra = _export_observability(args, tracer, registry)
     _report(
         args,
         {
@@ -191,7 +237,10 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
             "promotions": result.stats.promotions,
             "cache_hit_rate": round(result.stats.cache_hit_rate, 3),
         },
-        json_extra=_run_record(result, args.scheduler, args.adjacency),
+        json_extra={
+            **_run_record(result, args.scheduler, args.adjacency),
+            **obs_extra,
+        },
     )
     return 0
 
@@ -261,13 +310,16 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
         p_m, p_plus = paper_query_triangles()
     else:
         p_m, p_plus = paper_query_tailed_triangles()
+    ctx, tracer, registry = _make_observability(args)
     result = nested_subgraph_query(
         graph, p_m, p_plus,
         time_limit=args.time_limit,
         scheduler=args.scheduler,
         n_workers=args.workers,
         adjacency=args.adjacency,
+        ctx=ctx,
     )
+    obs_extra = _export_observability(args, tracer, registry)
     _report(
         args,
         {
@@ -276,7 +328,10 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
             "elapsed_seconds": round(result.elapsed, 3),
             "vtasks": result.stats.vtasks_started,
         },
-        json_extra=_run_record(result, args.scheduler, args.adjacency),
+        json_extra={
+            **_run_record(result, args.scheduler, args.adjacency),
+            **obs_extra,
+        },
     )
     return 0
 
@@ -408,6 +463,63 @@ def _analyze_report(args: argparse.Namespace):
     return report
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Pretty-print a saved Chrome trace_event file as a span tree."""
+    from .obs.validate import validate_chrome_trace
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    problems = validate_chrome_trace(text)
+    if problems:
+        for problem in problems:
+            print(f"{args.file}: {problem}", file=sys.stderr)
+        return 1
+    data = json.loads(text)
+    events = data["traceEvents"] if isinstance(data, dict) else data
+    names = {}
+    spans_by_tid: dict = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[event.get("tid")] = event.get("args", {}).get("name", "")
+        elif event.get("ph") == "X":
+            spans_by_tid.setdefault(event.get("tid"), []).append(event)
+    if not spans_by_tid:
+        print("(no spans)")
+        return 0
+    scale = {"s": 1e-6, "ms": 1e-3, "us": 1.0}[args.unit]
+    for tid in sorted(spans_by_tid, key=str):
+        label = names.get(tid) or f"tid-{tid}"
+        print(f"[{label}]")
+        # Spans nest properly (phase pairs), so a start-ordered stack
+        # reconstructs the tree from flat "X" events.
+        stack: list = []
+        for event in sorted(
+            spans_by_tid[tid],
+            key=lambda e: (e.get("ts", 0), -e.get("dur", 0)),
+        ):
+            start = event.get("ts", 0)
+            end = start + event.get("dur", 0)
+            while stack and start >= stack[-1]:
+                stack.pop()
+            duration = event.get("dur", 0) * scale
+            extras = event.get("args") or {}
+            detail = (
+                "  (" + ", ".join(
+                    f"{k}={v}" for k, v in sorted(
+                        extras.items(), key=lambda kv: str(kv[0])
+                    )
+                ) + ")"
+                if extras else ""
+            )
+            indent = "  " * (len(stack) + 1)
+            print(
+                f"{indent}{event.get('name')} "
+                f"{duration:.3f}{args.unit}{detail}"
+            )
+            stack.append(end)
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     report = _analyze_report(args)
     if args.suppress:
@@ -432,6 +544,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_arguments(mqc)
     _add_scheduler_arguments(mqc)
     _add_adjacency_argument(mqc)
+    _add_observability_arguments(mqc)
     mqc.add_argument("--gamma", type=float, default=0.8)
     mqc.add_argument("--max-size", type=int, default=5)
     mqc.add_argument("--min-size", type=int, default=3)
@@ -457,9 +570,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_arguments(nsq)
     _add_scheduler_arguments(nsq)
     _add_adjacency_argument(nsq)
+    _add_observability_arguments(nsq)
     nsq.add_argument(
         "--query", choices=("triangles", "tailed-triangles"),
         default="triangles",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="pretty-print a saved --trace span file"
+    )
+    trace.add_argument("file", help="Chrome trace_event JSON file")
+    trace.add_argument(
+        "--unit", choices=("s", "ms", "us"), default="ms",
+        help="duration unit for the tree (default: ms)",
     )
 
     explain = sub.add_parser(
@@ -531,10 +654,19 @@ def main(argv: Optional[list] = None) -> int:
         "quasicliques": _cmd_quasicliques,
         "kws": _cmd_kws,
         "nsq": _cmd_nsq,
+        "trace": _cmd_trace,
         "explain": _cmd_explain,
         "analyze": _cmd_analyze,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe; exit
+        # quietly like a well-behaved Unix filter.  Redirect stdout to
+        # devnull so the interpreter's flush-at-exit doesn't re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

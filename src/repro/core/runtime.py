@@ -57,7 +57,15 @@ from typing import (
 )
 
 from ..exec.context import TaskContext
-from ..exec.events import CANCEL, EventBus, MATCH_CHECKED, PROMOTE, StatsSubscriber
+from ..exec.events import (
+    CANCEL,
+    MATCH,
+    MATCH_CHECKED,
+    PHASE_PATTERN,
+    PROMOTE,
+    EventBus,
+    StatsSubscriber,
+)
 from ..exec.scheduler import merge_counter_dict
 from ..graph.graph import Graph
 from ..graph.index import ADJACENCY_MODES
@@ -282,12 +290,18 @@ class EngineSession:
             # Keep the caller's token and budget (shared deadline,
             # cooperative cancellation across sessions) but give the
             # session its own bus wired to its own stats — worker
-            # sessions must not write into each other's counters.
+            # sessions must not write into each other's counters.  The
+            # session bus *forwards* every event to the caller's bus,
+            # so observability subscribers attached at the top (span
+            # tracers, metric registries, event logs) see the whole
+            # run; before this, worker/session events silently died on
+            # the isolated bus and traces had scheduler-shaped holes.
             self.ctx = TaskContext(
                 token=ctx.token,
                 budget=ctx.budget,
-                bus=EventBus(),
+                bus=EventBus(forward_to=ctx.bus),
                 stats=self.stats,
+                tracer=ctx.tracer,
             )
             StatsSubscriber(self.stats).attach(self.ctx.bus)
         self.result = ContigraResult()
@@ -331,22 +345,38 @@ class EngineSession:
         """
         engine = self.engine
         shard = set(roots) if roots is not None else None
+        observed = self.ctx.observed
         for pattern in engine._ordered_patterns:
             plan = plan_for(pattern, induced=engine.induced)
             pattern_roots = self._roots_for(pattern)
             if shard is not None:
                 pattern_roots = [r for r in pattern_roots if r in shard]
-            for root in pattern_roots:
-                if self.ctx.cancelled:
-                    return
-                self._task_cache = SetOperationCache(
-                    max_entries=engine._cache_entries, stats=self.stats
+            if not pattern_roots:
+                continue
+            if observed:
+                self.ctx.phase_start(
+                    PHASE_PATTERN,
+                    pattern=pattern.name or f"P{pattern.num_vertices}",
+                    roots=len(pattern_roots),
                 )
-                task = ETask(
-                    engine.graph, plan, root, self._task_cache, self.stats,
-                    pattern=pattern, ctx=self.ctx, index=self._index,
-                )
-                task.run(self._on_etask_match)
+            try:
+                for root in pattern_roots:
+                    if self.ctx.cancelled:
+                        return
+                    self._task_cache = SetOperationCache(
+                        max_entries=engine._cache_entries,
+                        stats=self.stats,
+                        bus=self.ctx.bus,
+                    )
+                    task = ETask(
+                        engine.graph, plan, root, self._task_cache,
+                        self.stats, pattern=pattern, ctx=self.ctx,
+                        index=self._index,
+                    )
+                    task.run(self._on_etask_match)
+            finally:
+                if observed:
+                    self.ctx.phase_end(PHASE_PATTERN)
         self._task_cache = None
 
     def finish(self) -> ContigraResult:
@@ -395,7 +425,7 @@ class EngineSession:
         cache = (
             self._task_cache
             if engine.enable_fusion and self._task_cache is not None
-            else SetOperationCache(stats=self.stats)
+            else SetOperationCache(stats=self.stats, bus=self.ctx.bus)
         )
         violation = scheduler.validate(
             assignment, engine.graph, cache, self.stats, ctx=self.ctx
@@ -406,6 +436,11 @@ class EngineSession:
             self.result.valid.append(
                 (pattern, canonical_assignment(assignment, pattern))
             )
+            if self.ctx.bus.has_subscribers(MATCH):
+                self.ctx.emit(
+                    MATCH,
+                    pattern=pattern.name or f"P{pattern.num_vertices}",
+                )
             return
         target, completion = violation
         if not engine.enable_promotion:
@@ -471,13 +506,20 @@ class ContigraJob:
     def worker_session(self, ctx: TaskContext) -> EngineSession:
         return self.engine.session(ctx=ctx)
 
+    def shard_context(self) -> TaskContext:
+        """A worker-process context carrying the engine's deadline."""
+        return TaskContext.create(
+            time_limit=self.engine.time_limit,
+            check_interval=_DEADLINE_CHECK_INTERVAL,
+        )
+
     def merge(
         self, partials: Sequence[Any], elapsed: float
     ) -> ContigraResult:
         """Combine shard results: canonical dedup + summed counters."""
         merged = ContigraResult()
         seen: set = set()
-        for valid, stats_dict, _elapsed in partials:
+        for valid, stats_dict, _elapsed, *_ in partials:
             for pattern, assignment in valid:
                 key = (pattern.structure_key(), assignment)
                 if key in seen:

@@ -36,6 +36,13 @@ import itertools
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exec.context import TaskContext
+from ..exec.events import (
+    KERNEL_INTERSECT,
+    PHASE_ALIGN,
+    PHASE_BRIDGE,
+    VTASK_MATCH,
+    VTASK_SPAWN,
+)
 from ..graph.graph import Graph
 from ..graph.index import (
     ADJACENCY_MODES,
@@ -332,18 +339,36 @@ class ValidationTarget:
         """
         stats.vtasks_started += 1
         stats.constraint_checks += 1
-        for recipe in self.recipes:
-            bound: Dict[int, int] = {
-                p_plus_v: assignment[p_m_v]
-                for p_m_v, p_plus_v in enumerate(recipe.embedding)
-            }
-            completion = self._extend(
-                recipe, 0, bound, graph, cache, stats, ctx
-            )
-            if completion is not None:
-                stats.vtasks_matched += 1
-                return completion
-        return None
+        # Observability gate resolved once per VTask (not per recipe):
+        # ``obs`` is the context when someone is listening, else None.
+        obs = ctx if ctx is not None and ctx.observed else None
+        if obs is not None:
+            obs.emit(VTASK_SPAWN, gap=self.gap)
+            obs.phase_start(PHASE_ALIGN, gap=self.gap)
+        try:
+            for recipe in self.recipes:
+                bound: Dict[int, int] = {
+                    p_plus_v: assignment[p_m_v]
+                    for p_m_v, p_plus_v in enumerate(recipe.embedding)
+                }
+                if obs is not None:
+                    obs.phase_start(PHASE_BRIDGE, gap=self.gap)
+                try:
+                    completion = self._extend(
+                        recipe, 0, bound, graph, cache, stats, ctx
+                    )
+                finally:
+                    if obs is not None:
+                        obs.phase_end(PHASE_BRIDGE)
+                if completion is not None:
+                    stats.vtasks_matched += 1
+                    if obs is not None:
+                        obs.emit(VTASK_MATCH, gap=self.gap)
+                    return completion
+            return None
+        finally:
+            if obs is not None:
+                obs.phase_end(PHASE_ALIGN)
 
     def enumerate_completions(
         self,
@@ -364,14 +389,28 @@ class ValidationTarget:
         matches).
         """
         stats.vtasks_started += 1
-        for recipe in self.recipes:
-            bound: Dict[int, int] = {
-                p_plus_v: assignment[p_m_v]
-                for p_m_v, p_plus_v in enumerate(recipe.embedding)
-            }
-            self._extend_all(
-                recipe, 0, bound, graph, cache, stats, emit, ctx
-            )
+        obs = ctx if ctx is not None and ctx.observed else None
+        if obs is not None:
+            obs.emit(VTASK_SPAWN, gap=self.gap, mode="enumerate")
+            obs.phase_start(PHASE_ALIGN, gap=self.gap, mode="enumerate")
+        try:
+            for recipe in self.recipes:
+                bound: Dict[int, int] = {
+                    p_plus_v: assignment[p_m_v]
+                    for p_m_v, p_plus_v in enumerate(recipe.embedding)
+                }
+                if obs is not None:
+                    obs.phase_start(PHASE_BRIDGE, gap=self.gap)
+                try:
+                    self._extend_all(
+                        recipe, 0, bound, graph, cache, stats, emit, ctx
+                    )
+                finally:
+                    if obs is not None:
+                        obs.phase_end(PHASE_BRIDGE)
+        finally:
+            if obs is not None:
+                obs.phase_end(PHASE_ALIGN)
 
     def _extend_all(
         self,
@@ -504,6 +543,8 @@ class ValidationTarget:
             return tuple(bound[v] for v in self.p_plus.vertices())
         if step > 0:
             stats.bridge_steps += 1
+        if ctx is not None and ctx.observed:
+            ctx.emit(KERNEL_INTERSECT, count=1)
         new_vertex = recipe.order[step]
         for v in self._candidates(recipe, step, bound, graph, cache, stats):
             bound[new_vertex] = v

@@ -29,7 +29,7 @@ from ..errors import (
     StorageBudgetExceeded,
     TimeLimitExceeded,
 )
-from .events import EventBus, StatsSubscriber
+from .events import PHASE_END, PHASE_START, EventBus, StatsSubscriber
 
 
 class CancellationToken:
@@ -191,11 +191,14 @@ class TaskContext:
 
     ``token`` gates cooperative cancellation, ``budget`` owns the
     deadline and byte accounting, ``bus`` carries instrumentation
-    events, ``stats`` is the counter sink subscribed to the bus.
+    events, ``stats`` is the counter sink subscribed to the bus, and
+    ``tracer`` optionally references the :class:`repro.obs.SpanTracer`
+    attached to the bus (so schedulers and the CLI can finalize or
+    export it without re-discovering the subscriber).
     Contexts are cheap; derive per-scope children with :meth:`child`.
     """
 
-    __slots__ = ("token", "budget", "bus", "stats")
+    __slots__ = ("token", "budget", "bus", "stats", "tracer")
 
     def __init__(
         self,
@@ -203,11 +206,13 @@ class TaskContext:
         budget: Optional[Budget] = None,
         bus: Optional[EventBus] = None,
         stats: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.token = token if token is not None else CancellationToken()
         self.budget = budget if budget is not None else Budget()
         self.bus = bus if bus is not None else EventBus()
         self.stats = stats
+        self.tracer = tracer
 
     @classmethod
     def create(
@@ -218,9 +223,11 @@ class TaskContext:
         memory_budget_bytes: Optional[int] = None,
         storage_budget_bytes: Optional[int] = None,
         bus: Optional[EventBus] = None,
+        tracer: Optional[Any] = None,
     ) -> "TaskContext":
         """Standard context: fresh token, fresh budget, stats wired to
-        the bus through a :class:`StatsSubscriber`."""
+        the bus through a :class:`StatsSubscriber`; a ``tracer`` is
+        attached to the bus and remembered on the context."""
         ctx = cls(
             token=CancellationToken(),
             budget=Budget(
@@ -231,9 +238,12 @@ class TaskContext:
             ),
             bus=bus if bus is not None else EventBus(),
             stats=stats,
+            tracer=tracer,
         )
         if stats is not None:
             StatsSubscriber(stats).attach(ctx.bus)
+        if tracer is not None:
+            tracer.attach(ctx.bus)
         return ctx
 
     @classmethod
@@ -249,6 +259,7 @@ class TaskContext:
         ctx.budget = self.budget
         ctx.bus = self.bus
         ctx.stats = self.stats
+        ctx.tracer = self.tracer
         return ctx
 
     @property
@@ -263,6 +274,19 @@ class TaskContext:
 
     def emit(self, event: str, **payload: Any) -> None:
         self.bus.emit(event, **payload)
+
+    @property
+    def observed(self) -> bool:
+        """Whether phase events would reach anyone (hot-path gate)."""
+        return self.bus.has_subscribers(PHASE_START)
+
+    def phase_start(self, phase: str, **payload: Any) -> None:
+        """Open a named runtime phase (span) on the bus."""
+        self.bus.emit(PHASE_START, phase=phase, **payload)
+
+    def phase_end(self, phase: str) -> None:
+        """Close the innermost open phase named ``phase``."""
+        self.bus.emit(PHASE_END, phase=phase)
 
     def __repr__(self) -> str:
         return f"TaskContext({self.token!r}, {self.budget!r})"

@@ -2,9 +2,10 @@
 
 Engines publish task-lifecycle events to an :class:`EventBus` instead
 of threading counter objects through every call signature.  Subscribers
-(the built-in :class:`StatsSubscriber`, future tracing/metrics sinks)
-attach without the engines knowing about them — the same decoupling
-the paper's runtime gets from its per-task counter sinks, generalized.
+(the built-in :class:`StatsSubscriber`, the :mod:`repro.obs` tracing
+and metrics sinks) attach without the engines knowing about them — the
+same decoupling the paper's runtime gets from its per-task counter
+sinks, generalized.
 
 Event vocabulary (the ``on_*`` hooks of the execution model):
 
@@ -17,19 +18,44 @@ Event vocabulary (the ``on_*`` hooks of the execution model):
 ``vtask_match``     a VTask found a containing match
 ``cancel``          work was canceled (payload: kind, count)
 ``promote``         a VTask match was promoted to task processing
-``cache_hit``       a set-operation cache hit (coarse; opt-in)
-``cache_miss``      a set-operation cache miss (coarse; opt-in)
+``cache_hit``       set-operation cache hits (sampled; payload: count)
+``cache_miss``      set-operation cache misses (sampled; payload: count)
+``kernel_intersect``  a candidate set operation ran (payload: count)
+``phase_start``     a runtime phase opened (payload: phase, ...)
+``phase_end``       a runtime phase closed (payload: phase)
 ==================  ==================================================
 
+Phases are nested: ``phase_start``/``phase_end`` pairs delimit the
+``run`` → ``shard`` → ``pattern`` → ``align`` → ``bridge`` hierarchy
+the :class:`repro.obs.SpanTracer` turns into span trees.
+
 Emission is cheap when nobody listens: :meth:`EventBus.emit` is a dict
-lookup plus a truthiness test per event.
+lookup plus a truthiness test per event.  Handler exceptions are
+isolated — a raising subscriber is logged and skipped so it cannot
+abort the mining hot path (construct the bus with ``strict=True`` to
+re-raise instead, which tests do).
+
+Cross-process completeness: an :class:`EventRecorder` captures every
+event (with monotonic timestamps) on a shard worker's bus; the
+serialized record travels back over the process boundary and
+:func:`replay_events` re-emits it into the parent bus at merge time,
+preserving the original relative timings for timed subscribers.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+import logging
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+logger = logging.getLogger(__name__)
 
 Handler = Callable[..., None]
+#: Timed handlers receive ``(event, timestamp, payload, track)`` where
+#: ``timestamp`` is ``time.monotonic()`` at emission (or the original
+#: worker-side time for replayed events) and ``track`` is ``None`` for
+#: live events and a shard label during replay.
+TimedHandler = Callable[[str, float, Dict[str, Any], Optional[str]], None]
 
 TASK_START = "task_start"
 TASK_COMPLETE = "task_complete"
@@ -41,6 +67,9 @@ CANCEL = "cancel"
 PROMOTE = "promote"
 CACHE_HIT = "cache_hit"
 CACHE_MISS = "cache_miss"
+KERNEL_INTERSECT = "kernel_intersect"
+PHASE_START = "phase_start"
+PHASE_END = "phase_end"
 
 EVENTS = (
     TASK_START,
@@ -53,16 +82,61 @@ EVENTS = (
     PROMOTE,
     CACHE_HIT,
     CACHE_MISS,
+    KERNEL_INTERSECT,
+    PHASE_START,
+    PHASE_END,
+)
+
+#: The well-known phase names (`payload["phase"]` of phase events).
+PHASE_RUN = "run"
+PHASE_SHARD = "shard"
+PHASE_PATTERN = "pattern"
+PHASE_ALIGN = "align"
+PHASE_BRIDGE = "bridge"
+
+PHASES = (PHASE_RUN, PHASE_SHARD, PHASE_PATTERN, PHASE_ALIGN, PHASE_BRIDGE)
+
+#: The lifecycle subset used by completeness properties: these events
+#: must survive every scheduler boundary with identical multisets.
+LIFECYCLE_EVENTS = (
+    TASK_START,
+    TASK_COMPLETE,
+    MATCH,
+    MATCH_CHECKED,
+    VTASK_SPAWN,
+    VTASK_MATCH,
+    CANCEL,
+    PROMOTE,
 )
 
 
 class EventBus:
-    """Synchronous publish/subscribe hub for execution events."""
+    """Synchronous publish/subscribe hub for execution events.
 
-    __slots__ = ("_handlers",)
+    Parameters
+    ----------
+    strict:
+        When True, subscriber exceptions propagate to the emitter
+        (useful in tests); the default logs and continues so one bad
+        handler cannot starve the others or abort a mining run.
+    forward_to:
+        Optional parent bus every event is forwarded to after local
+        handlers ran.  Worker/session buses forward to the run bus so
+        observability subscribers attached at the top see the whole
+        run while per-worker stats stay isolated.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_handlers", "_timed", "_forward", "strict")
+
+    def __init__(
+        self,
+        strict: bool = False,
+        forward_to: Optional["EventBus"] = None,
+    ) -> None:
         self._handlers: Dict[str, List[Handler]] = {}
+        self._timed: List[TimedHandler] = []
+        self._forward = forward_to
+        self.strict = strict
 
     def subscribe(self, event: str, handler: Handler) -> None:
         """Register ``handler`` for ``event`` (called on every emit)."""
@@ -72,23 +146,103 @@ class EventBus:
 
     def subscribe_all(self, handler: Handler) -> None:
         """Register ``handler`` for every event; it receives
-        ``(event, **payload)``."""
+        ``(event, **payload)``.  Relative order against other
+        subscriptions is preserved per event."""
         for event in EVENTS:
             self._handlers.setdefault(event, []).append(
                 _BoundEvent(event, handler)
             )
 
+    def subscribe_timed(self, handler: TimedHandler) -> None:
+        """Register a timestamp-aware handler for every event.
+
+        Timed handlers receive ``(event, timestamp, payload, track)``;
+        replayed events keep their original (rebased) timestamps, which
+        is what makes shard-worker span timings survive the process
+        boundary.
+        """
+        self._timed.append(handler)
+
     def has_subscribers(self, event: str) -> bool:
         """Whether emitting ``event`` would reach anyone (hot-path gate)."""
-        return bool(self._handlers.get(event))
+        if self._handlers.get(event) or self._timed:
+            return True
+        if self._forward is not None:
+            return self._forward.has_subscribers(event)
+        return False
 
     def emit(self, event: str, **payload: Any) -> None:
-        """Publish one event to all subscribers, in subscription order."""
+        """Publish one event to all subscribers, in subscription order.
+
+        A raising handler is isolated (logged and skipped) so the
+        remaining handlers and the forward target still run; under
+        ``strict=True`` the first failure propagates instead.
+        """
         handlers = self._handlers.get(event)
-        if not handlers:
-            return
-        for handler in handlers:
-            handler(**payload)
+        if handlers:
+            for handler in handlers:
+                try:
+                    handler(**payload)
+                except Exception:
+                    if self.strict:
+                        raise
+                    logger.exception(
+                        "event handler %r failed for %r (skipped)",
+                        handler, event,
+                    )
+        if self._timed:
+            now = time.monotonic()
+            for timed in self._timed:
+                try:
+                    timed(event, now, payload, None)
+                except Exception:
+                    if self.strict:
+                        raise
+                    logger.exception(
+                        "timed event handler %r failed for %r (skipped)",
+                        timed, event,
+                    )
+        if self._forward is not None:
+            self._forward.emit(event, **payload)
+
+    def emit_replayed(
+        self,
+        event: str,
+        timestamp: float,
+        payload: Dict[str, Any],
+        track: Optional[str] = None,
+    ) -> None:
+        """Deliver a recorded event with its original timestamp.
+
+        Regular handlers see it exactly like a live emit; timed
+        handlers receive the recorded ``timestamp`` (rebased by the
+        caller) and the replay ``track`` label so span tracers can keep
+        shard timelines apart.
+        """
+        handlers = self._handlers.get(event)
+        if handlers:
+            for handler in handlers:
+                try:
+                    handler(**payload)
+                except Exception:
+                    if self.strict:
+                        raise
+                    logger.exception(
+                        "event handler %r failed for %r (skipped)",
+                        handler, event,
+                    )
+        for timed in self._timed:
+            try:
+                timed(event, timestamp, payload, track)
+            except Exception:
+                if self.strict:
+                    raise
+                logger.exception(
+                    "timed event handler %r failed for %r (skipped)",
+                    timed, event,
+                )
+        if self._forward is not None:
+            self._forward.emit_replayed(event, timestamp, payload, track)
 
 
 class _BoundEvent:
@@ -115,10 +269,16 @@ class StatsSubscriber:
     The *lifecycle* counters (cancellations, promotions, checked
     matches) arrive through the bus, so engines no longer thread them
     through call signatures.
+
+    Cancellation kinds outside the known vocabulary are not swallowed:
+    they are summed into ``stats.cancellations_other`` and itemized in
+    :attr:`unknown_cancel_kinds` so a new emitter cannot silently lose
+    counts.
     """
 
     def __init__(self, stats: Any) -> None:
         self.stats = stats
+        self.unknown_cancel_kinds: Dict[str, int] = {}
 
     def attach(self, bus: EventBus) -> "StatsSubscriber":
         bus.subscribe(CANCEL, self.on_cancel)
@@ -126,11 +286,18 @@ class StatsSubscriber:
         bus.subscribe(MATCH_CHECKED, self.on_match_checked)
         return self
 
-    def on_cancel(self, kind: str = "lateral", count: int = 1) -> None:
+    def on_cancel(
+        self, kind: str = "lateral", count: int = 1, **_: Any
+    ) -> None:
         if kind == "lateral":
             self.stats.vtasks_canceled_lateral += count
         elif kind == "etask":
             self.stats.etasks_canceled += count
+        else:
+            self.stats.cancellations_other += count
+            self.unknown_cancel_kinds[kind] = (
+                self.unknown_cancel_kinds.get(kind, 0) + count
+            )
 
     def on_promote(self, count: int = 1, **_: Any) -> None:
         self.stats.promotions += count
@@ -143,7 +310,10 @@ class EventLog:
     """Recording subscriber: keeps ``(event, payload)`` tuples.
 
     Useful in tests and for the CLI's machine-readable counter
-    snapshots; not meant for hot production paths.
+    snapshots; not meant for hot production paths.  Appends are single
+    bytecode ops, so concurrent workers sharing one log through a
+    forwarding bus cannot corrupt it (each emit builds a fresh payload
+    dict, so records never alias mutable state across events).
     """
 
     def __init__(self, bus: Optional[EventBus] = None) -> None:
@@ -156,3 +326,69 @@ class EventLog:
 
     def count(self, event: str) -> int:
         return sum(1 for name, _ in self.records if name == event)
+
+    def multiset(self, events: Tuple[str, ...] = LIFECYCLE_EVENTS) -> Dict[str, int]:
+        """Event-name counts restricted to ``events`` (completeness checks)."""
+        counts: Dict[str, int] = {}
+        for name, _ in self.records:
+            if name in events:
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+#: One recorded event: ``(event, relative_timestamp, payload)``.
+RecordedEvent = Tuple[str, float, Dict[str, Any]]
+
+
+class EventRecorder:
+    """Timed subscriber that captures a serializable event summary.
+
+    Shard workers attach one to their bus; :meth:`serialize` produces a
+    picklable list of ``(event, t_rel, payload)`` records whose
+    timestamps are relative to the recorder's creation, so the parent
+    can rebase them onto its own timeline at replay.
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        self.base = time.monotonic()
+        self.records: List[RecordedEvent] = []
+        if bus is not None:
+            bus.subscribe_timed(self._on_event)
+
+    def attach(self, bus: EventBus) -> "EventRecorder":
+        bus.subscribe_timed(self._on_event)
+        return self
+
+    def _on_event(
+        self,
+        event: str,
+        timestamp: float,
+        payload: Dict[str, Any],
+        track: Optional[str],
+    ) -> None:
+        self.records.append((event, timestamp - self.base, dict(payload)))
+
+    def serialize(self) -> List[RecordedEvent]:
+        """The picklable cross-process summary (relative timestamps)."""
+        return list(self.records)
+
+
+def replay_events(
+    bus: EventBus,
+    summary: List[RecordedEvent],
+    base: Optional[float] = None,
+    track: Optional[str] = None,
+) -> int:
+    """Re-emit a worker's recorded events into ``bus``.
+
+    ``base`` anchors the worker's relative timestamps on the parent
+    timeline (typically the instant the shard was dispatched; defaults
+    to now).  ``track`` labels the replay for timed subscribers — span
+    tracers open a separate track per shard so concurrent shard
+    timelines do not interleave.  Returns the number of events
+    replayed, so merge sites can assert zero loss.
+    """
+    anchor = base if base is not None else time.monotonic()
+    for event, t_rel, payload in summary:
+        bus.emit_replayed(event, anchor + t_rel, payload, track)
+    return len(summary)

@@ -32,6 +32,7 @@ by :func:`contigra_job`).
 from __future__ import annotations
 
 import dataclasses
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import (
     Any,
@@ -48,6 +49,14 @@ except ImportError:  # pragma: no cover - python < 3.8 has no Protocol
     Protocol = object  # type: ignore[assignment]
 
 from .context import TaskContext
+from .events import (
+    EVENTS,
+    PHASE_RUN,
+    PHASE_SHARD,
+    EventRecorder,
+    RecordedEvent,
+    replay_events,
+)
 
 SCHEDULER_NAMES = ("serial", "process", "workqueue")
 
@@ -81,6 +90,14 @@ class ExecutionJob(Protocol):
         """Combine per-shard results (dedup + counter sums)."""
         ...
 
+    def shard_context(self) -> TaskContext:
+        """A context configured for one shard worker (deadline etc.).
+
+        Optional in practice: schedulers fall back to a bare
+        :class:`TaskContext` for jobs that do not provide it.
+        """
+        ...
+
 
 def merge_counter_dict(stats: Any, shard_dict: Dict[str, float]) -> None:
     """Sum a shard's integer counters into ``stats`` (rates recompute).
@@ -97,15 +114,56 @@ def merge_counter_dict(stats: Any, shard_dict: Dict[str, float]) -> None:
         )
 
 
-def run_shard_payload(payload: Any) -> Tuple[Any, Dict[str, float], float]:
+def _shard_context(job: Any) -> TaskContext:
+    """The job's shard context, or a bare one for legacy jobs."""
+    maker = getattr(job, "shard_context", None)
+    if maker is None:
+        return TaskContext()
+    ctx: TaskContext = maker()
+    return ctx
+
+
+def run_shard_payload(
+    payload: Any,
+) -> Tuple[Any, Dict[str, float], float, Optional[List[RecordedEvent]]]:
     """Process-pool entry point: run one shard end to end.
 
     Module-level so it pickles; budget exceptions propagate with their
     original types (see ``repro.errors`` ``__reduce__``).
+
+    The payload is ``(job, roots)`` or ``(job, roots, observe)``; with
+    ``observe`` truthy the shard records every event it emits (with
+    worker-side timestamps) and returns the serialized summary as a
+    fourth element, which the parent replays into its bus at merge —
+    the cross-process half of trace/metric completeness.  Unobserved
+    shards skip recording entirely, so runs without observability
+    subscribers pay nothing.
     """
-    job, roots = payload
-    result = job.run_shard(roots)
-    return result.valid, result.stats.as_dict(), result.elapsed
+    job, roots = payload[0], payload[1]
+    observe = bool(payload[2]) if len(payload) > 2 else False
+    if not observe:
+        result = job.run_shard(roots)
+        return result.valid, result.stats.as_dict(), result.elapsed, None
+    ctx = _shard_context(job)
+    recorder = EventRecorder(ctx.bus)
+    ctx.phase_start(PHASE_SHARD, roots=len(roots))
+    try:
+        result = job.run_shard(roots, ctx=ctx)
+    finally:
+        ctx.phase_end(PHASE_SHARD)
+    return (
+        result.valid,
+        result.stats.as_dict(),
+        result.elapsed,
+        recorder.serialize(),
+    )
+
+
+def _is_observed(ctx: Optional[TaskContext]) -> bool:
+    """Whether any bus subscriber would miss unforwarded worker events."""
+    if ctx is None:
+        return False
+    return any(ctx.bus.has_subscribers(event) for event in EVENTS)
 
 
 class SerialScheduler:
@@ -114,7 +172,13 @@ class SerialScheduler:
     name = "serial"
 
     def run(self, job: ExecutionJob, ctx: Optional[TaskContext] = None) -> Any:
-        return job.run_serial(ctx=ctx)
+        if ctx is None or not ctx.observed:
+            return job.run_serial(ctx=ctx)
+        ctx.phase_start(PHASE_RUN, scheduler=self.name)
+        try:
+            return job.run_serial(ctx=ctx)
+        finally:
+            ctx.phase_end(PHASE_RUN)
 
     def __repr__(self) -> str:
         return "SerialScheduler()"
@@ -132,22 +196,52 @@ class ProcessShardScheduler:
 
     def run(self, job: ExecutionJob, ctx: Optional[TaskContext] = None) -> Any:
         run_ctx = ctx if ctx is not None else TaskContext()
+        observed = _is_observed(ctx)
         if self.n_workers == 1:
-            return job.run_serial(ctx=ctx)
-        shards: List[List[int]] = [[] for _ in range(self.n_workers)]
-        for index, vertex in enumerate(job.all_roots()):
-            shards[index % self.n_workers].append(vertex)
-        payloads = [job.shard_payload(shard) for shard in shards if shard]
-        if not payloads:
-            return job.merge([], run_ctx.budget.elapsed())
-        partials = []
-        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-            # pool.map re-raises worker exceptions here; the budget
-            # exceptions carry __reduce__ so a worker OOM/TLE/OOS
-            # surfaces as its original class, not a pickling error.
-            for partial in pool.map(run_shard_payload, payloads):
-                partials.append(partial)
-        return job.merge(partials, run_ctx.budget.elapsed())
+            return SerialScheduler().run(job, ctx=ctx)
+        if observed:
+            run_ctx.phase_start(
+                PHASE_RUN, scheduler=self.name, workers=self.n_workers
+            )
+        try:
+            shards: List[List[int]] = [[] for _ in range(self.n_workers)]
+            for index, vertex in enumerate(job.all_roots()):
+                shards[index % self.n_workers].append(vertex)
+            payloads = [
+                tuple(job.shard_payload(shard)) + (observed,)
+                for shard in shards
+                if shard
+            ]
+            if not payloads:
+                return job.merge([], run_ctx.budget.elapsed())
+            partials = []
+            summaries: List[Optional[List[RecordedEvent]]] = []
+            dispatch_ts = time.monotonic()
+            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                # pool.map re-raises worker exceptions here; the budget
+                # exceptions carry __reduce__ so a worker OOM/TLE/OOS
+                # surfaces as its original class, not a pickling error.
+                for partial in pool.map(run_shard_payload, payloads):
+                    partials.append(partial[:3])
+                    summaries.append(
+                        partial[3] if len(partial) > 3 else None
+                    )
+            # Replay worker-side events into the parent bus before the
+            # merge seals the result: traces and metrics collected at
+            # the top see exactly what each shard emitted, rebased onto
+            # the dispatch instant of the pool (zero events lost).
+            for index, summary in enumerate(summaries):
+                if summary:
+                    replay_events(
+                        run_ctx.bus,
+                        summary,
+                        base=dispatch_ts,
+                        track=f"shard-{index}",
+                    )
+            return job.merge(partials, run_ctx.budget.elapsed())
+        finally:
+            if observed:
+                run_ctx.phase_end(PHASE_RUN)
 
     def __repr__(self) -> str:
         return f"ProcessShardScheduler(n_workers={self.n_workers})"
@@ -177,9 +271,10 @@ class WorkQueueScheduler:
         from collections import deque
 
         run_ctx = ctx if ctx is not None else TaskContext()
+        observed = _is_observed(ctx)
         roots = job.all_roots()
         if self.n_workers == 1 or len(roots) <= 1:
-            return job.run_serial(ctx=ctx)
+            return SerialScheduler().run(job, ctx=ctx)
 
         queues: List[Any] = [deque() for _ in range(self.n_workers)]
         for index, root in enumerate(roots):
@@ -202,6 +297,13 @@ class WorkQueueScheduler:
                 return int(victim.pop())
 
         def worker(me: int) -> None:
+            # Shard phase events go straight to the run bus from this
+            # worker thread: the tracer separates worker timelines by
+            # thread, and session events forward to the same bus, so
+            # in-thread ordering is preserved (no replay needed — the
+            # threads already share the parent's address space).
+            if observed:
+                run_ctx.phase_start(PHASE_SHARD, worker=me)
             session = job.worker_session(run_ctx.child())
             try:
                 while True:
@@ -219,23 +321,33 @@ class WorkQueueScheduler:
                 run_ctx.token.cancel("worker failure")
             finally:
                 results[me] = session.finish()
+                if observed:
+                    run_ctx.phase_end(PHASE_SHARD)
 
-        threads = [
-            threading.Thread(target=worker, args=(i,), daemon=True)
-            for i in range(self.n_workers)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        if failures:
-            raise failures[0]
-        partials = [
-            (r.valid, r.stats.as_dict(), r.elapsed)
-            for r in results
-            if r is not None
-        ]
-        return job.merge(partials, run_ctx.budget.elapsed())
+        if observed:
+            run_ctx.phase_start(
+                PHASE_RUN, scheduler=self.name, workers=self.n_workers
+            )
+        try:
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(self.n_workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if failures:
+                raise failures[0]
+            partials = [
+                (r.valid, r.stats.as_dict(), r.elapsed)
+                for r in results
+                if r is not None
+            ]
+            return job.merge(partials, run_ctx.budget.elapsed())
+        finally:
+            if observed:
+                run_ctx.phase_end(PHASE_RUN)
 
     def __repr__(self) -> str:
         return f"WorkQueueScheduler(n_workers={self.n_workers})"

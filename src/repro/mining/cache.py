@@ -19,7 +19,15 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable, Optional, Tuple
 
+from ..exec.events import CACHE_HIT, CACHE_MISS, EventBus
 from .stats import MiningStats
+
+#: Default sampling interval for cache events: one ``cache_hit`` /
+#: ``cache_miss`` event per this many occurrences (with ``count`` set
+#: to the interval), so tracing a run does not emit one bus event per
+#: set operation.  Counters in :class:`MiningStats` stay exact either
+#: way; the events are the coarse observability feed.
+CACHE_EVENT_SAMPLE = 64
 
 #: Semantic identity of one set operation.  The legacy frozenset-path
 #: key is the frozenset of intersected data vertices; kernel-path keys
@@ -39,23 +47,49 @@ class SetOperationCache:
     injectivity filtering, which is caller-local.
     """
 
-    __slots__ = ("_entries", "_max_entries", "stats", "enabled")
+    __slots__ = (
+        "_entries", "_max_entries", "stats", "enabled",
+        "_bus", "_event_sample", "_hits_pending", "_misses_pending",
+    )
 
     def __init__(
         self,
         max_entries: int = 200_000,
         stats: Optional[MiningStats] = None,
         enabled: bool = True,
+        bus: Optional[EventBus] = None,
+        event_sample: int = CACHE_EVENT_SAMPLE,
     ) -> None:
+        """``bus`` opts the cache into sampled ``cache_hit`` /
+        ``cache_miss`` events: every ``event_sample``-th hit (miss)
+        emits one event with ``count=event_sample``, gated on the bus
+        actually having subscribers — unobserved runs pay one ``None``
+        check per lookup."""
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if event_sample < 1:
+            raise ValueError("event_sample must be positive")
         self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
         self._max_entries = max_entries
         self.stats = stats if stats is not None else MiningStats()
         self.enabled = enabled
+        self._bus = bus
+        self._event_sample = event_sample
+        self._hits_pending = 0
+        self._misses_pending = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _count_miss(self) -> None:
+        self.stats.cache_misses += 1
+        if self._bus is not None:
+            self._misses_pending += 1
+            if self._misses_pending >= self._event_sample and (
+                self._bus.has_subscribers(CACHE_MISS)
+            ):
+                self._bus.emit(CACHE_MISS, count=self._misses_pending)
+                self._misses_pending = 0
 
     def lookup(self, key: CacheKey) -> Optional[Any]:
         """Cached candidates for ``key``, counting a hit or miss.
@@ -64,14 +98,21 @@ class SetOperationCache:
         intersections outlive one-shot ones under eviction pressure.
         """
         if not self.enabled:
-            self.stats.cache_misses += 1
+            self._count_miss()
             return None
         value = self._entries.get(key)
         if value is None:
-            self.stats.cache_misses += 1
+            self._count_miss()
             return None
         self._entries.move_to_end(key)
         self.stats.cache_hits += 1
+        if self._bus is not None:
+            self._hits_pending += 1
+            if self._hits_pending >= self._event_sample and (
+                self._bus.has_subscribers(CACHE_HIT)
+            ):
+                self._bus.emit(CACHE_HIT, count=self._hits_pending)
+                self._hits_pending = 0
         return value
 
     def store(self, key: CacheKey, value: Any) -> None:

@@ -107,6 +107,7 @@ class MiningEngine:
             max_entries=cache_entries,
             stats=self.stats,
             enabled=cache_enabled,
+            bus=ctx.bus if ctx is not None else None,
         )
 
     def _task_cache(self) -> SetOperationCache:
@@ -117,6 +118,7 @@ class MiningEngine:
             max_entries=self._cache_entries,
             stats=self.stats,
             enabled=self._cache_enabled,
+            bus=self.ctx.bus if self.ctx is not None else None,
         )
 
     # ------------------------------------------------------------------

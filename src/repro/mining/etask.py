@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Iterator, List, Optional
 
 from ..exec.context import TaskContext
+from ..exec.events import KERNEL_INTERSECT, TASK_COMPLETE, TASK_START
 from ..graph.graph import Graph
 from ..graph.index import GraphIndex, auto_selects_kernels
 from ..patterns.plan import ExplorationPlan
@@ -63,7 +64,7 @@ class ETask:
 
     __slots__ = (
         "graph", "plan", "root", "cache", "stats", "_stopped", "pattern",
-        "ctx", "index", "task_cache",
+        "ctx", "index", "task_cache", "_trace",
     )
 
     def __init__(
@@ -93,6 +94,12 @@ class ETask:
             TaskCache(plan.num_steps) if index is not None else None
         )
         self._stopped = False
+        # Instrumentation gate, resolved once per task: the subscriber
+        # set cannot change mid-descent, so the hot recursion pays a
+        # bool test instead of a bus lookup per candidate computation.
+        self._trace = (
+            ctx is not None and ctx.bus.has_subscribers(TASK_START)
+        )
 
     def matches(self) -> Iterator[Match]:
         """Stream all matches rooted here, depth first.
@@ -103,16 +110,22 @@ class ETask:
         task uncompleted, like a canceled task.
         """
         self.stats.etasks_started += 1
+        if self._trace:
+            self.ctx.emit(TASK_START, kind="etask", root=self.root)
         plan = self.plan
         if plan.labels_at[0] is not None and (
             self.graph.label(self.root) != plan.labels_at[0]
         ):
             self.stats.etasks_completed += 1
+            if self._trace:
+                self.ctx.emit(TASK_COMPLETE, kind="etask", root=self.root)
             return
         bound: List[int] = [self.root]
         for match in self._descend(bound):
             yield match
         self.stats.etasks_completed += 1
+        if self._trace:
+            self.ctx.emit(TASK_COMPLETE, kind="etask", root=self.root)
 
     def run(self, on_match: OnMatch) -> bool:
         """Explore all matches rooted here; returns True if stopped early."""
@@ -135,6 +148,8 @@ class ETask:
             self.stats.matches_found += 1
             yield self._to_match(bound)
             return
+        if self._trace:
+            self.ctx.emit(KERNEL_INTERSECT, count=1)
         candidates = compute_candidates(
             self.graph, plan, step, bound, self.cache, self.stats,
             index=self.index, task_cache=self.task_cache,

@@ -188,6 +188,44 @@ class TestSchedulerFlags:
         assert "vtasks_canceled_lateral" in counters
         assert "promotions" in counters
 
+    def test_mqc_trace_and_metrics_exports(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace, validate_prometheus
+
+        trace_file = tmp_path / "trace.json"
+        metrics_file = tmp_path / "metrics.prom"
+        assert main(
+            ["mqc", "--dataset", "dblp", "--max-size", "4",
+             "--scheduler", "workqueue", "--workers", "2",
+             "--trace", str(trace_file), "--metrics", str(metrics_file),
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_file"] == str(trace_file)
+        assert payload["trace_coverage"] >= 0.95
+        assert payload["metrics"]["repro_matches_total"] > 0
+        assert validate_chrome_trace(trace_file.read_text()) == []
+        assert validate_prometheus(metrics_file.read_text()) == []
+        # the trace subcommand renders the saved file as a span tree
+        assert main(["trace", str(trace_file)]) == 0
+        rendered = capsys.readouterr().out
+        assert "run" in rendered and "pattern" in rendered
+
+    def test_trace_subcommand_rejects_invalid_file(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"name": "x"}]}')
+        assert main(["trace", str(bad)]) == 1
+        assert "ph" in capsys.readouterr().err
+
+    def test_untraced_run_has_no_observability_fields(self, capsys):
+        assert main(
+            ["nsq", "--dataset", "dblp", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" not in payload
+        assert "trace_file" not in payload
+
     def test_text_output_stays_a_short_summary(self, capsys):
         assert main(
             ["mqc", "--dataset", "dblp", "--max-size", "4",

@@ -1,0 +1,557 @@
+"""Observability layer: span tracing, metrics, validators, event-bus fixes.
+
+Covers the event-bus blind-spot fixes (forwarding session buses,
+cross-process event replay, dead cache-event vocabulary, unknown
+cancel kinds, handler isolation) and the ``repro.obs`` layer built on
+top of them.  The acceptance property lives in
+``TestSchedulerObservabilityEquivalence``: the same seeded workload
+produces identical lifecycle event multisets under all three
+schedulers, with span trees covering (almost) the whole run.
+"""
+
+import json
+
+import pytest
+
+from repro.core import maximality_constraints
+from repro.core.runtime import ContigraEngine
+from repro.exec import (
+    EVENTS,
+    LIFECYCLE_EVENTS,
+    ProcessShardScheduler,
+    SerialScheduler,
+    WorkQueueScheduler,
+)
+from repro.exec.events import (
+    CACHE_HIT,
+    CACHE_MISS,
+    EventBus,
+    EventLog,
+    EventRecorder,
+    StatsSubscriber,
+    replay_events,
+)
+from repro.graph import erdos_renyi
+from repro.mining.cache import SetOperationCache
+from repro.mining.stats import ConstraintStats
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSubscriber,
+    SpanTracer,
+    observed_context,
+    validate_chrome_trace,
+    validate_prometheus,
+)
+from repro.patterns import quasi_clique_patterns_up_to
+
+
+def mqc_constraints(gamma=0.7, max_size=4):
+    return maximality_constraints(
+        quasi_clique_patterns_up_to(max_size, gamma), induced=True
+    )
+
+
+def observed_run(graph, scheduler, **engine_options):
+    """One engine run under ``scheduler`` with full observability on."""
+    ctx, tracer, registry = observed_context()
+    log = EventLog(ctx.bus)
+    engine = ContigraEngine(graph, mqc_constraints(), **engine_options)
+    result = engine.run_with(scheduler, ctx=ctx)
+    tracer.finalize()
+    return result, tracer, registry, log
+
+
+# ----------------------------------------------------------------------
+# Satellite: every declared event name is emitted by some code path
+# ----------------------------------------------------------------------
+
+
+class TestEventVocabularyIsAlive:
+    def test_engine_run_emits_every_non_cache_event(self):
+        graph = erdos_renyi(16, 0.5, seed=11)
+        _, _, _, log = observed_run(graph, SerialScheduler())
+        seen = {name for name, _ in log.records}
+        missing = set(EVENTS) - seen - {CACHE_HIT, CACHE_MISS}
+        assert not missing, f"declared but never emitted: {missing}"
+
+    def test_cache_emits_sampled_hit_and_miss_events(self):
+        """The previously dead ``cache_hit``/``cache_miss`` vocabulary."""
+        bus = EventBus(strict=True)
+        log = EventLog(bus)
+        cache = SetOperationCache(bus=bus, event_sample=1)
+        cache.lookup("k")            # miss
+        cache.store("k", (1, 2))
+        cache.lookup("k")            # hit
+        seen = {name for name, _ in log.records}
+        assert CACHE_HIT in seen and CACHE_MISS in seen
+
+    def test_every_event_name_is_emitted_somewhere(self):
+        """The regression gate: EVENTS may not contain dead names."""
+        graph = erdos_renyi(16, 0.5, seed=11)
+        _, _, _, log = observed_run(graph, SerialScheduler())
+        seen = {name for name, _ in log.records}
+        bus = EventBus()
+        cache_log = EventLog(bus)
+        cache = SetOperationCache(bus=bus, event_sample=1)
+        cache.lookup("k")
+        cache.store("k", (1,))
+        cache.lookup("k")
+        seen |= {name for name, _ in cache_log.records}
+        assert seen >= set(EVENTS)
+
+    def test_cache_events_are_sampled_with_counts(self):
+        bus = EventBus(strict=True)
+        log = EventLog(bus)
+        cache = SetOperationCache(bus=bus, event_sample=4)
+        for i in range(7):
+            cache.lookup(("miss", i))
+        assert log.count(CACHE_MISS) == 1
+        assert log.records[0][1]["count"] == 4
+        # three misses still pending, below the sampling threshold
+        assert cache.stats.cache_misses == 7
+
+    def test_event_sample_validation(self):
+        with pytest.raises(ValueError):
+            SetOperationCache(event_sample=0)
+
+    def test_unobserved_cache_pays_no_events(self):
+        cache = SetOperationCache(bus=EventBus(), event_sample=1)
+        cache.lookup("k")  # no subscribers: nothing raised, just counted
+        assert cache.stats.cache_misses == 1
+
+
+# ----------------------------------------------------------------------
+# Satellite: unknown cancellation kinds are counted, not swallowed
+# ----------------------------------------------------------------------
+
+
+class TestUnknownCancelKinds:
+    def test_unknown_kind_lands_in_cancellations_other(self):
+        stats = ConstraintStats()
+        bus = EventBus(strict=True)
+        sub = StatsSubscriber(stats).attach(bus)
+        bus.emit("cancel", kind="speculative", count=3)
+        bus.emit("cancel", kind="speculative")
+        bus.emit("cancel", kind="lateral")
+        assert stats.cancellations_other == 4
+        assert stats.vtasks_canceled_lateral == 1
+        assert sub.unknown_cancel_kinds == {"speculative": 4}
+
+    def test_other_cancellations_merge_and_export(self):
+        a, b = ConstraintStats(), ConstraintStats()
+        a.cancellations_other = 2
+        b.cancellations_other = 3
+        a.merge(b)
+        assert a.cancellations_other == 5
+        assert a.as_dict()["cancellations_other"] == 5
+
+
+# ----------------------------------------------------------------------
+# Satellite: handler exceptions are isolated (strict mode re-raises)
+# ----------------------------------------------------------------------
+
+
+class TestHandlerIsolation:
+    def test_raising_handler_is_skipped_by_default(self, caplog):
+        bus = EventBus()
+        calls = []
+        bus.subscribe("match", lambda **kw: 1 / 0)
+        bus.subscribe("match", lambda **kw: calls.append(kw))
+        with caplog.at_level("ERROR"):
+            bus.emit("match", pattern="t")
+        assert calls == [{"pattern": "t"}]
+        assert any("failed" in r.message for r in caplog.records)
+
+    def test_strict_mode_propagates(self):
+        bus = EventBus(strict=True)
+        bus.subscribe("match", lambda **kw: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            bus.emit("match")
+
+    def test_raising_handler_does_not_block_forwarding(self):
+        parent = EventBus()
+        log = EventLog(parent)
+        child = EventBus(forward_to=parent)
+        child.subscribe("match", lambda **kw: 1 / 0)
+        child.emit("match")
+        assert log.count("match") == 1
+
+    def test_timed_handler_isolation(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(event, ts, payload, track):
+            raise RuntimeError("boom")
+
+        bus.subscribe_timed(bad)
+        bus.subscribe_timed(
+            lambda event, ts, payload, track: seen.append(event)
+        )
+        bus.emit("match")
+        assert seen == ["match"]
+
+
+# ----------------------------------------------------------------------
+# Satellite: subscribe_all ordering + EventLog under concurrency
+# ----------------------------------------------------------------------
+
+
+class TestSubscribeAllAndEventLog:
+    def test_subscribe_all_preserves_per_event_order(self):
+        bus = EventBus(strict=True)
+        order = []
+        bus.subscribe("match", lambda **kw: order.append("first"))
+        bus.subscribe_all(lambda event, **kw: order.append("all"))
+        bus.subscribe("match", lambda **kw: order.append("last"))
+        bus.emit("match")
+        assert order == ["first", "all", "last"]
+
+    def test_subscribe_all_receives_event_name_and_payload(self):
+        bus = EventBus(strict=True)
+        seen = []
+        bus.subscribe_all(lambda event, **kw: seen.append((event, kw)))
+        bus.emit("cancel", kind="lateral", count=2)
+        assert seen == [("cancel", {"kind": "lateral", "count": 2})]
+
+    def test_unknown_event_subscription_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus().subscribe("no_such_event", lambda **kw: None)
+
+    def test_event_log_is_consistent_under_workqueue_concurrency(self):
+        """Concurrent worker threads share one log through forwarding
+        buses; every record must stay a well-formed pair and lifecycle
+        counts must equal the serial run's."""
+        graph = erdos_renyi(12, 0.5, seed=5)
+        _, _, _, serial_log = observed_run(
+            graph, SerialScheduler(), enable_promotion=False
+        )
+        _, _, _, wq_log = observed_run(
+            graph, WorkQueueScheduler(n_workers=3), enable_promotion=False
+        )
+        for record in wq_log.records:
+            assert isinstance(record[0], str) and isinstance(record[1], dict)
+        assert wq_log.multiset() == serial_log.multiset()
+
+
+# ----------------------------------------------------------------------
+# EventRecorder / replay (cross-scheduler plumbing)
+# ----------------------------------------------------------------------
+
+
+class TestRecorderReplay:
+    def test_replay_preserves_payloads_counts_and_track(self):
+        worker = EventBus()
+        recorder = EventRecorder(worker)
+        worker.emit("phase_start", phase="shard", roots=3)
+        worker.emit("match", pattern="p")
+        worker.emit("phase_end", phase="shard")
+
+        parent = EventBus()
+        log = EventLog(parent)
+        timed = []
+        parent.subscribe_timed(
+            lambda event, ts, payload, track: timed.append((event, ts, track))
+        )
+        n = replay_events(parent, recorder.serialize(), base=100.0, track="s0")
+        assert n == 3
+        assert log.count("match") == 1
+        assert [t for _, _, t in timed] == ["s0", "s0", "s0"]
+        # rebased onto the caller's anchor, original spacing preserved
+        times = [ts for _, ts, _ in timed]
+        assert all(ts >= 100.0 for ts in times)
+        assert times == sorted(times)
+
+    def test_forwarding_bus_reaches_parent_subscribers(self):
+        """The EngineSession blind spot: external-context sessions used
+        to get an isolated bus; now events forward to the caller's."""
+        parent = EventBus()
+        log = EventLog(parent)
+        child = EventBus(forward_to=parent)
+        assert child.has_subscribers("match")
+        child.emit("match")
+        assert log.count("match") == 1
+
+
+# ----------------------------------------------------------------------
+# SpanTracer
+# ----------------------------------------------------------------------
+
+
+class TestSpanTracer:
+    def feed(self, tracer, events):
+        for event, ts, payload, track in events:
+            tracer.on_event(event, ts, payload, track)
+
+    def test_nesting_durations_and_instants(self):
+        tracer = SpanTracer()
+        self.feed(tracer, [
+            ("phase_start", 0.0, {"phase": "run"}, None),
+            ("phase_start", 1.0, {"phase": "pattern", "pattern": "p"}, None),
+            ("match", 1.5, {}, None),
+            ("kernel_intersect", 1.6, {"count": 5}, None),
+            ("phase_end", 2.0, {"phase": "pattern"}, None),
+            ("phase_end", 3.0, {"phase": "run"}, None),
+        ])
+        tracer.finalize()
+        assert len(tracer.roots) == 1
+        run = tracer.roots[0]
+        assert run.name == "run" and run.duration == pytest.approx(3.0)
+        (pattern,) = run.children
+        assert pattern.duration == pytest.approx(1.0)
+        assert pattern.events == {"match": 1, "kernel_intersect": 5}
+        assert tracer.coverage() == pytest.approx(1.0)
+        assert tracer.event_totals() == {"match": 1, "kernel_intersect": 5}
+
+    def test_tracks_are_independent_trees(self):
+        tracer = SpanTracer()
+        self.feed(tracer, [
+            ("phase_start", 0.0, {"phase": "run"}, None),
+            ("phase_start", 0.1, {"phase": "shard"}, "shard-0"),
+            ("phase_start", 0.1, {"phase": "shard"}, "shard-1"),
+            ("phase_end", 0.9, {"phase": "shard"}, "shard-0"),
+            ("phase_end", 0.8, {"phase": "shard"}, "shard-1"),
+            ("phase_end", 1.0, {"phase": "run"}, None),
+        ])
+        tracer.finalize()
+        tracks = sorted(span.track for span in tracer.roots)
+        assert tracks == ["main", "shard-0", "shard-1"]
+
+    def test_finalize_closes_open_spans(self):
+        tracer = SpanTracer()
+        self.feed(tracer, [
+            ("phase_start", 0.0, {"phase": "run"}, None),
+            ("match", 2.0, {}, None),
+        ])
+        tracer.finalize()
+        assert tracer.roots[0].end == 2.0
+
+    def test_unmatched_end_is_tolerated(self):
+        tracer = SpanTracer()
+        self.feed(tracer, [("phase_end", 1.0, {"phase": "run"}, None)])
+        tracer.finalize()
+        assert tracer.roots == []
+
+    def test_orphan_events_are_reported(self):
+        tracer = SpanTracer()
+        self.feed(tracer, [("match", 1.0, {}, None)])
+        assert tracer.orphan_events == {"match": 1}
+        assert "outside spans" in tracer.render()
+
+    def test_coverage_reflects_uncovered_gaps(self):
+        tracer = SpanTracer()
+        self.feed(tracer, [
+            ("phase_start", 0.0, {"phase": "run"}, None),
+            ("phase_end", 1.0, {"phase": "run"}, None),
+            ("phase_start", 9.0, {"phase": "run"}, None),
+            ("phase_end", 10.0, {"phase": "run"}, None),
+        ])
+        assert tracer.coverage() == pytest.approx(0.2)
+
+    def test_chrome_export_is_valid_and_scaled(self):
+        tracer = SpanTracer()
+        self.feed(tracer, [
+            ("phase_start", 10.0, {"phase": "run"}, None),
+            ("phase_end", 10.5, {"phase": "run"}, None),
+        ])
+        tracer.finalize()
+        doc = tracer.to_chrome()
+        assert validate_chrome_trace(json.dumps(doc)) == []
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["ts"] == 0.0
+        assert spans[0]["dur"] == pytest.approx(0.5e6)
+
+    def test_render_tree_shape(self):
+        tracer = SpanTracer()
+        self.feed(tracer, [
+            ("phase_start", 0.0, {"phase": "run"}, None),
+            ("phase_start", 0.1, {"phase": "pattern", "pattern": "p"}, None),
+            ("phase_end", 0.2, {"phase": "pattern"}, None),
+            ("phase_end", 0.3, {"phase": "run"}, None),
+        ])
+        tracer.finalize()
+        text = tracer.render()
+        assert "[main]" in text
+        assert text.index("run") < text.index("pattern")
+        assert "pattern=p" in text
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total").inc()
+        registry.gauge("workers").set(3)
+        hist = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = registry.to_prometheus()
+        assert validate_prometheus(text) == []
+        assert "runs_total 1" in text
+        assert "workers 3" in text
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_count 3" in text
+        snap = registry.snapshot()
+        assert snap["runs_total"] == 1
+        assert snap["latency_seconds"]["count"] == 3
+
+    def test_labeled_series_share_one_family(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", labels={"event": "a"}).inc(2)
+        registry.counter("events_total", labels={"event": "b"}).inc(3)
+        text = registry.to_prometheus()
+        assert text.count("# TYPE events_total counter") == 1
+        assert 'events_total{event="a"} 2' in text
+        assert validate_prometheus(text) == []
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(1.0, 0.1))
+
+    def test_subscriber_maps_events_and_phase_durations(self):
+        registry = MetricsRegistry()
+        sub = MetricsSubscriber(registry)
+        sub.on_event("phase_start", 1.0, {"phase": "align"}, None)
+        sub.on_event("match", 1.2, {}, None)
+        sub.on_event("cancel", 1.3, {"kind": "lateral", "count": 2}, None)
+        sub.on_event("cache_hit", 1.4, {"count": 64}, None)
+        sub.on_event("phase_end", 1.5, {"phase": "align"}, None)
+        snap = registry.snapshot()
+        assert snap['repro_events_total{event="match"}'] == 1
+        assert snap["repro_matches_total"] == 1
+        assert snap['repro_cancellations_total{kind="lateral"}'] == 2
+        assert snap['repro_cache_operations_total{outcome="hit"}'] == 64
+        duration = snap['repro_phase_duration_seconds{phase="align"}']
+        assert duration["count"] == 1
+        assert duration["sum"] == pytest.approx(0.5)
+
+    def test_subscriber_keeps_replay_tracks_apart(self):
+        registry = MetricsRegistry()
+        sub = MetricsSubscriber(registry)
+        sub.on_event("phase_start", 0.0, {"phase": "shard"}, "s0")
+        sub.on_event("phase_start", 0.0, {"phase": "shard"}, "s1")
+        sub.on_event("phase_end", 1.0, {"phase": "shard"}, "s0")
+        sub.on_event("phase_end", 2.0, {"phase": "shard"}, "s1")
+        duration = registry.snapshot()[
+            'repro_phase_duration_seconds{phase="shard"}'
+        ]
+        assert duration["count"] == 2
+        assert duration["sum"] == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------
+# Validators (negative cases)
+# ----------------------------------------------------------------------
+
+
+class TestValidators:
+    def test_chrome_rejects_garbage_and_bad_events(self):
+        assert validate_chrome_trace("{nope") != []
+        assert validate_chrome_trace('{"a": 1}') != []
+        bad = json.dumps({"traceEvents": [{"name": "x"}]})
+        assert any("ph" in p for p in validate_chrome_trace(bad))
+        bad = json.dumps(
+            {"traceEvents": [{"name": "x", "ph": "X", "ts": 0}]}
+        )
+        assert any("dur" in p for p in validate_chrome_trace(bad))
+
+    def test_prometheus_rejects_malformed_samples(self):
+        assert validate_prometheus("{weird") != []
+        assert validate_prometheus("metric_a not_a_number") != []
+        bad_hist = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="0.1"} 5',
+            'h_bucket{le="1"} 3',       # not cumulative
+            'h_bucket{le="+Inf"} 5',
+            "h_sum 1", "h_count 5",
+        ])
+        assert any(
+            "cumulative" in p for p in validate_prometheus(bad_hist)
+        )
+        no_inf = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="1"} 3',
+            "h_sum 1", "h_count 3",
+        ])
+        assert any("+Inf" in p for p in validate_prometheus(no_inf))
+
+
+# ----------------------------------------------------------------------
+# Acceptance property: scheduler-independent observability
+# ----------------------------------------------------------------------
+
+
+class TestSchedulerObservabilityEquivalence:
+    """For the same seeded workload, all three schedulers must deliver
+    identical lifecycle event multisets (zero events lost at shard
+    merge) and span trees covering >=95% of the observed run."""
+
+    SEEDS = (0, 1, 2, 3, 4, 5)
+
+    def make_schedulers(self):
+        return (
+            ("serial", SerialScheduler()),
+            ("process", ProcessShardScheduler(n_workers=2)),
+            ("workqueue", WorkQueueScheduler(n_workers=3)),
+        )
+
+    def test_lifecycle_multisets_and_coverage(self):
+        for seed in self.SEEDS:
+            graph = erdos_renyi(9 + (seed % 3), 0.4, seed=seed)
+            reference = None
+            for name, scheduler in self.make_schedulers():
+                result, tracer, registry, log = observed_run(
+                    graph, scheduler, enable_promotion=False
+                )
+                multiset = log.multiset()
+                if reference is None:
+                    reference = (multiset, len(result.valid))
+                else:
+                    assert multiset == reference[0], (
+                        f"seed {seed}, scheduler {name}: "
+                        f"{multiset} != {reference[0]}"
+                    )
+                    assert len(result.valid) == reference[1]
+                assert tracer.coverage() >= 0.95, (
+                    f"seed {seed}, scheduler {name}: "
+                    f"coverage {tracer.coverage()}"
+                )
+                # the metrics view agrees with the raw log
+                snapshot = registry.snapshot()
+                for event in LIFECYCLE_EVENTS:
+                    key = f'repro_events_total{{event="{event}"}}'
+                    assert snapshot.get(key, 0) == multiset.get(event, 0)
+
+    def test_exports_validate_for_every_scheduler(self):
+        graph = erdos_renyi(10, 0.4, seed=7)
+        for name, scheduler in self.make_schedulers():
+            _, tracer, registry, _ = observed_run(graph, scheduler)
+            assert validate_chrome_trace(
+                json.dumps(tracer.to_chrome())
+            ) == [], name
+            assert validate_prometheus(registry.to_prometheus()) == [], name
+
+    def test_unobserved_run_has_no_subscribers_overhead(self):
+        """Without observers the context reports unobserved, so the
+        phase/emit hot paths stay behind their gates."""
+        from repro.exec import TaskContext
+
+        ctx = TaskContext.create()
+        assert not ctx.observed
+        assert not ctx.bus.has_subscribers("match")
