@@ -44,6 +44,19 @@ class MaximalQuasiCliqueResult:
     def elapsed(self) -> float:
         return self.raw.elapsed
 
+    @property
+    def incomplete(self) -> bool:
+        """Whether this is a degraded partial result (roots skipped)."""
+        return bool(getattr(self.raw, "incomplete", False))
+
+    @property
+    def unprocessed_roots(self):
+        return list(getattr(self.raw, "unprocessed_roots", []))
+
+    @property
+    def failure_reasons(self):
+        return list(getattr(self.raw, "failure_reasons", []))
+
     def __repr__(self) -> str:
         sizes = {size: len(group) for size, group in sorted(self.by_size.items())}
         return f"MaximalQuasiCliqueResult({self.count} maximal, {sizes})"
@@ -91,6 +104,8 @@ def maximal_quasi_cliques(
     scheduler: Optional[str] = None,
     n_workers: int = 2,
     ctx: Optional[TaskContext] = None,
+    retries: int = 0,
+    on_failure: str = "raise",
     **engine_options,
 ) -> MaximalQuasiCliqueResult:
     """Mine maximal gamma-quasi-cliques with Contigra.
@@ -101,8 +116,12 @@ def maximal_quasi_cliques(
     scheduler (``serial`` / ``process`` / ``workqueue``); None keeps
     the in-process serial run.  ``ctx`` supplies an external execution
     context (deadline, cancellation, observability bus — see
-    :func:`repro.obs.observed_context`).  Raises
-    :class:`~repro.errors.TimeLimitExceeded` past ``time_limit``.
+    :func:`repro.obs.observed_context`).  ``retries`` re-dispatches
+    shards lost to transient worker failures; ``on_failure="degrade"``
+    turns exhausted retries into a partial result with
+    ``result.incomplete`` set (see docs/execution.md, "Failure
+    semantics").  Raises :class:`~repro.errors.TimeLimitExceeded` past
+    ``time_limit``.
     """
     engine = build_mqc_engine(
         graph,
@@ -112,13 +131,24 @@ def maximal_quasi_cliques(
         time_limit=time_limit,
         **engine_options,
     )
-    if (scheduler is None or scheduler == "serial") and ctx is None:
+    if (
+        (scheduler is None or scheduler == "serial")
+        and ctx is None
+        and retries == 0
+        and on_failure == "raise"
+    ):
         return MaximalQuasiCliqueResult(engine.run())
-    # With an external context (observability), even "serial" goes
-    # through the scheduler layer so the run-phase span opens uniformly.
+    # With an external context (observability) or resilience knobs,
+    # even "serial" goes through the scheduler layer so the run-phase
+    # span opens and failure handling applies uniformly.
     return MaximalQuasiCliqueResult(
         engine.run_with(
-            make_scheduler(scheduler or "serial", n_workers=n_workers),
+            make_scheduler(
+                scheduler or "serial",
+                n_workers=n_workers,
+                retries=retries,
+                on_failure=on_failure,
+            ),
             ctx=ctx,
         )
     )

@@ -35,6 +35,8 @@ def nested_subgraph_query(
     scheduler: Optional[str] = None,
     n_workers: int = 2,
     ctx: Optional[TaskContext] = None,
+    retries: int = 0,
+    on_failure: str = "raise",
     **engine_options,
 ) -> ContigraResult:
     """Run one nested subgraph query with Contigra.
@@ -44,7 +46,10 @@ def nested_subgraph_query(
     ``scheduler`` selects an execution-core scheduler (``serial`` /
     ``process`` / ``workqueue``); None keeps the serial in-process run.
     ``ctx`` supplies an external execution context (deadline,
-    cancellation, observability bus).
+    cancellation, observability bus).  ``retries`` re-dispatches
+    shards lost to transient worker failures; ``on_failure="degrade"``
+    returns a partial result with ``result.incomplete`` set instead of
+    raising (see docs/execution.md, "Failure semantics").
     """
     constraint_set = nested_query_constraints(
         p_m, list(p_plus_list), induced=induced
@@ -55,12 +60,24 @@ def nested_subgraph_query(
         time_limit=time_limit,
         **engine_options,
     )
-    if (scheduler is None or scheduler == "serial") and ctx is None:
+    if (
+        (scheduler is None or scheduler == "serial")
+        and ctx is None
+        and retries == 0
+        and on_failure == "raise"
+    ):
         return engine.run()
-    # With an external context (observability), even "serial" goes
-    # through the scheduler layer so the run-phase span opens uniformly.
+    # With an external context (observability) or resilience knobs,
+    # even "serial" goes through the scheduler layer so the run-phase
+    # span opens and failure handling applies uniformly.
     return engine.run_with(
-        make_scheduler(scheduler or "serial", n_workers=n_workers), ctx=ctx
+        make_scheduler(
+            scheduler or "serial",
+            n_workers=n_workers,
+            retries=retries,
+            on_failure=on_failure,
+        ),
+        ctx=ctx,
     )
 
 

@@ -9,7 +9,7 @@ from .datasets import (
     spec,
     table1_rows,
 )
-from .harness import OK, OOM, OOS, TLE, RunOutcome, speedup, timed_run
+from .harness import DEGRADED, OK, OOM, OOS, TLE, RunOutcome, speedup, timed_run
 from .report import format_series, format_table, paper_vs_measured
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "TLE",
     "OOM",
     "OOS",
+    "DEGRADED",
     "format_table",
     "format_series",
     "paper_vs_measured",

@@ -25,6 +25,10 @@ OK = "ok"
 TLE = "TLE"
 OOM = "OOM"
 OOS = "OOS"
+#: The workload returned, but under ``on_failure="degrade"`` with
+#: shards lost: a *partial* result, never to be compared against a
+#: complete run's cell as if it were one.
+DEGRADED = "degraded"
 
 # The budget-violation vocabulary, in the order the paper's tables use.
 _FAILURE_STATUS = (
@@ -116,6 +120,11 @@ def timed_run(
         outcome.metrics = metrics.snapshot()
     if time_limit is not None and seconds > time_limit:
         outcome.status = TLE
+    if getattr(value, "incomplete", False):
+        # A degraded run is recorded as such, never silently merged
+        # into the OK column (its count covers only the surviving
+        # shards).
+        outcome.status = DEGRADED
     return outcome
 
 

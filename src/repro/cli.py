@@ -35,6 +35,7 @@ from .apps import (
 from .apps.nsq import paper_query_tailed_triangles, paper_query_triangles
 from .bench import dataset, dataset_keys, spec
 from .bench.report import format_table
+from .exec.resilience import ON_FAILURE_MODES
 from .exec.scheduler import SCHEDULER_NAMES
 from .graph.graph import Graph
 from .graph.index import ADJACENCY_MODES
@@ -84,6 +85,18 @@ def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=2,
         help="worker count for parallel schedulers (default: 2)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="re-dispatch shards lost to transient worker failures "
+             "up to this many times, with capped exponential backoff "
+             "(default: 0 — fail fast)",
+    )
+    parser.add_argument(
+        "--on-failure", choices=ON_FAILURE_MODES, default="raise",
+        help="after retries are exhausted: 'raise' the primary "
+             "failure (default) or 'degrade' to a partial result "
+             "marked incomplete with unprocessed roots listed",
     )
 
 
@@ -159,11 +172,34 @@ def _run_record(
     (``None`` for commands that do not go through the kernel layer,
     e.g. the keyword-search state-space explorer).
     """
-    return {
+    record = {
         "scheduler": scheduler,
         "adjacency": adjacency,
         "wall_time_seconds": result.elapsed,
         "counters": result.stats.as_dict(),
+    }
+    if getattr(result, "incomplete", False):
+        # Degraded runs are never silently complete: the record always
+        # names what was skipped and why.
+        record["incomplete"] = True
+        record["unprocessed_roots"] = list(
+            getattr(result, "unprocessed_roots", [])
+        )
+        record["failure_reasons"] = list(
+            getattr(result, "failure_reasons", [])
+        )
+    return record
+
+
+def _degraded_fields(result) -> dict:
+    """Human-visible degradation marker for text and json reports."""
+    if not getattr(result, "incomplete", False):
+        return {}
+    return {
+        "incomplete": True,
+        "unprocessed_roots": len(
+            getattr(result, "unprocessed_roots", [])
+        ),
     }
 
 
@@ -221,11 +257,14 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         adjacency=args.adjacency,
         ctx=ctx,
+        retries=args.retries,
+        on_failure=args.on_failure,
     )
     obs_extra = _export_observability(args, tracer, registry)
     _report(
         args,
         {
+            **_degraded_fields(result),
             "maximal_quasi_cliques": result.count,
             "by_size": {
                 size: len(group)
@@ -318,11 +357,14 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         adjacency=args.adjacency,
         ctx=ctx,
+        retries=args.retries,
+        on_failure=args.on_failure,
     )
     obs_extra = _export_observability(args, tracer, registry)
     _report(
         args,
         {
+            **_degraded_fields(result),
             "query": args.query,
             "valid_matches": result.count,
             "elapsed_seconds": round(result.elapsed, 3),

@@ -99,6 +99,12 @@ class ContigraResult:
         self.valid: List[Tuple[Pattern, Tuple[int, ...]]] = []
         self.stats = ConstraintStats()
         self.elapsed: float = 0.0
+        # Degraded-mode contract (``on_failure="degrade"``, see
+        # repro.exec.resilience.mark_degraded): ``incomplete`` results
+        # carry the roots that were never mined plus why they failed.
+        self.incomplete: bool = False
+        self.unprocessed_roots: List[int] = []
+        self.failure_reasons: List[str] = []
 
     @property
     def count(self) -> int:
@@ -118,7 +124,8 @@ class ContigraResult:
         return counts
 
     def __repr__(self) -> str:
-        return f"ContigraResult({self.count} valid matches)"
+        suffix = ", incomplete" if self.incomplete else ""
+        return f"ContigraResult({self.count} valid matches{suffix})"
 
 
 class ContigraEngine:

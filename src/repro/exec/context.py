@@ -122,6 +122,16 @@ class Budget:
     def elapsed(self) -> float:
         return time.monotonic() - self.start
 
+    def remaining_time(self) -> Optional[float]:
+        """Wall clock left before the deadline (None when unlimited).
+
+        Schedulers use this to size retry backoff sleeps and to compute
+        the residual budget shards are dispatched with — never negative.
+        """
+        if self.time_limit is None:
+            return None
+        return max(0.0, self.time_limit - self.elapsed())
+
     def restart(self) -> None:
         """Re-anchor the clock (a fresh run reusing the same budget)."""
         self.start = time.monotonic()

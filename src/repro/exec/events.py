@@ -21,6 +21,12 @@ Event vocabulary (the ``on_*`` hooks of the execution model):
 ``cache_hit``       set-operation cache hits (sampled; payload: count)
 ``cache_miss``      set-operation cache misses (sampled; payload: count)
 ``kernel_intersect``  a candidate set operation ran (payload: count)
+``shard_retry``     a failed shard is re-dispatched (payload: shard,
+                    attempt, delay, error, roots)
+``shard_failed``    a shard exhausted its retries or failed terminally
+                    (payload: shard, attempt, error, roots)
+``run_degraded``    a run merged under ``on_failure="degrade"``
+                    (payload: unprocessed, failures)
 ``phase_start``     a runtime phase opened (payload: phase, ...)
 ``phase_end``       a runtime phase closed (payload: phase)
 ==================  ==================================================
@@ -68,6 +74,9 @@ PROMOTE = "promote"
 CACHE_HIT = "cache_hit"
 CACHE_MISS = "cache_miss"
 KERNEL_INTERSECT = "kernel_intersect"
+SHARD_RETRY = "shard_retry"
+SHARD_FAILED = "shard_failed"
+RUN_DEGRADED = "run_degraded"
 PHASE_START = "phase_start"
 PHASE_END = "phase_end"
 
@@ -83,9 +92,17 @@ EVENTS = (
     CACHE_HIT,
     CACHE_MISS,
     KERNEL_INTERSECT,
+    SHARD_RETRY,
+    SHARD_FAILED,
+    RUN_DEGRADED,
     PHASE_START,
     PHASE_END,
 )
+
+#: Resilience events only fire on faulted runs (retries, exhausted
+#: shards, degraded merges) — clean-run completeness checks exclude
+#: them, the chaos suite covers them.
+RESILIENCE_EVENTS = (SHARD_RETRY, SHARD_FAILED, RUN_DEGRADED)
 
 #: The well-known phase names (`payload["phase"]` of phase events).
 PHASE_RUN = "run"
@@ -93,8 +110,16 @@ PHASE_SHARD = "shard"
 PHASE_PATTERN = "pattern"
 PHASE_ALIGN = "align"
 PHASE_BRIDGE = "bridge"
+PHASE_RETRY = "retry"
 
-PHASES = (PHASE_RUN, PHASE_SHARD, PHASE_PATTERN, PHASE_ALIGN, PHASE_BRIDGE)
+PHASES = (
+    PHASE_RUN,
+    PHASE_SHARD,
+    PHASE_PATTERN,
+    PHASE_ALIGN,
+    PHASE_BRIDGE,
+    PHASE_RETRY,
+)
 
 #: The lifecycle subset used by completeness properties: these events
 #: must survive every scheduler boundary with identical multisets.

@@ -1,0 +1,447 @@
+"""Fault-tolerant scheduling: retries, residual budgets, degradation.
+
+Long containment runs (MQC/NSQ on mid-size graphs run for minutes,
+§8) must not vaporize every healthy shard's work because one worker
+process died or the deadline landed mid-run.  This module is the
+resilience vocabulary the schedulers in
+:mod:`repro.exec.scheduler` share:
+
+* :class:`RetryPolicy` — capped exponential backoff with
+  deterministic (seeded) jitter, plus the transient/terminal
+  classification: a crashed worker process
+  (``BrokenProcessPool``) or a :class:`TransientWorkerError` is
+  retryable; budget violations (TLE/OOM/OOS) and everything else are
+  terminal.  ``split_retries`` re-dispatches a failed shard as two
+  half-shards from the second attempt on, so a poison root only takes
+  half the shard down with it on each subsequent try.
+* :class:`BudgetSpec` — the picklable *residual* budget a shard is
+  dispatched with: remaining wall clock and byte headroom measured on
+  the parent's :class:`~repro.exec.context.Budget` at dispatch time,
+  not a fresh copy of the configured limits.  This is the fix for the
+  ~2T blowup where a run with ``time_limit=T`` shipped every shard a
+  full fresh ``T`` after the parent had already burned setup time.
+* :class:`FaultPlan` — a deterministic fault-injection harness for
+  the chaos test suite: seeded plans kill worker processes, raise
+  transient crashes, delay shards, or exhaust budgets at chosen
+  roots/attempts.  Plans are picklable and travel inside shard
+  payloads, so faults fire inside real worker processes.
+* :func:`select_primary_failure` — multi-failure triage: budget
+  exceptions win over secondary cancellation-induced errors, the
+  losers stay reachable via ``__cause__`` and
+  ``suppressed_failures``.
+* :func:`mark_degraded` — the ``on_failure="degrade"`` result
+  contract: a merged result explicitly flagged ``incomplete`` with
+  the unprocessed roots listed, instead of an exception.
+
+See ``docs/execution.md`` ("Failure semantics") for the
+terminal-vs-transient table and retry walkthrough.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, Type
+
+from ..errors import (
+    MemoryBudgetExceeded,
+    ReproError,
+    StorageBudgetExceeded,
+    TimeLimitExceeded,
+)
+from .context import Budget
+
+__all__ = [
+    "BUDGET_ERRORS",
+    "BudgetSpec",
+    "Fault",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedFault",
+    "ON_FAILURE_MODES",
+    "RetryPolicy",
+    "TransientWorkerError",
+    "is_transient",
+    "mark_degraded",
+    "select_primary_failure",
+]
+
+#: ``on_failure`` vocabulary: raise the terminal error (default) or
+#: degrade to a merged partial result marked ``incomplete``.
+ON_FAILURE_RAISE = "raise"
+ON_FAILURE_DEGRADE = "degrade"
+ON_FAILURE_MODES = (ON_FAILURE_RAISE, ON_FAILURE_DEGRADE)
+
+#: Budget violations are *terminal*: retrying a shard that ran out of
+#: time/memory/storage burns the remaining budget for nothing.
+BUDGET_ERRORS = (
+    TimeLimitExceeded,
+    MemoryBudgetExceeded,
+    StorageBudgetExceeded,
+)
+
+
+class TransientWorkerError(ReproError):
+    """A worker failure that is safe to retry (crash-equivalent).
+
+    Schedulers treat this class — and a broken process pool — as
+    *transient*: the failed shard's roots are re-dispatched under the
+    :class:`RetryPolicy` instead of aborting the run.  Raise (or
+    subclass) it for infrastructure-shaped failures: a flaky remote
+    fetch, a worker that lost its sandbox, an injected chaos fault.
+    """
+
+
+class InjectedFault(TransientWorkerError):
+    """Deterministic transient failure raised by a :class:`FaultPlan`."""
+
+    def __init__(self, root: int, attempt: int) -> None:
+        super().__init__(
+            f"injected fault at root {root} (attempt {attempt})"
+        )
+        self.root = root
+        self.attempt = attempt
+
+    def __reduce__(self) -> Tuple[Any, Tuple[int, int]]:
+        # Keep the two-argument constructor working across process
+        # boundaries (see repro.errors.TimeLimitExceeded.__reduce__).
+        return (type(self), (self.root, self.attempt))
+
+
+def is_transient(
+    exc: BaseException, extra: Sequence[Type[BaseException]] = ()
+) -> bool:
+    """Whether ``exc`` is a retryable worker failure.
+
+    Budget violations are always terminal, even when a type in
+    ``extra`` would otherwise match — rerunning an out-of-budget shard
+    cannot succeed.
+    """
+    if isinstance(exc, BUDGET_ERRORS):
+        return False
+    if isinstance(exc, (TransientWorkerError, BrokenProcessPool)):
+        return True
+    return bool(extra) and isinstance(exc, tuple(extra))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempts 1, 2, 3… is
+    ``min(backoff_max, backoff_base * backoff_factor**(attempt-1))``
+    spread by ``±jitter/2`` of itself, seeded — two runs with the same
+    policy sleep the same sequence, which keeps the chaos suite
+    deterministic.  ``split_retries`` re-dispatches a failed shard as
+    two halves from the second attempt on.  ``transient_types`` widens
+    the transient classification for job-specific failures.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    split_retries: bool = True
+    seed: int = 0
+    transient_types: Tuple[Type[BaseException], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, key: int = 0) -> float:
+        """Backoff before retry ``attempt`` (1-based) of shard ``key``."""
+        exponent = max(0, attempt - 1)
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** exponent,
+        )
+        if self.jitter <= 0 or base <= 0:
+            return base
+        # Tuple-of-ints hashing is process-stable, so the jitter
+        # sequence is reproducible across runs and worker processes.
+        rng = random.Random(hash((self.seed, key, attempt)))
+        spread = self.jitter * base
+        return max(0.0, base - spread / 2 + spread * rng.random())
+
+    def is_transient(self, exc: BaseException) -> bool:
+        return is_transient(exc, extra=self.transient_types)
+
+    def should_split(self, attempt: int, n_roots: int) -> bool:
+        """Whether this re-dispatch should split the shard in half.
+
+        ``attempt`` is the retry count (1 = second dispatch): splitting
+        starts with the first retry, halving the blast radius of a
+        poison root on every attempt after the initial dispatch.
+        """
+        return self.split_retries and attempt >= 1 and n_roots > 1
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """Picklable residual budget a shard is dispatched with.
+
+    ``residual`` measures what is *left* of a run budget — remaining
+    wall clock, unspent byte headroom — so workers inherit the
+    parent's progress toward the limits instead of a fresh copy of
+    them.  ``apply`` imposes the spec on a worker-side
+    :class:`~repro.exec.context.Budget` (capping, never extending,
+    whatever the job configured) and re-anchors its clock.
+    """
+
+    time_limit: Optional[float] = None
+    memory_budget_bytes: Optional[int] = None
+    storage_budget_bytes: Optional[int] = None
+
+    @classmethod
+    def residual(cls, budget: Budget) -> "BudgetSpec":
+        time_left: Optional[float] = None
+        if budget.time_limit is not None:
+            time_left = max(0.0, budget.time_limit - budget.elapsed())
+        memory_left: Optional[int] = None
+        if budget.memory_budget_bytes is not None:
+            memory_left = max(
+                0, budget.memory_budget_bytes - budget.memory_used_bytes
+            )
+        storage_left: Optional[int] = None
+        if budget.storage_budget_bytes is not None:
+            storage_left = max(
+                0, budget.storage_budget_bytes - budget.storage_used_bytes
+            )
+        return cls(time_left, memory_left, storage_left)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether dispatching under this spec is pointless."""
+        return (
+            (self.time_limit is not None and self.time_limit <= 0)
+            or (
+                self.memory_budget_bytes is not None
+                and self.memory_budget_bytes <= 0
+            )
+            or (
+                self.storage_budget_bytes is not None
+                and self.storage_budget_bytes <= 0
+            )
+        )
+
+    def apply(self, budget: Budget) -> Budget:
+        """Cap ``budget`` by this spec and re-anchor its clock."""
+        if self.time_limit is not None:
+            budget.time_limit = (
+                self.time_limit
+                if budget.time_limit is None
+                else min(budget.time_limit, self.time_limit)
+            )
+        if self.memory_budget_bytes is not None:
+            budget.memory_budget_bytes = (
+                self.memory_budget_bytes
+                if budget.memory_budget_bytes is None
+                else min(
+                    budget.memory_budget_bytes, self.memory_budget_bytes
+                )
+            )
+        if self.storage_budget_bytes is not None:
+            budget.storage_budget_bytes = (
+                self.storage_budget_bytes
+                if budget.storage_budget_bytes is None
+                else min(
+                    budget.storage_budget_bytes,
+                    self.storage_budget_bytes,
+                )
+            )
+        budget.restart()
+        return budget
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+
+#: Fault kinds: ``kill`` hard-exits the worker process (a real
+#: ``BrokenProcessPool`` for the parent; demoted to ``crash`` inside
+#: thread/serial workers), ``crash`` raises :class:`InjectedFault`,
+#: ``delay`` sleeps, ``exhaust`` raises an immediate
+#: :class:`~repro.errors.TimeLimitExceeded` (terminal).
+FAULT_KILL = "kill"
+FAULT_CRASH = "crash"
+FAULT_DELAY = "delay"
+FAULT_EXHAUST = "exhaust"
+FAULT_KINDS = (FAULT_KILL, FAULT_CRASH, FAULT_DELAY, FAULT_EXHAUST)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injection point: fire ``kind`` when dispatching ``root``.
+
+    The fault fires on the first ``times`` dispatch attempts (0-based
+    attempts ``0 … times-1``) of any shard containing ``root``, then
+    goes quiet — so a retried (or split) shard succeeds once the
+    budget of injected failures is spent.  Matching on a root rather
+    than a shard index keeps plans stable under retry splitting.
+    """
+
+    kind: str
+    root: int
+    times: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+    def matches(self, roots: Sequence[int], attempt: int) -> bool:
+        return attempt < self.times and self.root in roots
+
+
+class FaultPlan:
+    """Deterministic fault-injection harness for chaos tests.
+
+    A plan is a seeded, ordered list of :class:`Fault` entries.
+    Schedulers carry the plan to every dispatch point — shard payloads
+    pickle it into worker processes; thread/serial workers call it in
+    process — and invoke :meth:`fire` with the dispatched roots and
+    the attempt number.  Everything is derived from the plan's
+    contents and the attempt counter, so a given (plan, workload,
+    scheduler) triple always fails in exactly the same places.
+    """
+
+    def __init__(self, seed: int = 0, faults: Sequence[Fault] = ()) -> None:
+        self.seed = seed
+        self.faults: List[Fault] = list(faults)
+
+    # -- builders -------------------------------------------------------
+
+    def kill(self, root: int, times: int = 1) -> "FaultPlan":
+        """Hard-exit the worker process owning ``root`` (first ``times``
+        attempts)."""
+        self.faults.append(Fault(FAULT_KILL, root, times))
+        return self
+
+    def crash(self, root: int, times: int = 1) -> "FaultPlan":
+        """Raise a transient :class:`InjectedFault` at ``root``."""
+        self.faults.append(Fault(FAULT_CRASH, root, times))
+        return self
+
+    def delay(
+        self, root: int, seconds: float, times: int = 1
+    ) -> "FaultPlan":
+        """Sleep ``seconds`` before running a shard containing ``root``."""
+        self.faults.append(Fault(FAULT_DELAY, root, times, seconds))
+        return self
+
+    def exhaust(self, root: int, times: int = 1) -> "FaultPlan":
+        """Burn the shard's budget: an immediate, terminal TLE."""
+        self.faults.append(Fault(FAULT_EXHAUST, root, times))
+        return self
+
+    # -- execution ------------------------------------------------------
+
+    def fire(
+        self,
+        roots: Sequence[int],
+        attempt: int,
+        budget: Optional[Budget] = None,
+        allow_kill: bool = True,
+    ) -> None:
+        """Apply every matching fault for this dispatch.
+
+        ``allow_kill`` is True only inside real worker processes;
+        thread and serial workers demote ``kill`` to ``crash`` so a
+        chaos plan never takes the parent interpreter down.
+        """
+        for fault in self.faults:
+            if not fault.matches(roots, attempt):
+                continue
+            if fault.kind == FAULT_DELAY:
+                time.sleep(fault.seconds)
+            elif fault.kind == FAULT_EXHAUST:
+                elapsed = budget.elapsed() if budget is not None else 0.0
+                raise TimeLimitExceeded(0.0, elapsed)
+            elif fault.kind == FAULT_KILL and allow_kill:
+                os._exit(17)
+            else:  # crash, or kill demoted in-process
+                raise InjectedFault(fault.root, attempt)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, faults={self.faults!r})"
+
+
+# ----------------------------------------------------------------------
+# Failure triage and degraded results
+# ----------------------------------------------------------------------
+
+
+def _failure_rank(exc: BaseException) -> int:
+    if isinstance(exc, BUDGET_ERRORS):
+        return 0
+    if isinstance(exc, (TransientWorkerError, BrokenProcessPool)):
+        # Crash noise — including cancellation-induced secondary
+        # failures — loses to anything that explains *why* the run
+        # died.
+        return 2
+    return 1
+
+
+def select_primary_failure(
+    failures: Sequence[BaseException],
+) -> BaseException:
+    """The failure worth raising when several workers died at once.
+
+    One worker hitting the deadline cancels the rest cooperatively;
+    the losers often die with secondary, cancellation-induced errors.
+    Budget violations (TLE/OOM/OOS) outrank everything else, ties go
+    to arrival order.  The non-selected failures stay reachable:
+    the first one becomes ``__cause__`` (unless the primary already
+    chains one) and all of them land on ``suppressed_failures``.
+    """
+    if not failures:
+        raise ValueError("select_primary_failure needs at least one failure")
+    primary = min(
+        range(len(failures)), key=lambda i: (_failure_rank(failures[i]), i)
+    )
+    selected = failures[primary]
+    others = tuple(
+        exc for i, exc in enumerate(failures) if i != primary
+    )
+    if others and selected.__cause__ is None:
+        selected.__cause__ = others[0]
+    setattr(selected, "suppressed_failures", others)
+    return selected
+
+
+def mark_degraded(
+    result: Any,
+    unprocessed_roots: Sequence[int],
+    failures: Sequence[BaseException] = (),
+) -> Any:
+    """Flag a merged result as an explicit partial (degraded) result.
+
+    Sets ``incomplete=True``, the sorted deduplicated
+    ``unprocessed_roots``, and human-readable ``failure_reasons``.
+    :class:`~repro.core.runtime.ContigraResult` declares these fields;
+    any other result object grows them as plain attributes.
+    """
+    setattr(result, "incomplete", True)
+    setattr(
+        result, "unprocessed_roots", sorted(set(int(r) for r in unprocessed_roots))
+    )
+    setattr(
+        result,
+        "failure_reasons",
+        [f"{type(exc).__name__}: {exc}" for exc in failures],
+    )
+    return result

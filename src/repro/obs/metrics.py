@@ -29,6 +29,9 @@ from ..exec.events import (
     PHASE_END,
     PHASE_START,
     PROMOTE,
+    RUN_DEGRADED,
+    SHARD_FAILED,
+    SHARD_RETRY,
     EventBus,
 )
 
@@ -365,6 +368,25 @@ class MetricsSubscriber:
                 "repro_cache_operations_total",
                 labels={"outcome": outcome},
                 help_text="Sampled set-operation cache outcomes",
+            ).inc(count)
+        elif event == SHARD_RETRY:
+            registry.counter(
+                "repro_shard_retries_total",
+                help_text="Shard dispatches retried after transient "
+                "worker failures",
+            ).inc(count)
+        elif event == SHARD_FAILED:
+            registry.counter(
+                "repro_shard_failures_total",
+                labels={"error": str(payload.get("error", "?"))},
+                help_text="Shards abandoned after exhausting retries, "
+                "by error class",
+            ).inc(count)
+        elif event == RUN_DEGRADED:
+            registry.counter(
+                "repro_degraded_runs_total",
+                help_text="Runs completed with partial (incomplete) "
+                "results",
             ).inc(count)
 
 

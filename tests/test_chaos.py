@@ -1,0 +1,343 @@
+"""Chaos suite: schedulers under deterministic fault injection.
+
+The acceptance properties of the fault-tolerance layer:
+
+* **Determinism under retry** — a run with injected worker crashes
+  (including real killed worker processes) plus retries produces the
+  exact match multiset of a clean serial run, on every scheduler.
+* **Degradation contract** — ``on_failure="degrade"`` never raises on
+  exhausted retries; it returns a merged result with ``incomplete``
+  set and the unprocessed roots listed.
+* **Raise-mode fidelity** — terminal failures surface with their
+  original exception class, including across the process boundary.
+* **Budget propagation** — shards are dispatched with the residual
+  run budget, so a run with ``time_limit=T`` cannot burn a fresh
+  ``T`` per dispatch round.
+
+The chaos-smoke CI job runs this file per scheduler; set
+``REPRO_CHAOS_SCHEDULERS`` to a comma-separated subset to restrict
+the parametrization (defaults to all three).
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core import maximality_constraints
+from repro.core.runtime import ContigraEngine, ContigraJob
+from repro.errors import TimeLimitExceeded
+from repro.exec import (
+    FaultPlan,
+    InjectedFault,
+    ProcessShardScheduler,
+    RetryPolicy,
+    SerialScheduler,
+    TaskContext,
+    WorkQueueScheduler,
+    make_scheduler,
+)
+from repro.graph import erdos_renyi
+from repro.patterns import quasi_clique_patterns_up_to
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+SCHEDULERS = tuple(
+    name.strip()
+    for name in os.environ.get(
+        "REPRO_CHAOS_SCHEDULERS", "serial,process,workqueue"
+    ).split(",")
+    if name.strip()
+)
+
+#: Fast policy for tests: retries without meaningful sleeps.
+FAST = RetryPolicy(max_retries=2, backoff_base=0.001, backoff_max=0.005)
+
+
+def mqc_constraints(gamma=0.7, max_size=4):
+    return maximality_constraints(
+        quasi_clique_patterns_up_to(max_size, gamma), induced=True
+    )
+
+
+def match_multiset(result):
+    return sorted(
+        (pattern.structure_key(), tuple(assignment))
+        for pattern, assignment in result.valid
+    )
+
+
+def engine_for(graph, **options):
+    return ContigraEngine(graph, mqc_constraints(), **options)
+
+
+def build_scheduler(name, **kwargs):
+    if name == "serial":
+        return SerialScheduler(**kwargs)
+    if name == "process":
+        return ProcessShardScheduler(n_workers=2, **kwargs)
+    return WorkQueueScheduler(n_workers=3, **kwargs)
+
+
+class TestDeterminismUnderCrashRetry:
+    """Injected crashes + retries == clean serial run, every scheduler."""
+
+    @pytest.mark.parametrize("name", SCHEDULERS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_crash_then_retry_matches_clean_run(self, name, seed):
+        graph = erdos_renyi(10 + seed, 0.45, seed=seed)
+        reference = match_multiset(
+            engine_for(graph).run_with(SerialScheduler())
+        )
+        # Crash the shard(s) owning three different roots on their
+        # first dispatch; retries must recover every one of them.
+        plan = FaultPlan(seed=seed)
+        for root in (0, 3, 7):
+            plan.crash(root, times=1)
+        chaotic = engine_for(graph).run_with(
+            build_scheduler(name, retry=FAST, fault_plan=plan)
+        )
+        assert match_multiset(chaotic) == reference
+        assert not getattr(chaotic, "incomplete", False)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method required")
+    @pytest.mark.skipif(
+        "process" not in SCHEDULERS, reason="process scheduler excluded"
+    )
+    def test_killed_worker_process_recovers(self):
+        """A real worker-process death (BrokenProcessPool), not a
+        simulated raise: the shard is re-dispatched on a fresh pool and
+        the final result is serial-identical."""
+        graph = erdos_renyi(12, 0.45, seed=5)
+        reference = match_multiset(
+            engine_for(graph).run_with(SerialScheduler())
+        )
+        plan = FaultPlan().kill(0, times=1)
+        result = engine_for(graph).run_with(
+            ProcessShardScheduler(n_workers=2, retry=FAST, fault_plan=plan)
+        )
+        assert match_multiset(result) == reference
+        assert not getattr(result, "incomplete", False)
+
+    @pytest.mark.parametrize("name", SCHEDULERS)
+    def test_retry_split_still_exact(self, name):
+        """Two consecutive crashes force a shard split (second attempt
+        runs half-shards); the merged result must still be exact."""
+        graph = erdos_renyi(12, 0.45, seed=9)
+        reference = match_multiset(
+            engine_for(graph).run_with(SerialScheduler())
+        )
+        plan = FaultPlan().crash(2, times=2)
+        result = engine_for(graph).run_with(
+            build_scheduler(name, retry=FAST, fault_plan=plan)
+        )
+        assert match_multiset(result) == reference
+
+
+class TestDegradedMode:
+    @pytest.mark.parametrize("name", SCHEDULERS)
+    def test_exhausted_retries_degrade_with_roots_listed(self, name):
+        """A permanently-failing root degrades the run instead of
+        aborting it: the result is flagged incomplete and lists what
+        was never mined."""
+        graph = erdos_renyi(12, 0.45, seed=3)
+        plan = FaultPlan().crash(4, times=50)  # outlives any retry
+        result = engine_for(graph).run_with(
+            build_scheduler(
+                name, retry=FAST, on_failure="degrade", fault_plan=plan
+            )
+        )
+        assert result.incomplete
+        assert 4 in result.unprocessed_roots
+        assert any(
+            "InjectedFault" in reason for reason in result.failure_reasons
+        )
+
+    def test_workqueue_degrade_keeps_healthy_roots(self):
+        """Per-root recovery: only the poisoned root is lost; every
+        match not involving it survives in the partial result."""
+        graph = erdos_renyi(12, 0.45, seed=3)
+        reference = engine_for(graph).run_with(SerialScheduler())
+        plan = FaultPlan().crash(4, times=50)
+        result = engine_for(graph).run_with(
+            WorkQueueScheduler(
+                n_workers=3,
+                retry=FAST,
+                on_failure="degrade",
+                fault_plan=plan,
+            )
+        )
+        assert result.incomplete
+        got = set(match_multiset(result))
+        want = set(match_multiset(reference))
+        assert got <= want
+        unharmed = {
+            m for m in want
+            if not any(
+                root in m[1] for root in result.unprocessed_roots
+            )
+        }
+        assert unharmed <= got
+
+    @pytest.mark.parametrize("name", SCHEDULERS)
+    def test_degrade_without_faults_is_complete(self, name):
+        """The degrade knob alone must not change a healthy run."""
+        graph = erdos_renyi(10, 0.45, seed=6)
+        reference = match_multiset(
+            engine_for(graph).run_with(SerialScheduler())
+        )
+        result = engine_for(graph).run_with(
+            build_scheduler(name, retry=FAST, on_failure="degrade")
+        )
+        assert match_multiset(result) == reference
+        assert not result.incomplete
+        assert result.unprocessed_roots == []
+
+
+class TestRaiseModeFidelity:
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method required")
+    @pytest.mark.skipif(
+        "process" not in SCHEDULERS, reason="process scheduler excluded"
+    )
+    def test_worker_tle_class_survives_process_boundary(self):
+        """An exhaust fault raises TimeLimitExceeded *inside the worker
+        process*; raise mode must surface that exact class (terminal —
+        never retried), not a pickling shim or a generic failure."""
+        graph = erdos_renyi(12, 0.45, seed=2)
+        plan = FaultPlan().exhaust(1)
+        with pytest.raises(TimeLimitExceeded):
+            engine_for(graph).run_with(
+                ProcessShardScheduler(
+                    n_workers=2, retry=FAST, fault_plan=plan
+                )
+            )
+
+    @pytest.mark.parametrize("name", SCHEDULERS)
+    def test_exhausted_retries_raise_transient_type(self, name):
+        graph = erdos_renyi(10, 0.45, seed=1)
+        plan = FaultPlan().crash(0, times=50)
+        with pytest.raises(InjectedFault):
+            engine_for(graph).run_with(
+                build_scheduler(name, retry=FAST, fault_plan=plan)
+            )
+
+    def test_budget_failure_preferred_over_secondary_errors(self):
+        """Satellite fix: the work-queue run raises the budget
+        violation, not whichever cancellation-induced failure happened
+        to land first; the rest stay attached."""
+        graph = erdos_renyi(60, 0.4, seed=3)
+        engine = engine_for(graph, time_limit=0.02)
+        with pytest.raises(TimeLimitExceeded) as info:
+            engine.run_with(WorkQueueScheduler(n_workers=3))
+        assert hasattr(info.value, "suppressed_failures")
+
+
+class TestPoisonedFinish:
+    def test_tle_survives_poisoned_session_finish(self):
+        """Satellite fix: ``session.finish()`` raising in the worker's
+        cleanup path must not mask the original budget error."""
+        graph = erdos_renyi(60, 0.4, seed=3)
+        engine = engine_for(graph, time_limit=0.02)
+
+        class PoisonedSession:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def run_roots(self, roots):
+                return self._inner.run_roots(roots)
+
+            def finish(self):
+                raise RuntimeError("poisoned finish")
+
+        class PoisonedJob(ContigraJob):
+            def worker_session(self, ctx):
+                return PoisonedSession(super().worker_session(ctx))
+
+        scheduler = WorkQueueScheduler(n_workers=3)
+        with pytest.raises(TimeLimitExceeded) as info:
+            scheduler.run(
+                PoisonedJob(engine),
+                ctx=TaskContext.create(time_limit=engine.time_limit),
+            )
+        # The masked finish() errors are preserved as secondaries.
+        suppressed = getattr(info.value, "suppressed_failures", ())
+        assert any(
+            isinstance(exc, RuntimeError) for exc in suppressed
+        )
+
+
+class TestBudgetPropagation:
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method required")
+    def test_sharded_run_cannot_burn_double_budget(self):
+        """Regression for the ~2T blowup: a sharded run with
+        ``time_limit=T`` must not grant each shard a fresh ``T`` on
+        top of parent-side setup.  Slow dispatch (injected delay) eats
+        into the shard deadline instead of extending the run."""
+        graph = erdos_renyi(60, 0.4, seed=3)
+        limit = 0.15
+        engine = engine_for(graph, time_limit=limit)
+        plan = FaultPlan().delay(0, seconds=limit / 2).delay(
+            1, seconds=limit / 2
+        )
+        start = time.monotonic()
+        with pytest.raises(TimeLimitExceeded) as info:
+            engine.run_with(
+                ProcessShardScheduler(n_workers=2, fault_plan=plan)
+            )
+        wall = time.monotonic() - start
+        # The worker's own deadline is the *residual*, strictly under
+        # the configured limit.
+        assert info.value.limit_seconds <= limit
+        # Generous pool-spawn allowance, but nowhere near 2T + spawn:
+        # without residual propagation this run burns ~2T of mining
+        # after ~T/2 of injected delay.
+        assert wall < 2 * limit + 1.0
+
+    def test_exhausted_parent_budget_skips_dispatch(self):
+        """Retry rounds check the residual before dispatching: once
+        the parent budget is spent, pending shards fail with TLE
+        instead of launching doomed workers."""
+        graph = erdos_renyi(12, 0.45, seed=4)
+        engine = engine_for(graph)
+        ctx = TaskContext.create(time_limit=0.0001)
+        time.sleep(0.01)  # burn the whole budget before dispatch
+        with pytest.raises(TimeLimitExceeded):
+            ProcessShardScheduler(n_workers=2).run(
+                ContigraJob(engine), ctx=ctx
+            )
+
+    def test_degraded_run_reports_budget_reason(self):
+        graph = erdos_renyi(12, 0.45, seed=4)
+        engine = engine_for(graph)
+        ctx = TaskContext.create(time_limit=0.0001)
+        time.sleep(0.01)
+        result = ProcessShardScheduler(
+            n_workers=2, on_failure="degrade"
+        ).run(ContigraJob(engine), ctx=ctx)
+        assert result.incomplete
+        assert result.unprocessed_roots == sorted(engine.all_roots())
+        assert any(
+            "TimeLimitExceeded" in reason
+            for reason in result.failure_reasons
+        )
+
+
+class TestMakeSchedulerKnobs:
+    def test_retries_builds_default_policy(self):
+        scheduler = make_scheduler("process", retries=3)
+        assert scheduler.retry is not None
+        assert scheduler.retry.max_retries == 3
+
+    def test_zero_retries_means_no_policy(self):
+        assert make_scheduler("process", retries=0).retry is None
+
+    def test_explicit_policy_wins(self):
+        policy = RetryPolicy(max_retries=7)
+        scheduler = make_scheduler("workqueue", retry=policy, retries=1)
+        assert scheduler.retry is policy
+
+    def test_on_failure_validated(self):
+        for name in ("serial", "process", "workqueue"):
+            with pytest.raises(ValueError):
+                make_scheduler(name, on_failure="explode")

@@ -128,7 +128,10 @@ class TestCrossProcessFailureTypes:
                 n_workers=2,
                 engine_options={"time_limit": 0.02},
             )
-        assert info.value.limit_seconds == 0.02
+        # Shards run under the *residual* budget at dispatch time —
+        # never more than the configured limit (and never a fresh copy
+        # of it; see repro.exec.resilience.BudgetSpec).
+        assert 0 < info.value.limit_seconds <= 0.02
         assert info.value.elapsed > 0
 
     @pytest.mark.skipif(

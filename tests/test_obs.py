@@ -18,7 +18,10 @@ from repro.core.runtime import ContigraEngine
 from repro.exec import (
     EVENTS,
     LIFECYCLE_EVENTS,
+    RESILIENCE_EVENTS,
+    FaultPlan,
     ProcessShardScheduler,
+    RetryPolicy,
     SerialScheduler,
     WorkQueueScheduler,
 )
@@ -71,7 +74,13 @@ class TestEventVocabularyIsAlive:
         graph = erdos_renyi(16, 0.5, seed=11)
         _, _, _, log = observed_run(graph, SerialScheduler())
         seen = {name for name, _ in log.records}
-        missing = set(EVENTS) - seen - {CACHE_HIT, CACHE_MISS}
+        # Cache events need a cache; resilience events need a failure.
+        missing = (
+            set(EVENTS)
+            - seen
+            - {CACHE_HIT, CACHE_MISS}
+            - set(RESILIENCE_EVENTS)
+        )
         assert not missing, f"declared but never emitted: {missing}"
 
     def test_cache_emits_sampled_hit_and_miss_events(self):
@@ -97,6 +106,22 @@ class TestEventVocabularyIsAlive:
         cache.store("k", (1,))
         cache.lookup("k")
         seen |= {name for name, _ in cache_log.records}
+        # Resilience events only fire on failures: a degraded chaos run
+        # (every attempt crashes) emits retry, failure, and degradation.
+        ctx, _, _ = observed_context()
+        chaos_log = EventLog(ctx.bus)
+        engine = ContigraEngine(graph, mqc_constraints())
+        plan = FaultPlan().crash(0, times=10)
+        degraded = engine.run_with(
+            SerialScheduler(
+                retry=RetryPolicy(max_retries=1, backoff_base=0.0),
+                on_failure="degrade",
+                fault_plan=plan,
+            ),
+            ctx=ctx,
+        )
+        assert degraded.incomplete
+        seen |= {name for name, _ in chaos_log.records}
         assert seen >= set(EVENTS)
 
     def test_cache_events_are_sampled_with_counts(self):

@@ -1,0 +1,267 @@
+"""Unit tests for the resilience layer (repro.exec.resilience).
+
+Covers the retry policy (deterministic seeded backoff, cap, split
+schedule), the transient/terminal failure classification, residual
+budget specs, multi-failure triage, degraded-result marking, and the
+fault-injection plan primitives the chaos suite is built on.
+"""
+
+import pickle
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.errors import (
+    MemoryBudgetExceeded,
+    StorageBudgetExceeded,
+    TimeLimitExceeded,
+)
+from repro.exec import Budget
+from repro.exec.resilience import (
+    BUDGET_ERRORS,
+    FAULT_KINDS,
+    ON_FAILURE_MODES,
+    BudgetSpec,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    TransientWorkerError,
+    is_transient,
+    mark_degraded,
+    select_primary_failure,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3,
+            jitter=0.0,
+        )
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # capped
+        assert policy.delay(10) == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, jitter=0.5, seed=7
+        )
+        # Same (seed, key, attempt) -> same delay, every time.
+        assert policy.delay(1, key=3) == policy.delay(1, key=3)
+        # Different keys/attempts spread, but stay within +-jitter/2.
+        for key in range(20):
+            d = policy.delay(1, key=key)
+            assert 0.075 <= d <= 0.125
+        spread = {policy.delay(1, key=k) for k in range(20)}
+        assert len(spread) > 1
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(seed=0).delay(1, key=1)
+        b = RetryPolicy(seed=1).delay(1, key=1)
+        assert a != b
+
+    def test_split_schedule(self):
+        policy = RetryPolicy(split_retries=True)
+        assert not policy.should_split(0, 10)  # initial dispatch
+        assert policy.should_split(1, 10)      # first retry splits
+        assert policy.should_split(2, 10)
+        assert not policy.should_split(1, 1)   # nothing to split
+        off = RetryPolicy(split_retries=False)
+        assert not off.should_split(1, 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_transient_types_widen_classification(self):
+        policy = RetryPolicy(transient_types=(OSError,))
+        assert policy.is_transient(OSError("flaky disk"))
+        assert not policy.is_transient(ValueError("logic bug"))
+        # Budget errors stay terminal even when a listed type matches.
+        wide = RetryPolicy(transient_types=(Exception,))
+        assert not wide.is_transient(TimeLimitExceeded(1.0, 2.0))
+
+
+class TestTransientClassification:
+    def test_budget_errors_are_terminal(self):
+        for exc in (
+            TimeLimitExceeded(1.0, 2.0),
+            MemoryBudgetExceeded(10, 20),
+            StorageBudgetExceeded(10, 20),
+        ):
+            assert isinstance(exc, BUDGET_ERRORS)
+            assert not is_transient(exc)
+
+    def test_worker_crashes_are_transient(self):
+        assert is_transient(TransientWorkerError("lost sandbox"))
+        assert is_transient(InjectedFault(3, 0))
+        assert is_transient(BrokenProcessPool("worker died"))
+
+    def test_ordinary_errors_are_terminal(self):
+        assert not is_transient(ValueError("bad input"))
+        assert not is_transient(KeyboardInterrupt())
+
+    def test_injected_fault_survives_pickling(self):
+        fault = InjectedFault(5, 2)
+        clone = pickle.loads(pickle.dumps(fault))
+        assert isinstance(clone, InjectedFault)
+        assert clone.root == 5 and clone.attempt == 2
+
+
+class TestBudgetSpec:
+    def test_residual_subtracts_progress(self):
+        budget = Budget(
+            time_limit=10.0,
+            memory_budget_bytes=1000,
+            storage_budget_bytes=500,
+        )
+        budget.charge_memory(400)
+        budget.charge_storage(100)
+        budget.start = time.monotonic() - 4.0  # simulate 4s elapsed
+        spec = BudgetSpec.residual(budget)
+        assert spec.time_limit == pytest.approx(6.0, abs=0.1)
+        assert spec.memory_budget_bytes == 600
+        assert spec.storage_budget_bytes == 400
+        assert not spec.exhausted
+
+    def test_residual_unlimited_stays_unlimited(self):
+        spec = BudgetSpec.residual(Budget())
+        assert spec.time_limit is None
+        assert spec.memory_budget_bytes is None
+        assert spec.storage_budget_bytes is None
+        assert not spec.exhausted
+
+    def test_exhausted_when_any_dimension_empty(self):
+        assert BudgetSpec(time_limit=0.0).exhausted
+        assert BudgetSpec(memory_budget_bytes=0).exhausted
+        assert BudgetSpec(storage_budget_bytes=0).exhausted
+        assert not BudgetSpec(time_limit=1.0).exhausted
+
+    def test_apply_caps_but_never_extends(self):
+        spec = BudgetSpec(time_limit=2.0, memory_budget_bytes=100)
+        worker = Budget(time_limit=10.0, memory_budget_bytes=50)
+        spec.apply(worker)
+        assert worker.time_limit == 2.0     # capped down
+        assert worker.memory_budget_bytes == 50  # already tighter
+        unlimited = Budget()
+        spec.apply(unlimited)
+        assert unlimited.time_limit == 2.0  # imposed on unlimited
+        assert unlimited.memory_budget_bytes == 100
+
+    def test_apply_reanchors_clock(self):
+        worker = Budget(time_limit=5.0)
+        worker.start = time.monotonic() - 100.0
+        BudgetSpec(time_limit=1.0).apply(worker)
+        assert worker.elapsed() < 1.0
+
+    def test_spec_is_picklable(self):
+        spec = BudgetSpec(1.5, 10, 20)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestFailureTriage:
+    def test_budget_error_beats_secondary_noise(self):
+        tle = TimeLimitExceeded(1.0, 2.0)
+        noise = TransientWorkerError("cancelled mid-flight")
+        other = RuntimeError("finish raised")
+        selected = select_primary_failure([noise, other, tle])
+        assert selected is tle
+        assert selected.__cause__ is noise
+        assert set(selected.suppressed_failures) == {noise, other}
+
+    def test_ties_go_to_arrival_order(self):
+        first = ValueError("a")
+        second = ValueError("b")
+        assert select_primary_failure([first, second]) is first
+
+    def test_single_failure_passthrough(self):
+        exc = RuntimeError("only one")
+        selected = select_primary_failure([exc])
+        assert selected is exc
+        assert selected.suppressed_failures == ()
+
+    def test_existing_cause_is_preserved(self):
+        tle = TimeLimitExceeded(1.0, 2.0)
+        original = KeyError("root cause")
+        tle.__cause__ = original
+        select_primary_failure([tle, ValueError("x")])
+        assert tle.__cause__ is original
+
+    def test_empty_failures_rejected(self):
+        with pytest.raises(ValueError):
+            select_primary_failure([])
+
+
+class TestMarkDegraded:
+    def test_marks_sorted_deduped_roots_and_reasons(self):
+        class Result:
+            pass
+
+        result = Result()
+        out = mark_degraded(
+            result, [5, 2, 5, 9], [TimeLimitExceeded(1.0, 2.0)]
+        )
+        assert out is result
+        assert result.incomplete is True
+        assert result.unprocessed_roots == [2, 5, 9]
+        assert len(result.failure_reasons) == 1
+        assert result.failure_reasons[0].startswith("TimeLimitExceeded")
+
+
+class TestFaultPlan:
+    def test_vocabulary(self):
+        assert set(FAULT_KINDS) == {"kill", "crash", "delay", "exhaust"}
+        assert ON_FAILURE_MODES == ("raise", "degrade")
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            Fault("explode", 0)
+        with pytest.raises(ValueError):
+            Fault("crash", 0, times=0)
+
+    def test_matching_is_root_and_attempt_scoped(self):
+        fault = Fault("crash", 3, times=2)
+        assert fault.matches([1, 2, 3], 0)
+        assert fault.matches([3], 1)
+        assert not fault.matches([3], 2)   # injection budget spent
+        assert not fault.matches([1, 2], 0)  # root not in shard
+
+    def test_crash_raises_injected_fault(self):
+        plan = FaultPlan().crash(4)
+        with pytest.raises(InjectedFault) as info:
+            plan.fire([4, 5], 0)
+        assert info.value.root == 4
+        plan.fire([4, 5], 1)  # attempt past `times`: quiet
+        plan.fire([5], 0)     # root not dispatched: quiet
+
+    def test_exhaust_raises_terminal_tle(self):
+        plan = FaultPlan().exhaust(1)
+        with pytest.raises(TimeLimitExceeded) as info:
+            plan.fire([1], 0)
+        assert not is_transient(info.value)
+
+    def test_delay_sleeps(self):
+        plan = FaultPlan().delay(2, seconds=0.02)
+        start = time.monotonic()
+        plan.fire([2], 0)
+        assert time.monotonic() - start >= 0.02
+
+    def test_kill_demoted_in_process(self):
+        # allow_kill=False (thread/serial workers) must never _exit the
+        # interpreter; the fault demotes to a transient crash.
+        plan = FaultPlan().kill(7)
+        with pytest.raises(InjectedFault):
+            plan.fire([7], 0, allow_kill=False)
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan(seed=3).kill(1).crash(2, times=2).delay(3, 0.1)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.seed == 3
+        assert clone.faults == plan.faults
