@@ -10,6 +10,18 @@ library self-check used as the CI analysis gate.
 See ``docs/analysis.md`` for the diagnostic-code reference.
 """
 
+from .costmodel import (
+    PlanEstimate,
+    RecommendedConfig,
+    SchedulerProjection,
+    StepEstimate,
+    WorkloadEstimate,
+    check_estimate,
+    estimate_constraint_set,
+    estimate_patterns,
+    estimate_plan,
+    estimate_query_spec,
+)
 from .analyzer import (
     analyze_constraint_set,
     analyze_kws_workload,
@@ -71,4 +83,14 @@ __all__ = [
     "verify_symmetry_conditions",
     "library_patterns",
     "selfcheck",
+    "StepEstimate",
+    "PlanEstimate",
+    "SchedulerProjection",
+    "RecommendedConfig",
+    "WorkloadEstimate",
+    "estimate_plan",
+    "estimate_patterns",
+    "estimate_constraint_set",
+    "estimate_query_spec",
+    "check_estimate",
 ]

@@ -7,7 +7,9 @@ kebab-case name, and a fixed severity.  Codes are grouped by family:
 * ``CG1xx`` — constraint satisfiability,
 * ``CG2xx`` — virtual state-space bucketing (paper §7),
 * ``CG3xx`` — dependency-graph structure (paper §4),
-* ``CG4xx`` — exploration-plan verification (paper §2.3/§5.2).
+* ``CG4xx`` — exploration-plan verification (paper §2.3/§5.2),
+* ``CG5xx`` — execution-core scheduler feasibility,
+* ``CG6xx`` — static cost model: projected budgets and configuration.
 
 The full reference table lives in ``docs/analysis.md``; the registry
 below is the single source of truth the docs mirror.
@@ -170,6 +172,39 @@ CODES: Dict[str, Tuple[str, str, str]] = {
         "the workload runs a dedicated pipeline that does not accept "
         "an execution-core scheduler; the request is ignored",
     ),
+    "CG601": (
+        "projected-time-budget-exceeded",
+        ERROR,
+        "the static cost model projects the run to exceed the time "
+        "budget; admit with a larger budget or the recommended "
+        "configuration",
+    ),
+    "CG602": (
+        "projected-memory-budget-exceeded",
+        ERROR,
+        "the static cost model projects peak memory above the byte "
+        "budget",
+    ),
+    "CG603": (
+        "shard-imbalance",
+        WARNING,
+        "degree skew projects unbalanced root shards under the "
+        "requested sharded scheduler; stragglers will dominate wall "
+        "time",
+    ),
+    "CG604": (
+        "estimator-uncalibrated",
+        INFO,
+        "the graph is outside the cost model's calibrated regime "
+        "(tiny, edgeless, or missing the labels the query names); "
+        "projections are order-of-magnitude at best",
+    ),
+    "CG605": (
+        "recommended-configuration",
+        INFO,
+        "the configuration the cost model projects to be fastest for "
+        "this workload and graph",
+    ),
 }
 
 
@@ -266,11 +301,23 @@ class AnalysisReport:
         )
 
     def sorted(self) -> "AnalysisReport":
-        """A new report ordered most-severe first (stable within tiers)."""
+        """A new report ordered most-severe first, then fully keyed.
+
+        The key covers (severity, code, subject, fragment, message) so
+        the order is a pure function of the findings themselves —
+        never of dict/set iteration order in the passes that produced
+        them.  CI analysis-gate diffs and golden tests rely on this.
+        """
         return AnalysisReport(
             sorted(
                 self.diagnostics,
-                key=lambda d: (_SEVERITY_RANK[d.severity], d.code),
+                key=lambda d: (
+                    _SEVERITY_RANK[d.severity],
+                    d.code,
+                    d.subject,
+                    d.fragment,
+                    d.message,
+                ),
             )
         )
 

@@ -11,6 +11,9 @@ Usage (after ``pip install -e .``)::
     python -m repro analyze --pattern "0-1, 1-2, 0-2" \
         --not-within "0-1, 1-2, 0-2, 0-3"        # one query
     python -m repro analyze --workload kws --keywords 0,1 --max-size 3
+    python -m repro analyze --workload mqc --estimate --dataset dblp \
+        --budget-seconds 30                  # CG6xx cost projections
+    python -m repro mqc --dataset dblp --time-limit 5 --admission strict
 
 Datasets are the synthetic Table-1 analogs; graphs can also be loaded
 from edge-list files with ``--graph path.txt [--labels path.labels]``.
@@ -164,17 +167,23 @@ def _report(
 
 
 def _run_record(
-    result, scheduler: str, adjacency: Optional[str] = None
+    result,
+    scheduler: str,
+    adjacency: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> dict:
-    """The json-only run envelope: scheduler, wall time, all counters.
+    """The json-only run envelope: configuration, wall time, counters.
 
     ``adjacency`` records the candidate-kernel mode the run used
     (``None`` for commands that do not go through the kernel layer,
-    e.g. the keyword-search state-space explorer).
+    e.g. the keyword-search state-space explorer); ``workers`` the
+    parallel worker count.  Together with the admission record these
+    let bench results be joined against estimator recommendations.
     """
     record = {
         "scheduler": scheduler,
         "adjacency": adjacency,
+        "workers": workers,
         "wall_time_seconds": result.elapsed,
         "counters": result.stats.as_dict(),
     }
@@ -203,10 +212,13 @@ def _degraded_fields(result) -> dict:
     }
 
 
-def _add_format_argument(parser: argparse.ArgumentParser) -> None:
-    """Shared ``--format {text,json}`` flag."""
+def _add_format_argument(
+    parser: argparse.ArgumentParser,
+    choices: tuple = ("text", "json"),
+) -> None:
+    """Shared ``--format`` flag (``analyze`` also offers ``explain``)."""
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=choices, default="text",
         help="output format (default: text)",
     )
 
@@ -244,8 +256,97 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_admission_argument(parser: argparse.ArgumentParser) -> None:
+    """CG6xx pre-run admission gate (mqc and nsq runs)."""
+    parser.add_argument(
+        "--admission", choices=("off", "warn", "strict"), default="off",
+        help="static cost-model gate before the run: 'warn' prints "
+             "CG6xx projections (vs --time-limit) to stderr and "
+             "proceeds; 'strict' refuses projected budget violations "
+             "with exit code 2 (default: off)",
+    )
+
+
+def _mqc_constraint_set(args: argparse.Namespace):
+    from .core import maximality_constraints
+    from .patterns import quasi_clique_patterns_up_to
+
+    return maximality_constraints(
+        quasi_clique_patterns_up_to(
+            args.max_size, args.gamma, min_size=args.min_size
+        ),
+        induced=True,
+    )
+
+
+def _admission_check(
+    args: argparse.Namespace, graph: Graph, constraint_set
+) -> Optional[dict]:
+    """Run the CG6xx admission gate; returns the json admission record.
+
+    ``--admission=off`` (the default) skips estimation entirely.
+    Under ``strict``, a projected budget violation aborts with exit
+    code 2 before any task is scheduled.
+    """
+    if args.admission == "off":
+        return None
+    from .analysis import check_estimate, estimate_constraint_set
+
+    stats = graph.stats_summary()
+    estimate = estimate_constraint_set(constraint_set, stats)
+    report = check_estimate(
+        estimate,
+        budget_seconds=args.time_limit,
+        scheduler=args.scheduler,
+        n_workers=args.workers,
+    ).sorted()
+    for line in report.render_text().splitlines():
+        print(f"admission: {line}", file=sys.stderr)
+    if args.admission == "strict" and report.has_errors:
+        print(
+            "admission: rejected — raise the budget, use the "
+            "recommended configuration, or pass --admission=warn",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    projection = estimate.projection_for(args.scheduler, args.workers)
+    return {
+        "mode": args.admission,
+        "admitted": report.ok,
+        "codes": report.codes(),
+        "graph": stats.version,
+        "estimated_candidates": round(estimate.total_candidates, 2),
+        "projected_seconds": round(projection.seconds, 4),
+        "projected_peak_memory_bytes": round(estimate.peak_memory_bytes),
+        "recommended": estimate.recommended.to_dict(),
+    }
+
+
+def _close_admission_loop(
+    admission: Optional[dict], result, registry
+) -> dict:
+    """Fold estimate-vs-actual calibration into the admission record.
+
+    Returns the ``json_extra`` fields to merge; also feeds the
+    ``repro_estimate_error_ratio`` histogram when the run is observed.
+    """
+    if admission is None:
+        return {}
+    actual = result.stats.extensions_attempted
+    estimated = admission["estimated_candidates"]
+    admission["actual_candidates"] = actual
+    if estimated > 0 and actual > 0:
+        admission["estimate_error_ratio"] = round(actual / estimated, 4)
+    if registry is not None:
+        from .obs import observe_estimate_error
+
+        observe_estimate_error(registry, estimated, actual)
+    return {"admission": admission}
+
+
 def _cmd_mqc(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
+    admission = _admission_check(args, graph, _mqc_constraint_set(args))
     ctx, tracer, registry = _make_observability(args)
     result = maximal_quasi_cliques(
         graph,
@@ -260,6 +361,7 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
         retries=args.retries,
         on_failure=args.on_failure,
     )
+    admission_extra = _close_admission_loop(admission, result, registry)
     obs_extra = _export_observability(args, tracer, registry)
     _report(
         args,
@@ -277,7 +379,11 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
             "cache_hit_rate": round(result.stats.cache_hit_rate, 3),
         },
         json_extra={
-            **_run_record(result, args.scheduler, args.adjacency),
+            **_run_record(
+                result, args.scheduler, args.adjacency,
+                workers=args.workers,
+            ),
+            **admission_extra,
             **obs_extra,
         },
     )
@@ -349,6 +455,13 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
         p_m, p_plus = paper_query_triangles()
     else:
         p_m, p_plus = paper_query_tailed_triangles()
+    admission: Optional[dict] = None
+    if args.admission != "off":
+        from .core import nested_query_constraints
+
+        admission = _admission_check(
+            args, graph, nested_query_constraints(p_m, p_plus)
+        )
     ctx, tracer, registry = _make_observability(args)
     result = nested_subgraph_query(
         graph, p_m, p_plus,
@@ -360,6 +473,7 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
         retries=args.retries,
         on_failure=args.on_failure,
     )
+    admission_extra = _close_admission_loop(admission, result, registry)
     obs_extra = _export_observability(args, tracer, registry)
     _report(
         args,
@@ -371,7 +485,11 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
             "vtasks": result.stats.vtasks_started,
         },
         json_extra={
-            **_run_record(result, args.scheduler, args.adjacency),
+            **_run_record(
+                result, args.scheduler, args.adjacency,
+                workers=args.workers,
+            ),
+            **admission_extra,
             **obs_extra,
         },
     )
@@ -562,14 +680,141 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_estimate(args: argparse.Namespace):
+    """The CG6xx cost-model pass for ``analyze --estimate``.
+
+    Returns ``(WorkloadEstimate, AnalysisReport)``.  Requires a graph
+    source (``--dataset`` / ``--graph``): the whole point of the
+    estimate is to project the plan onto concrete graph statistics.
+    """
+    from .analysis import (
+        check_estimate,
+        estimate_constraint_set,
+        estimate_patterns,
+        estimate_query_spec,
+        library_patterns,
+        lint_pattern_text,
+    )
+
+    if not args.dataset and not args.graph:
+        raise SystemExit(
+            "--estimate needs a graph to estimate against: pass "
+            "--dataset <key> or --graph <edge list file>"
+        )
+    stats = _load_graph(args).stats_summary()
+    if args.pattern is not None:
+        def parse(text: str):
+            pattern, _ = lint_pattern_text(text, induced=args.induced)
+            return pattern
+
+        target = parse(args.pattern)
+        if target is None:
+            raise SystemExit(
+                "--estimate requires a parseable --pattern "
+                "(fix the CG004 diagnostics first)"
+            )
+        try:
+            estimate = estimate_query_spec(
+                target,
+                not_within=[
+                    p for p in map(parse, args.not_within) if p is not None
+                ],
+                only_within=[
+                    p for p in map(parse, args.only_within) if p is not None
+                ],
+                induced=args.induced,
+                stats=stats,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"--estimate: {exc}")
+    elif args.workload == "mqc":
+        estimate = estimate_constraint_set(
+            _mqc_constraint_set(args), stats
+        )
+    elif args.workload == "kws":
+        from .apps.kws import keyword_patterns
+
+        keywords = [int(k) for k in args.keywords.split(",")]
+        estimate = estimate_patterns(
+            keyword_patterns(keywords, args.max_size), stats, induced=True
+        )
+    else:
+        # Self-check mode: estimate the library patterns themselves.
+        estimate = estimate_patterns(library_patterns(), stats)
+    report = check_estimate(
+        estimate,
+        budget_seconds=args.budget_seconds,
+        budget_bytes=args.budget_bytes,
+        scheduler=args.scheduler,
+        n_workers=args.workers,
+    )
+    return estimate, report
+
+
+def _render_explain(report, estimate) -> str:
+    """Verbose ``--format explain`` rendering: findings + registry docs."""
+    from .analysis import CODES
+
+    lines = []
+    for diagnostic in report.diagnostics:
+        lines.append(diagnostic.render())
+        _, _, description = CODES[diagnostic.code]
+        lines.append(f"    = {description}")
+    lines.append(
+        f"{len(report.errors)} error(s), {len(report.warnings)} "
+        f"warning(s), {len(report.infos)} info(s)"
+    )
+    if estimate is not None:
+        lines.append("")
+        lines.append(f"estimate for {estimate.graph.version}:")
+        lines.append(
+            f"  total candidates ~{estimate.total_candidates:,.0f} "
+            f"(etask {estimate.etask_candidates:,.0f} + vtask "
+            f"{estimate.vtask_candidates:,.0f}), matches "
+            f"~{estimate.est_matches:,.0f}"
+        )
+        lines.append(
+            f"  projected peak memory "
+            f"~{estimate.peak_memory_bytes / 1e6:.1f}MB"
+        )
+        for projection in estimate.projections:
+            lines.append(
+                f"  {projection.scheduler} x{projection.workers}: "
+                f"~{projection.seconds:.2f}s"
+            )
+    lines.append("see docs/analysis.md for the diagnostic-code reference")
+    return "\n".join(lines)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     report = _analyze_report(args)
+    estimate = None
+    if args.estimate:
+        estimate, estimate_report = _build_estimate(args)
+        report.merge(estimate_report)
     if args.suppress:
         report = report.suppress(
             code.strip() for code in args.suppress.split(",")
         )
     report = report.sorted()
-    _emit(_resolve_format(args), report.to_dict(), report.render_text())
+    fmt = _resolve_format(args)
+    payload = report.to_dict()
+    if estimate is not None:
+        payload["estimate"] = estimate.to_dict()
+    if fmt == "explain":
+        print(_render_explain(report, estimate))
+    else:
+        text = report.render_text()
+        if estimate is not None:
+            recommended = estimate.recommended
+            text += (
+                f"\nestimate: ~{estimate.total_candidates:,.0f} "
+                f"candidates, recommended --scheduler "
+                f"{recommended.scheduler} --workers {recommended.workers}"
+                f" --adjacency {recommended.adjacency} "
+                f"(projected {recommended.projected_seconds:.2f}s)"
+            )
+        _emit(fmt, payload, text)
     return 1 if report.has_errors else 0
 
 
@@ -587,6 +832,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scheduler_arguments(mqc)
     _add_adjacency_argument(mqc)
     _add_observability_arguments(mqc)
+    _add_admission_argument(mqc)
     mqc.add_argument("--gamma", type=float, default=0.8)
     mqc.add_argument("--max-size", type=int, default=5)
     mqc.add_argument("--min-size", type=int, default=3)
@@ -613,6 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scheduler_arguments(nsq)
     _add_adjacency_argument(nsq)
     _add_observability_arguments(nsq)
+    _add_admission_argument(nsq)
     nsq.add_argument(
         "--query", choices=("triangles", "tailed-triangles"),
         default="triangles",
@@ -645,7 +892,7 @@ def build_parser() -> argparse.ArgumentParser:
             "diagnostic remains after --suppress."
         ),
     )
-    _add_format_argument(analyze)
+    _add_format_argument(analyze, choices=("text", "json", "explain"))
     analyze.add_argument(
         "--pattern", help="target pattern DSL text (see repro.patterns.dsl)"
     )
@@ -684,6 +931,32 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--workers", type=int, default=2,
         help="worker count assumed for --scheduler checks",
+    )
+    analyze.add_argument(
+        "--estimate", action="store_true",
+        help="run the CG6xx static cost model against a graph "
+             "(--dataset/--graph): cardinality, memory, and wall-time "
+             "projections plus a recommended configuration",
+    )
+    analyze.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="S",
+        help="with --estimate: flag CG601 when the projected wall "
+             "time exceeds this budget",
+    )
+    analyze.add_argument(
+        "--budget-bytes", type=int, default=None, metavar="B",
+        help="with --estimate: flag CG602 when the projected peak "
+             "memory exceeds this budget",
+    )
+    analyze.add_argument(
+        "--dataset", choices=dataset_keys(),
+        help="synthetic dataset key (with --estimate)",
+    )
+    analyze.add_argument(
+        "--graph", help="edge-list file (with --estimate)"
+    )
+    analyze.add_argument(
+        "--labels", help="label file (with --graph)"
     )
     return parser
 

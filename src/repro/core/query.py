@@ -43,6 +43,7 @@ from .runtime import ContigraEngine, ContigraResult
 from .vtask import ValidationTarget
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from ..analysis.costmodel import WorkloadEstimate
     from ..analysis.diagnostics import AnalysisReport
 
 
@@ -173,6 +174,40 @@ class Query:
             )
         return report
 
+    def estimate(self, graph: Graph) -> "WorkloadEstimate":
+        """Static cost projection for this query on ``graph``.
+
+        Runs the CG6xx cost model (:mod:`repro.analysis.costmodel`)
+        without touching a single data vertex: per-step cardinality
+        estimates, memory/wall-time projections, and a recommended
+        scheduler configuration.
+        """
+        from ..analysis.costmodel import estimate_query_spec
+
+        return estimate_query_spec(
+            self._pattern,
+            not_within=self._not_within,
+            only_within=self._only_within,
+            induced=self._induced,
+            stats=graph.stats_summary(),
+        )
+
+    def check_admission(self, graph: Graph) -> "AnalysisReport":
+        """CG6xx admission report for this query's configured budget.
+
+        Judges the scheduler configuration the query would actually
+        run with against its ``time_limit`` (no time limit set means
+        nothing to violate — only the recommendation is reported).
+        """
+        from ..analysis.costmodel import check_estimate
+
+        return check_estimate(
+            self.estimate(graph),
+            budget_seconds=self._time_limit,
+            scheduler=self._scheduler,
+            n_workers=self._n_workers,
+        )
+
     def strict(self) -> "Query":
         """Raise :class:`QueryAnalysisError` on error diagnostics.
 
@@ -208,7 +243,17 @@ class Query:
         )
 
     def run(self, graph: Graph) -> ContigraResult:
-        """Execute against a data graph."""
+        """Execute against a data graph.
+
+        Strict queries with a time limit pass through the CG6xx
+        admission gate first: a projected budget violation raises
+        :class:`QueryAnalysisError` in milliseconds instead of burning
+        the budget to learn the same thing.
+        """
+        if self._strict and self._time_limit is not None:
+            report = self.check_admission(graph)
+            if report.has_errors:
+                raise QueryAnalysisError(report.errors)
         engine = ContigraEngine(
             graph,
             self.build_constraints(),

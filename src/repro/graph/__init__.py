@@ -33,9 +33,11 @@ from .index import (
     intersect_sorted,
 )
 from .io import read_edge_list, write_edge_list, write_labels
+from .stats import GraphStats
 
 __all__ = [
     "Graph",
+    "GraphStats",
     "GraphIndex",
     "ADJACENCY_MODES",
     "auto_selects_kernels",

@@ -14,9 +14,20 @@ paper.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .index import GraphIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from .stats import GraphStats
 
 
 class Graph:
@@ -43,6 +54,7 @@ class Graph:
         "_max_degree",
         "_label_freq",
         "_indexes",
+        "_stats",
     )
 
     def __init__(
@@ -71,6 +83,7 @@ class Graph:
         self._max_degree: Optional[int] = None
         self._label_freq: Optional[dict] = None
         self._indexes: Dict[str, GraphIndex] = {}
+        self._stats: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -142,6 +155,20 @@ class Graph:
             index = GraphIndex(self, mode=mode)
             self._indexes[mode] = index
         return index
+
+    def stats_summary(self) -> "GraphStats":
+        """The :class:`~repro.graph.stats.GraphStats` summary (cached).
+
+        Graphs are immutable, so the summary is computed once and
+        served from the cache thereafter; the static cost model calls
+        this on every estimate.
+        """
+        from .stats import GraphStats
+
+        if self._stats is None:
+            self._stats = GraphStats.from_graph(self)
+        assert isinstance(self._stats, GraphStats)
+        return self._stats
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate undirected edges once each, as ``(u, v)`` with ``u < v``."""
@@ -300,6 +327,7 @@ class Graph:
         self._max_degree = None
         self._label_freq = None
         self._indexes = {}
+        self._stats = None
 
     def __repr__(self) -> str:
         tag = f" {self._name!r}" if self._name else ""

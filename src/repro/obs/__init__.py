@@ -29,11 +29,13 @@ from typing import Any, Optional, Tuple
 from ..exec.context import TaskContext
 from .metrics import (
     DEFAULT_BUCKETS,
+    ESTIMATE_ERROR_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     MetricsSubscriber,
+    observe_estimate_error,
 )
 from .trace import Span, SpanTracer
 from .validate import validate_chrome_trace, validate_prometheus
@@ -47,6 +49,8 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSubscriber",
     "DEFAULT_BUCKETS",
+    "ESTIMATE_ERROR_BUCKETS",
+    "observe_estimate_error",
     "observed_context",
     "validate_chrome_trace",
     "validate_prometheus",

@@ -42,11 +42,19 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSubscriber",
     "DEFAULT_BUCKETS",
+    "ESTIMATE_ERROR_BUCKETS",
+    "observe_estimate_error",
 ]
 
 #: Default histogram buckets (seconds): micro-phase to whole-run scale.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.000_1, 0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+)
+
+#: Buckets for the cost model's actual/estimated ratio — symmetric in
+#: log space around the perfectly calibrated 1.0.
+ESTIMATE_ERROR_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
 )
 
 Labels = Tuple[Tuple[str, str], ...]
@@ -388,6 +396,29 @@ class MetricsSubscriber:
                 help_text="Runs completed with partial (incomplete) "
                 "results",
             ).inc(count)
+
+
+def observe_estimate_error(
+    registry: MetricsRegistry, estimated: float, actual: float
+) -> Optional[float]:
+    """Record one cost-model calibration point (actual / estimated).
+
+    Feeds the ``repro_estimate_error_ratio`` histogram the static cost
+    model (:mod:`repro.analysis.costmodel`) uses to track drift; a
+    ratio of 1.0 means perfectly calibrated.  Returns the ratio, or
+    ``None`` when either side is non-positive (nothing to calibrate
+    against).
+    """
+    if estimated <= 0 or actual <= 0:
+        return None
+    ratio = actual / estimated
+    registry.histogram(
+        "repro_estimate_error_ratio",
+        help_text="Actual/estimated candidate cardinality "
+        "(1.0 = perfectly calibrated cost model)",
+        buckets=ESTIMATE_ERROR_BUCKETS,
+    ).observe(ratio)
+    return ratio
 
 
 def _fmt(value: float) -> str:

@@ -391,3 +391,46 @@ class TestSchedulerFeasibility:
         codes = {d.code for d in report.diagnostics}
         assert "CG503" in codes
         assert not report.has_errors
+
+
+class TestDeterministicOrdering:
+    """AnalysisReport.sorted() is a pure function of the findings."""
+
+    def _diagnostics(self):
+        from repro.analysis.diagnostics import make
+
+        return [
+            make("CG105", "dup constraint", subject="b"),
+            make("CG001", "disconnected", subject="z"),
+            make("CG105", "dup constraint", subject="a"),
+            make("CG203", "eager wildcards", subject="m"),
+            make("CG001", "disconnected", subject="a"),
+            make("CG105", "other message", subject="a"),
+        ]
+
+    def test_sorted_is_insertion_order_independent(self):
+        import itertools
+
+        from repro.analysis.diagnostics import AnalysisReport
+
+        diagnostics = self._diagnostics()
+        baseline = AnalysisReport(list(diagnostics)).sorted().diagnostics
+        for permutation in itertools.permutations(diagnostics):
+            report = AnalysisReport(list(permutation)).sorted()
+            assert report.diagnostics == baseline
+
+    def test_sort_key_covers_severity_code_and_location(self):
+        from repro.analysis.diagnostics import AnalysisReport
+
+        ordered = AnalysisReport(self._diagnostics()).sorted().diagnostics
+        # Errors first, then warnings sorted by (code, subject,
+        # fragment, message), then infos.
+        assert [d.code for d in ordered] == [
+            "CG001", "CG001", "CG105", "CG105", "CG105", "CG203",
+        ]
+        assert [d.subject for d in ordered[:2]] == ["a", "z"]
+        assert [(d.subject, d.message) for d in ordered[2:5]] == [
+            ("a", "dup constraint"),
+            ("a", "other message"),
+            ("b", "dup constraint"),
+        ]

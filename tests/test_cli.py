@@ -173,6 +173,137 @@ class TestAnalyze:
         ) == 0
 
 
+class TestAnalyzeExitCodeContract:
+    """Error-severity findings exit nonzero under EVERY --format value.
+
+    The daemon admission gate shells out to ``repro analyze`` and
+    branches on the exit code alone; a format that swallowed the
+    failure would silently admit bad queries.
+    """
+
+    ERROR_QUERY = ["analyze", "--pattern", "0-1, 1-2, 0-2",
+                   "--not-within", "0-1, 1-2, 0-2; vertices 4"]
+    CLEAN_QUERY = ["analyze", "--pattern", "0-1, 1-2, 0-2",
+                   "--not-within", "0-1, 1-2, 0-2, 0-3"]
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "explain"])
+    def test_error_exits_nonzero(self, fmt, capsys):
+        assert main(self.ERROR_QUERY + ["--format", fmt]) == 1
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "explain"])
+    def test_clean_exits_zero(self, fmt, capsys):
+        assert main(self.CLEAN_QUERY + ["--format", fmt]) == 0
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "explain"])
+    def test_estimate_budget_violation_exits_nonzero(self, fmt, capsys):
+        assert main(
+            ["analyze", "--workload", "mqc", "--max-size", "4",
+             "--estimate", "--dataset", "dblp",
+             "--budget-seconds", "0.0001", "--format", fmt]
+        ) == 1
+        capsys.readouterr()
+
+    def test_explain_format_names_the_codes(self, capsys):
+        assert main(self.ERROR_QUERY + ["--format", "explain"]) == 1
+        out = capsys.readouterr().out
+        assert "error" in out
+        assert "docs/analysis.md" in out
+
+
+class TestAnalyzeEstimate:
+    def test_estimate_requires_graph_source(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--workload", "mqc", "--estimate"])
+
+    def test_estimate_json_payload(self, capsys):
+        assert main(
+            ["analyze", "--workload", "mqc", "--max-size", "4",
+             "--estimate", "--dataset", "dblp", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        estimate = payload["estimate"]
+        assert estimate["total_candidates"] > 0
+        assert estimate["recommended"]["scheduler"] in (
+            "serial", "workqueue", "process"
+        )
+        assert {d["code"] for d in payload["diagnostics"]} >= {"CG605"}
+
+    def test_estimate_on_graph_file(self, tmp_path, capsys):
+        g = graph_from_edges(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+        )
+        path = str(tmp_path / "g.txt")
+        write_edge_list(g, path)
+        assert main(
+            ["analyze", "--workload", "mqc", "--max-size", "3",
+             "--estimate", "--graph", path, "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Tiny graph: the estimator flags itself uncalibrated.
+        assert "CG604" in {d["code"] for d in payload["diagnostics"]}
+
+
+class TestAdmissionGate:
+    def test_off_by_default_no_admission_record(self, capsys):
+        assert main(
+            ["mqc", "--dataset", "dblp", "--max-size", "4", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "admission" not in payload
+        assert payload["workers"] == 2
+
+    def test_warn_mode_records_and_proceeds(self, capsys):
+        assert main(
+            ["mqc", "--dataset", "dblp", "--max-size", "4",
+             "--time-limit", "60", "--admission", "warn", "--json"]
+        ) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        admission = payload["admission"]
+        assert admission["mode"] == "warn"
+        assert admission["admitted"] is True
+        assert admission["estimated_candidates"] > 0
+        assert admission["actual_candidates"] > 0
+        assert 0.1 <= admission["estimate_error_ratio"] <= 10.0
+        assert admission["recommended"]["adjacency"] == "auto"
+        assert "admission:" in captured.err
+
+    def test_warn_mode_proceeds_past_projected_violation(self, capsys):
+        # warn prints the CG601 projection but still starts the run —
+        # which then genuinely hits the time limit (proving the gate
+        # did not block; strict mode would have exited 2 first).
+        from repro.exec.context import TimeLimitExceeded
+
+        with pytest.raises(TimeLimitExceeded):
+            main(
+                ["mqc", "--dataset", "dblp", "--max-size", "4",
+                 "--time-limit", "0.0001", "--admission", "warn"]
+            )
+        assert "CG601" in capsys.readouterr().err
+
+    def test_strict_mode_rejects_with_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["mqc", "--dataset", "dblp", "--max-size", "4",
+                 "--time-limit", "0.0001", "--admission", "strict"]
+            )
+        assert excinfo.value.code == 2
+        assert "CG601" in capsys.readouterr().err
+
+    def test_nsq_admission_metric_export(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.prom"
+        assert main(
+            ["nsq", "--dataset", "dblp", "--admission", "warn",
+             "--metrics", str(metrics_file), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "admission" in payload
+        assert "repro_estimate_error_ratio" in payload["metrics"]
+        assert "repro_estimate_error_ratio" in metrics_file.read_text()
+
+
 class TestSchedulerFlags:
     def test_mqc_scheduler_workqueue_json_counters(self, capsys):
         assert main(

@@ -1,0 +1,57 @@
+"""Tests for the library-wide analyzer self-check (the CI gate)."""
+
+import importlib
+
+from repro.analysis import library_patterns, selfcheck
+from repro.patterns.pattern import Pattern
+
+# The package re-exports the ``selfcheck`` *function* under the same
+# name as the module; fetch the module itself for monkeypatching.
+selfcheck_module = importlib.import_module("repro.analysis.selfcheck")
+
+
+class TestSelfcheckClean:
+    def test_shipped_library_is_clean(self):
+        report = selfcheck()
+        assert report.ok
+        assert report.errors == []
+        # The gate exercises real workloads, so it is never empty:
+        # KWS legitimately produces SKIP-bucket warnings.
+        assert len(report) > 0
+
+    def test_library_patterns_cover_named_shapes(self):
+        names = {p.name for p in library_patterns() if p.name}
+        assert {"edge", "triangle", "diamond", "house"} <= names
+
+
+class TestSelfcheckCatchesDefects:
+    def test_injected_disconnected_pattern_is_caught(self, monkeypatch):
+        defect = Pattern(4, [(0, 1), (2, 3)], name="defect")
+
+        def patched():
+            return library_patterns() + [defect]
+
+        monkeypatch.setattr(
+            selfcheck_module, "library_patterns", patched
+        )
+        report = selfcheck_module.selfcheck()
+        assert report.has_errors
+        assert "CG001" in report.codes()
+        assert any(
+            d.code == "CG001" and "defect" in d.subject
+            for d in report.diagnostics
+        )
+
+    def test_injected_anti_vertex_pattern_warns(self, monkeypatch):
+        defect = Pattern(
+            3, [(0, 1), (1, 2)], anti_vertices=[2], name="anti-defect"
+        )
+
+        def patched():
+            return library_patterns() + [defect]
+
+        monkeypatch.setattr(
+            selfcheck_module, "library_patterns", patched
+        )
+        report = selfcheck_module.selfcheck()
+        assert "CG002" in report.codes()
