@@ -531,8 +531,17 @@ def check_estimate(
     runs when no scheduler is requested); CG601 judges that
     configuration, not the best one — but its message says whether the
     recommended configuration would fit.
+
+    Diagnostics are subject-tagged with the content-addressed graph
+    version (``name@<fingerprint12>``), so an estimate computed against
+    stale stats — a graph that has since been mutated through
+    :meth:`repro.graph.store.GraphStore.apply_batch` — is visibly
+    attributed to the old content, not just a same-named graph.
     """
     report = AnalysisReport()
+    # Content-addressed subject: two graphs with equal vertex/edge/label
+    # counts but different structure get distinct tags (satellite fix
+    # for the old count-string collision).
     subject = estimate.graph.version
 
     requested = scheduler if scheduler is not None else "serial"

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Tuple
 
 from ..graph.generators import attach_labels, community_graph, powerlaw_graph
 from ..graph.graph import Graph
+from ..graph.store import graph_store
 
 
 @dataclass(frozen=True)
@@ -124,11 +125,18 @@ _CACHE: Dict[str, Graph] = {}
 
 
 def dataset(key: str) -> Graph:
-    """Build (memoized) one synthetic dataset by key."""
+    """Build (memoized) one synthetic dataset by key.
+
+    Built datasets are registered in the process-global
+    :func:`~repro.graph.store.graph_store` under their key, so
+    ``--graph dblp@v1``-style store references and the ``repro
+    graphs`` listing see every dataset that has materialized.
+    """
     if key not in _CACHE:
         for spec in SPECS:
             if spec.key == key:
                 _CACHE[key] = spec.build()
+                graph_store().register(_CACHE[key], key)
                 break
         else:
             raise KeyError(

@@ -45,19 +45,58 @@ from .graph.index import ADJACENCY_MODES
 from .graph.io import read_edge_list
 
 
+def _resolve_store_ref(spec_text: str) -> Optional[Graph]:
+    """Resolve ``name``/``name@vN``/``name@latest`` via the graph store.
+
+    Dataset keys materialize (and register) on demand, so
+    ``--graph dblp@v1`` works without a prior run.  Returns ``None``
+    when the text does not look like a store reference (no ``@`` and
+    no matching name), letting the caller fall back to file loading.
+    """
+    from .graph.store import graph_store
+
+    store = graph_store()
+    name = spec_text.partition("@")[0]
+    if name in dataset_keys():
+        built = dataset(name)
+        try:
+            store.latest(name)
+        except KeyError:
+            # The store was reset after the dataset materialized;
+            # re-register (idempotent for identical content).
+            store.register(built, name)
+    try:
+        return store.resolve(spec_text).graph
+    except KeyError as exc:
+        if "@" in spec_text or name in store.names():
+            raise SystemExit(f"--graph: {exc.args[0]}")
+        return None
+
+
 def _load_graph(args: argparse.Namespace) -> Graph:
     if args.graph:
+        if not os.path.exists(args.graph):
+            resolved = _resolve_store_ref(args.graph)
+            if resolved is not None:
+                return resolved
         return read_edge_list(args.graph, label_path=args.labels)
     if args.dataset:
         return dataset(args.dataset)
-    raise SystemExit("pass --dataset <key> or --graph <edge list file>")
+    raise SystemExit(
+        "pass --dataset <key>, --graph <edge list file>, or "
+        "--graph <name[@version]> (see 'repro graphs')"
+    )
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dataset", choices=dataset_keys(), help="synthetic dataset key"
     )
-    parser.add_argument("--graph", help="edge-list file")
+    parser.add_argument(
+        "--graph",
+        help="edge-list file, or a registered store reference "
+             "name[@vN|@latest] (see 'repro graphs')",
+    )
     parser.add_argument("--labels", help="label file (with --graph)")
     parser.add_argument(
         "--time-limit", type=float, default=None,
@@ -134,6 +173,9 @@ def _export_observability(args: argparse.Namespace, tracer, registry) -> dict:
     if tracer is None:
         return extra
     tracer.finalize()
+    from .graph.store import publish_derived_cache_metrics
+
+    publish_derived_cache_metrics(registry)
     if args.trace:
         tracer.write_chrome(args.trace)
         extra["trace_file"] = args.trace
@@ -171,6 +213,7 @@ def _run_record(
     scheduler: str,
     adjacency: Optional[str] = None,
     workers: Optional[int] = None,
+    graph: Optional[Graph] = None,
 ) -> dict:
     """The json-only run envelope: configuration, wall time, counters.
 
@@ -179,6 +222,10 @@ def _run_record(
     e.g. the keyword-search state-space explorer); ``workers`` the
     parallel worker count.  Together with the admission record these
     let bench results be joined against estimator recommendations.
+    When ``graph`` is given the record also pins the exact graph
+    content (fingerprint + store version key) plus a derived-cache
+    counter snapshot, so results from two runs are comparable only
+    when their fingerprints match.
     """
     record = {
         "scheduler": scheduler,
@@ -187,6 +234,15 @@ def _run_record(
         "wall_time_seconds": result.elapsed,
         "counters": result.stats.as_dict(),
     }
+    if graph is not None:
+        from .graph.store import derived_cache
+
+        record["graph"] = {
+            "name": graph.name,
+            "version": graph.version_key,
+            "fingerprint": graph.fingerprint,
+        }
+        record["derived_cache"] = derived_cache().counters()
     if getattr(result, "incomplete", False):
         # Degraded runs are never silently complete: the record always
         # names what was skipped and why.
@@ -256,6 +312,67 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_graphs(args: argparse.Namespace) -> int:
+    """List registered graph versions and derived-cache occupancy."""
+    from .graph.store import derived_cache, graph_store
+
+    store = graph_store()
+    cache = derived_cache()
+    entries = store.entries()
+    registered = {gv.name for gv in entries}
+    unmaterialized = [k for k in dataset_keys() if k not in registered]
+    if _resolve_format(args) == "json":
+        payload = {
+            "graphs": [
+                dict(
+                    gv.to_dict(),
+                    latest=(gv.version == store.latest(gv.name).version),
+                    derived_artifacts=cache.artifact_count(gv.version_key),
+                )
+                for gv in entries
+            ],
+            "unmaterialized_datasets": unmaterialized,
+            "derived_cache": cache.counters(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = []
+    for gv in entries:
+        latest = store.latest(gv.name).version == gv.version
+        rows.append(
+            (
+                gv.ref + (" *" if latest else ""),
+                gv.graph.num_vertices,
+                gv.graph.num_edges,
+                gv.graph.num_labels,
+                gv.version_key,
+                cache.artifact_count(gv.version_key),
+            )
+        )
+    if rows:
+        print(
+            format_table(
+                ["ref", "V", "E", "labels", "version key", "artifacts"],
+                rows,
+                title="Registered graph versions (* = latest)",
+            )
+        )
+    else:
+        print("no graphs registered yet")
+    if unmaterialized:
+        print(
+            "datasets not yet materialized: "
+            + ", ".join(unmaterialized)
+        )
+    counters = cache.counters()
+    print(
+        "derived cache: "
+        f"{counters['hits']} hits, {counters['misses']} misses, "
+        f"{counters['invalidations']} invalidations"
+    )
+    return 0
+
+
 def _add_admission_argument(parser: argparse.ArgumentParser) -> None:
     """CG6xx pre-run admission gate (mqc and nsq runs)."""
     parser.add_argument(
@@ -315,6 +432,7 @@ def _admission_check(
         "admitted": report.ok,
         "codes": report.codes(),
         "graph": stats.version,
+        "graph_fingerprint": stats.fingerprint,
         "estimated_candidates": round(estimate.total_candidates, 2),
         "projected_seconds": round(projection.seconds, 4),
         "projected_peak_memory_bytes": round(estimate.peak_memory_bytes),
@@ -381,7 +499,7 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
         json_extra={
             **_run_record(
                 result, args.scheduler, args.adjacency,
-                workers=args.workers,
+                workers=args.workers, graph=graph,
             ),
             **admission_extra,
             **obs_extra,
@@ -416,7 +534,7 @@ def _cmd_quasicliques(args: argparse.Namespace) -> int:
             "elapsed_seconds": round(result.elapsed, 3),
             "mode": "fused" if args.fused else "per-pattern",
         },
-        json_extra=_run_record(result, "serial", adjacency),
+        json_extra=_run_record(result, "serial", adjacency, graph=graph),
     )
     return 0
 
@@ -444,7 +562,7 @@ def _cmd_kws(args: argparse.Namespace) -> int:
             "patterns_skipped": result.patterns_skipped,
             "matches_checked": result.stats.matches_checked,
         },
-        json_extra=_run_record(result, "serial"),
+        json_extra=_run_record(result, "serial", graph=graph),
     )
     return 0
 
@@ -487,7 +605,7 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
         json_extra={
             **_run_record(
                 result, args.scheduler, args.adjacency,
-                workers=args.workers,
+                workers=args.workers, graph=graph,
             ),
             **admission_extra,
             **obs_extra,
@@ -827,6 +945,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the synthetic datasets")
 
+    graphs = sub.add_parser(
+        "graphs",
+        help="list registered graph versions (store refs for --graph)",
+    )
+    _add_format_argument(graphs)
+
     mqc = sub.add_parser("mqc", help="maximal quasi-cliques")
     _add_graph_arguments(mqc)
     _add_scheduler_arguments(mqc)
@@ -965,6 +1089,7 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "datasets": _cmd_datasets,
+        "graphs": _cmd_graphs,
         "mqc": _cmd_mqc,
         "quasicliques": _cmd_quasicliques,
         "kws": _cmd_kws,

@@ -49,6 +49,7 @@ from ..graph.index import (
     auto_selects_kernels,
     bits_to_sorted,
 )
+from ..graph.store import PATTERN_SCOPE, derived_cache
 from ..mining.cache import SetOperationCache
 from ..mining.candidates import kernel_pool, raw_intersection
 from ..mining.stats import ConstraintStats
@@ -118,18 +119,11 @@ class BridgeRecipe:
 # engines, sessions, and benchmark repetitions — shares one derivation
 # instead of re-deriving per construction (and, transitively, per
 # matched RL-Path when targets are built inside a run).  Patterns are
-# small immutable values; the caches are bounded by the number of
-# distinct pattern pairs a workload compiles.
-_ALIGNMENT_CACHE: Dict[
-    Tuple[Pattern, Pattern, bool], Tuple[Tuple[int, ...], ...]
-] = {}
-_ORDER_CACHE: Dict[
-    Tuple[Pattern, Tuple[int, ...], Tuple[int, ...]],
-    Tuple[Tuple[int, ...], ...],
-] = {}
-_RECIPE_CACHE: Dict[
-    Tuple[Pattern, Tuple[int, ...]], Tuple["BridgeRecipe", ...]
-] = {}
+# small immutable values and graph-independent, so the memos live in
+# the process-global derived cache under the pinned
+# :data:`~repro.graph.store.PATTERN_SCOPE` pseudo-version — one
+# invalidation protocol covers them together with every graph-scoped
+# artifact, and the hit/miss counters make their reuse observable.
 
 
 def alignment_embeddings(
@@ -143,24 +137,26 @@ def alignment_embeddings(
     constructing a full :class:`ValidationTarget`.  Memoized per
     pattern pair (the analyzer and every engine share one table).
     """
-    memo_key = (p_m, p_plus, induced)
-    cached = _ALIGNMENT_CACHE.get(memo_key)
-    if cached is not None:
-        return list(cached)
-    p_plus_auts = automorphisms(p_plus)
-    seen: set = set()
-    representatives: List[Tuple[int, ...]] = []
-    for emb in subpattern_embeddings(p_m, p_plus, induced=induced):
-        image = tuple(emb[v] for v in p_m.vertices())
-        orbit_key = min(
-            tuple(sigma[x] for x in image) for sigma in p_plus_auts
-        )
-        if orbit_key in seen:
-            continue
-        seen.add(orbit_key)
-        representatives.append(image)
-    _ALIGNMENT_CACHE[memo_key] = tuple(representatives)
-    return representatives
+
+    def build() -> Tuple[Tuple[int, ...], ...]:
+        p_plus_auts = automorphisms(p_plus)
+        seen: set = set()
+        representatives: List[Tuple[int, ...]] = []
+        for emb in subpattern_embeddings(p_m, p_plus, induced=induced):
+            image = tuple(emb[v] for v in p_m.vertices())
+            orbit_key = min(
+                tuple(sigma[x] for x in image) for sigma in p_plus_auts
+            )
+            if orbit_key in seen:
+                continue
+            seen.add(orbit_key)
+            representatives.append(image)
+        return tuple(representatives)
+
+    cached = derived_cache().get_or_build(
+        PATTERN_SCOPE, ("alignment", p_m, p_plus, induced), build
+    )
+    return list(cached)
 
 
 def connected_extension_orders(
@@ -175,24 +171,28 @@ def connected_extension_orders(
     the same ``(P⁺, embedding)`` combination recurs across every
     ValidationTarget construction over the pair.
     """
-    memo_key = (p_plus, tuple(covered), tuple(added))
-    cached = _ORDER_CACHE.get(memo_key)
-    if cached is not None:
-        return list(cached)
-    orders: List[Tuple[int, ...]] = []
-    covered_set = set(covered)
-    for perm in itertools.permutations(added):
-        bound = set(covered_set)
-        valid = True
-        for v in perm:
-            if not any(p_plus.has_edge(v, u) for u in bound):
-                valid = False
-                break
-            bound.add(v)
-        if valid:
-            orders.append(perm)
-    _ORDER_CACHE[memo_key] = tuple(orders)
-    return orders
+    covered_key = tuple(covered)
+    added_key = tuple(added)
+
+    def build() -> Tuple[Tuple[int, ...], ...]:
+        orders: List[Tuple[int, ...]] = []
+        covered_set = set(covered_key)
+        for perm in itertools.permutations(added_key):
+            bound = set(covered_set)
+            valid = True
+            for v in perm:
+                if not any(p_plus.has_edge(v, u) for u in bound):
+                    valid = False
+                    break
+                bound.add(v)
+            if valid:
+                orders.append(perm)
+        return tuple(orders)
+
+    cached = derived_cache().get_or_build(
+        PATTERN_SCOPE, ("orders", p_plus, covered_key, added_key), build
+    )
+    return list(cached)
 
 
 def bridge_recipes_for(
@@ -206,18 +206,18 @@ def bridge_recipes_for(
     construction.  Recipes are immutable after construction and safe
     to share across targets.
     """
-    memo_key = (p_plus, embedding)
-    cached = _RECIPE_CACHE.get(memo_key)
-    if cached is not None:
-        return cached
-    covered = list(embedding)
-    added = [v for v in p_plus.vertices() if v not in set(covered)]
-    orders = connected_extension_orders(p_plus, covered, added)
-    recipes = tuple(
-        BridgeRecipe(p_plus, embedding, order) for order in orders
+
+    def build() -> Tuple["BridgeRecipe", ...]:
+        covered = list(embedding)
+        added = [v for v in p_plus.vertices() if v not in set(covered)]
+        orders = connected_extension_orders(p_plus, covered, added)
+        return tuple(
+            BridgeRecipe(p_plus, embedding, order) for order in orders
+        )
+
+    return derived_cache().get_or_build(
+        PATTERN_SCOPE, ("recipes", p_plus, embedding), build
     )
-    _RECIPE_CACHE[memo_key] = recipes
-    return recipes
 
 
 class ValidationTarget:

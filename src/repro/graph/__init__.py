@@ -34,10 +34,30 @@ from .index import (
 )
 from .io import read_edge_list, write_edge_list, write_labels
 from .stats import GraphStats
+from .store import (
+    DerivedCache,
+    GraphStore,
+    GraphVersion,
+    MutationBatch,
+    apply_mutation,
+    derived_cache,
+    graph_fingerprint,
+    graph_store,
+    publish_derived_cache_metrics,
+)
 
 __all__ = [
     "Graph",
     "GraphStats",
+    "GraphStore",
+    "GraphVersion",
+    "DerivedCache",
+    "MutationBatch",
+    "apply_mutation",
+    "derived_cache",
+    "graph_fingerprint",
+    "graph_store",
+    "publish_derived_cache_metrics",
     "GraphIndex",
     "ADJACENCY_MODES",
     "auto_selects_kernels",

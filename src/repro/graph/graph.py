@@ -9,6 +9,18 @@ Vertex labels are optional.  A labeled graph carries one integer label
 per vertex; unlabeled graphs report ``None`` for every vertex and
 ``num_labels == 0``, matching the "Labels = 0" rows of Table 1 in the
 paper.
+
+Derived structure — frozenset adjacency, kernel indexes, the label
+inverted index, label frequencies, max degree, and the statistical
+summary — is *not* stored on the instance.  Each graph has a content
+:attr:`fingerprint`, and every derived artifact lives in the
+process-global :class:`~repro.graph.store.DerivedCache` under the
+graph's :attr:`version_key`; instances hold only attached references
+into that cache.  Two instances with equal content (e.g. the
+per-shard copies a process scheduler unpickles into one worker, or
+two versions of a stored graph whose mutation was reverted) therefore
+share one set of artifacts instead of building one each, and
+invalidating a version evicts its artifacts for every holder at once.
 """
 
 from __future__ import annotations
@@ -17,6 +29,7 @@ from bisect import bisect_left
 from typing import (
     TYPE_CHECKING,
     Dict,
+    FrozenSet,
     Iterable,
     Iterator,
     Optional,
@@ -41,7 +54,8 @@ class Graph:
     labels:
         Optional per-vertex integer labels.  ``None`` means unlabeled.
     name:
-        Optional human-readable dataset name, used in benchmark reports.
+        Optional human-readable dataset name, used in benchmark reports
+        and as the prefix of the content version key.
     """
 
     __slots__ = (
@@ -49,11 +63,13 @@ class Graph:
         "_labels",
         "_num_edges",
         "_name",
-        "_label_index",
+        "_fingerprint",
+        "_version_key",
         "_adj_sets",
-        "_max_degree",
-        "_label_freq",
         "_indexes",
+        "_label_index",
+        "_label_freq",
+        "_max_degree",
         "_stats",
     )
 
@@ -78,12 +94,59 @@ class Graph:
             raise ValueError("adjacency is not symmetric (odd degree sum)")
         self._num_edges = degree_sum // 2
         self._name = name
-        self._label_index: Optional[dict] = None
-        self._adj_sets: Dict[int, frozenset] = {}
+        self._init_derived_handles()
+
+    def _init_derived_handles(self) -> None:
+        """Null out the lazily-attached derived-cache references.
+
+        None of these are instance-private caches: each is attached on
+        first use to the artifact the :class:`DerivedCache` owns for
+        this graph's content version, shared with every other instance
+        of the same version.
+        """
+        self._fingerprint: Optional[str] = None
+        self._version_key: Optional[str] = None
+        self._adj_sets: Optional[Dict[int, FrozenSet[int]]] = None
+        self._indexes: Optional[Dict[str, GraphIndex]] = None
+        self._label_index: Optional[Dict[int, Tuple[int, ...]]] = None
+        self._label_freq: Optional[Dict[int, int]] = None
         self._max_degree: Optional[int] = None
-        self._label_freq: Optional[dict] = None
-        self._indexes: Dict[str, GraphIndex] = {}
-        self._stats: Optional[object] = None
+        self._stats: Optional["GraphStats"] = None
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash over adjacency + labels (lazy, then memoized).
+
+        Equal iff the graphs are equal as labeled graphs — this is
+        the collision-safe replacement for the old count-based
+        ``name:Nv:Ne:Ll`` signature.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            from .store import graph_fingerprint
+
+            fp = graph_fingerprint(self._adj, self._labels)
+            self._fingerprint = fp
+        return fp
+
+    @property
+    def version_key(self) -> str:
+        """Content version key ``name@<fp12>`` (derived-cache scope)."""
+        key = self._version_key
+        if key is None:
+            from .store import format_version_key
+
+            key = format_version_key(self._name, self.fingerprint)
+            self._version_key = key
+        return key
+
+    def adjacency_rows(self) -> Tuple[Tuple[int, ...], ...]:
+        """The raw adjacency tuple (for structure-sharing mutation)."""
+        return self._adj
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -129,46 +192,81 @@ class Graph:
         i = bisect_left(neighbors, v)
         return i < len(neighbors) and neighbors[i] == v
 
-    def neighbor_set(self, v: int) -> frozenset:
+    def neighbor_set(self, v: int) -> FrozenSet[int]:
         """Neighbors of ``v`` as a frozenset (lazily built per vertex).
 
         The mining engine's candidate computation is intersection-heavy;
         set form makes each intersection O(min degree).  Sets are built
         on first touch of each vertex — tasks that visit a handful of
-        vertices of a large graph never pay an O(n + m) spike.
+        vertices of a large graph never pay an O(n + m) spike.  The
+        per-vertex dict is the version's ``"adj_sets"`` artifact,
+        shared by every instance of this graph version.
         """
-        cached = self._adj_sets.get(v)
+        sets = self._adj_sets
+        if sets is None:
+            sets = self._attach_adj_sets()
+        cached = sets.get(v)
         if cached is None:
             cached = frozenset(self._adj[v])
-            self._adj_sets[v] = cached
+            sets[v] = cached
         return cached
+
+    def _attach_adj_sets(self) -> Dict[int, FrozenSet[int]]:
+        from .store import derived_cache
+
+        sets: Dict[int, FrozenSet[int]] = derived_cache().get_or_build(
+            self.version_key, "adj_sets", dict
+        )
+        self._adj_sets = sets
+        return sets
 
     def kernel_index(self, mode: str = "auto") -> GraphIndex:
         """The :class:`~repro.graph.index.GraphIndex` for ``mode``.
 
-        One index per mode is cached on the graph, so every engine and
-        task over the same graph shares the lazily-built CSR arrays,
-        bitsets, and label partitions.
+        One index per (version, mode) lives in the derived cache, so
+        every engine, task, and same-version graph instance shares the
+        lazily-built CSR arrays, bitsets, and label partitions; the
+        cache's miss counter is the build counter (what the shard
+        regression test asserts on).
         """
-        index = self._indexes.get(mode)
+        from .store import derived_cache
+
+        indexes = self._indexes
+        if indexes is None:
+            indexes = derived_cache().get_or_build(
+                self.version_key, "kernel_indexes", dict
+            )
+            self._indexes = indexes
+        index = indexes.get(mode)
         if index is None:
-            index = GraphIndex(self, mode=mode)
-            self._indexes[mode] = index
+            index = derived_cache().get_or_build(
+                self.version_key,
+                ("index", mode),
+                lambda: GraphIndex(self, mode=mode),
+            )
+            indexes[mode] = index
         return index
 
     def stats_summary(self) -> "GraphStats":
-        """The :class:`~repro.graph.stats.GraphStats` summary (cached).
+        """The :class:`~repro.graph.stats.GraphStats` summary.
 
-        Graphs are immutable, so the summary is computed once and
-        served from the cache thereafter; the static cost model calls
-        this on every estimate.
+        Content-versioned, so the summary can never go stale: a
+        mutated graph is a new version with its own summary.  The
+        static cost model calls this on every estimate; the resolved
+        value is attached after the first call.
         """
-        from .stats import GraphStats
+        stats = self._stats
+        if stats is None:
+            from .stats import GraphStats
+            from .store import derived_cache
 
-        if self._stats is None:
-            self._stats = GraphStats.from_graph(self)
-        assert isinstance(self._stats, GraphStats)
-        return self._stats
+            stats = derived_cache().get_or_build(
+                self.version_key,
+                "stats",
+                lambda: GraphStats.from_graph(self),
+            )
+            self._stats = stats
+        return stats
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate undirected edges once each, as ``(u, v)`` with ``u < v``."""
@@ -205,33 +303,51 @@ class Graph:
         return len(set(self._labels))
 
     def vertices_with_label(self, label: int) -> Tuple[int, ...]:
-        """All vertices carrying ``label`` (cached inverted index)."""
+        """All vertices carrying ``label`` (version-shared inverted index)."""
         if self._labels is None:
             return ()
-        if self._label_index is None:
-            index: dict = {}
-            for v, lab in enumerate(self._labels):
-                index.setdefault(lab, []).append(v)
-            self._label_index = {
-                lab: tuple(vs) for lab, vs in index.items()
-            }
-        return self._label_index.get(label, ())
+        index = self._label_index
+        if index is None:
+            from .store import derived_cache
 
-    def label_frequencies(self) -> dict:
-        """Map label -> number of vertices carrying it (cached).
+            index = derived_cache().get_or_build(
+                self.version_key, "label_index", self._build_label_index
+            )
+            self._label_index = index
+        return index.get(label, ())
+
+    def _build_label_index(self) -> Dict[int, Tuple[int, ...]]:
+        assert self._labels is not None
+        raw: Dict[int, list] = {}
+        for v, lab in enumerate(self._labels):
+            raw.setdefault(lab, []).append(v)
+        return {lab: tuple(vs) for lab, vs in raw.items()}
+
+    def label_frequencies(self) -> Dict[int, int]:
+        """Map label -> number of vertices carrying it.
 
         Used repeatedly by the density heuristics and keyword-search
-        planning; computed once, then served from the cache (a copy,
-        so callers may mutate their result freely).
+        planning; derived once per version, then served from the cache
+        (a copy, so callers may mutate their result freely).
         """
         if self._labels is None:
             return {}
-        if self._label_freq is None:
-            freq: dict = {}
-            for lab in self._labels:
-                freq[lab] = freq.get(lab, 0) + 1
+        freq = self._label_freq
+        if freq is None:
+            from .store import derived_cache
+
+            freq = derived_cache().get_or_build(
+                self.version_key, "label_freq", self._build_label_freq
+            )
             self._label_freq = freq
-        return dict(self._label_freq)
+        return dict(freq)
+
+    def _build_label_freq(self) -> Dict[int, int]:
+        assert self._labels is not None
+        freq: Dict[int, int] = {}
+        for lab in self._labels:
+            freq[lab] = freq.get(lab, 0) + 1
+        return freq
 
     # ------------------------------------------------------------------
     # Derived structure
@@ -239,14 +355,22 @@ class Graph:
 
     @property
     def max_degree(self) -> int:
-        """Maximum vertex degree (0 on the empty graph; cached)."""
-        if self._max_degree is None:
-            self._max_degree = (
-                max(len(neighbors) for neighbors in self._adj)
-                if self._adj
-                else 0
+        """Maximum vertex degree (0 on the empty graph)."""
+        cached = self._max_degree
+        if cached is None:
+            from .store import derived_cache
+
+            cached = derived_cache().get_or_build(
+                self.version_key,
+                "max_degree",
+                lambda: (
+                    max(len(neighbors) for neighbors in self._adj)
+                    if self._adj
+                    else 0
+                ),
             )
-        return self._max_degree
+            self._max_degree = cached
+        return cached
 
     @property
     def density(self) -> float:
@@ -310,24 +434,28 @@ class Graph:
     # Dunder conveniences
     # ------------------------------------------------------------------
 
-    def __getstate__(self) -> tuple:
-        """Pickle only the canonical data, never the derived caches.
+    def __reduce__(self) -> Tuple[object, ...]:
+        """Pickle the canonical data plus the (memoized) fingerprint.
 
-        Process-scheduler shards pickle engines (and their graphs);
-        shipping lazily-built frozensets, label indexes, or kernel
-        bitsets would multiply the payload for structures each worker
-        rebuilds lazily anyway.
+        Derived artifacts are never shipped — but unlike a plain
+        state round-trip, the revived graph re-attaches to its content
+        version in the receiving process's :class:`DerivedCache`.  The
+        process scheduler unpickles one graph copy per shard; every
+        shard landing in the same worker resolves to the same version
+        key and therefore shares one set of kernel indexes, frozenset
+        adjacency, and stats instead of rebuilding them per shard.
+        The fingerprint rides along so workers skip recomputing it.
         """
-        return (self._adj, self._labels, self._num_edges, self._name)
-
-    def __setstate__(self, state: tuple) -> None:
-        self._adj, self._labels, self._num_edges, self._name = state
-        self._label_index = None
-        self._adj_sets = {}
-        self._max_degree = None
-        self._label_freq = None
-        self._indexes = {}
-        self._stats = None
+        return (
+            _restore_graph,
+            (
+                self._adj,
+                self._labels,
+                self._num_edges,
+                self._name,
+                self.fingerprint,
+            ),
+        )
 
     def __repr__(self) -> str:
         tag = f" {self._name!r}" if self._name else ""
@@ -344,3 +472,27 @@ class Graph:
 
     def __hash__(self) -> int:
         return hash((self._adj, self._labels))
+
+
+def _restore_graph(
+    adj: Tuple[Tuple[int, ...], ...],
+    labels: Optional[Tuple[int, ...]],
+    num_edges: int,
+    name: str,
+    fingerprint: str,
+) -> Graph:
+    """Unpickle entry point: rebuild a graph around validated data.
+
+    Skips constructor validation (the data was validated when the
+    source graph was built) and pre-seeds the fingerprint so the
+    receiving process attaches to the same content version without
+    re-hashing.
+    """
+    graph = Graph.__new__(Graph)
+    graph._adj = adj
+    graph._labels = labels
+    graph._num_edges = num_edges
+    graph._name = name
+    graph._init_derived_handles()
+    graph._fingerprint = fingerprint
+    return graph

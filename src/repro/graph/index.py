@@ -163,15 +163,24 @@ class GraphIndex:
     """Kernel-form adjacency for one :class:`~repro.graph.graph.Graph`.
 
     One index serves every engine over the graph; obtain it through
-    :meth:`Graph.kernel_index`, which caches one instance per mode.
-    All heavy structures are lazy: the CSR arrays are built on first
+    :meth:`Graph.kernel_index`, which serves one instance per
+    ``(graph version, mode)`` from the process-global
+    :class:`~repro.graph.store.DerivedCache` — content-identical
+    graphs (e.g. per-shard unpickled copies landing in one worker)
+    share the index instead of each building one.  All heavy
+    structures are lazy: the CSR arrays are built on first
     construction (O(n + m), flat ints), bitsets and label partitions
     per vertex / per label on first touch.
+
+    ``graph_version`` records the content version the index was built
+    from, so diagnostics and run records can attribute a kernel to
+    its exact source snapshot.
     """
 
     __slots__ = (
         "graph",
         "mode",
+        "graph_version",
         "bitset_min_degree",
         "_offsets",
         "_flat",
@@ -193,6 +202,7 @@ class GraphIndex:
             )
         self.graph = graph
         self.mode = mode
+        self.graph_version = graph.version_key
         self.bitset_min_degree = bitset_min_degree
         offsets = array("l", [0])
         flat = array("l")

@@ -5,9 +5,11 @@ cost model (:mod:`repro.analysis.costmodel`) plans against: vertex and
 edge counts, degree moments and a log-scale degree histogram, label
 frequencies, edge density, and a clustering-coefficient estimate.  It
 is a pure function of the graph — everything is derived in one pass
-plus a bounded wedge scan — and is cached on the :class:`Graph` via
-:meth:`Graph.stats_summary`, keyed implicitly by the graph's identity
-(graphs are immutable, so the summary can never go stale).
+plus a bounded wedge scan — and is served by
+:meth:`Graph.stats_summary` from the process-global
+:class:`~repro.graph.store.DerivedCache`, keyed by the graph's content
+version (graphs are immutable and versions are content hashes, so a
+summary can never go stale: a mutated graph is a new version).
 
 All derivations are deterministic: the clustering estimate samples
 wedges with a fixed stride instead of a RNG, so the same graph always
@@ -115,6 +117,10 @@ class GraphStats:
     clustering: float
     label_frequencies: Tuple[Tuple[int, int], ...]
     degree_histogram: Tuple[Tuple[int, int], ...]
+    #: Content hash of the source graph (``Graph.fingerprint``).  Empty
+    #: only for summaries built by hand without a graph; such summaries
+    #: fall back to the count-based signature as their version.
+    fingerprint: str = ""
 
     @classmethod
     def from_graph(cls, graph: "Graph") -> "GraphStats":
@@ -136,6 +142,7 @@ class GraphStats:
                 sorted(graph.label_frequencies().items())
             ),
             degree_histogram=_degree_histogram(degrees),
+            fingerprint=graph.fingerprint,
         )
 
     # ------------------------------------------------------------------
@@ -172,7 +179,21 @@ class GraphStats:
 
     @property
     def version(self) -> str:
-        """Cheap content fingerprint for cache keys and run records."""
+        """Content-addressed graph version for cache keys and run records.
+
+        ``name@<fp12>`` over the sorted edge/label arrays (matching
+        ``Graph.version_key``), so two different graphs can never share
+        a version — the old count-based string collided whenever sizes
+        matched and survives only as :attr:`size_signature`.  Hand-built
+        summaries without a fingerprint keep the legacy form.
+        """
+        if self.fingerprint:
+            return f"{self.name or 'graph'}@{self.fingerprint[:12]}"
+        return self.size_signature
+
+    @property
+    def size_signature(self) -> str:
+        """Human-readable count signature (the pre-fingerprint alias)."""
         return (
             f"{self.name or 'graph'}:{self.num_vertices}v:"
             f"{self.num_edges}e:{self.num_labels}l"
@@ -182,6 +203,8 @@ class GraphStats:
         return {
             "name": self.name,
             "version": self.version,
+            "version_alias": self.size_signature,
+            "fingerprint": self.fingerprint,
             "num_vertices": self.num_vertices,
             "num_edges": self.num_edges,
             "num_labels": self.num_labels,

@@ -50,6 +50,7 @@ class SetOperationCache:
     __slots__ = (
         "_entries", "_max_entries", "stats", "enabled",
         "_bus", "_event_sample", "_hits_pending", "_misses_pending",
+        "graph_version",
     )
 
     def __init__(
@@ -59,12 +60,21 @@ class SetOperationCache:
         enabled: bool = True,
         bus: Optional[EventBus] = None,
         event_sample: int = CACHE_EVENT_SAMPLE,
+        graph_version: Optional[str] = None,
     ) -> None:
         """``bus`` opts the cache into sampled ``cache_hit`` /
         ``cache_miss`` events: every ``event_sample``-th hit (miss)
         emits one event with ``count=event_sample``, gated on the bus
         actually having subscribers — unobserved runs pay one ``None``
-        check per lookup."""
+        check per lookup.
+
+        ``graph_version`` binds every entry to one graph content
+        version (``Graph.version_key``).  Semantic keys stay
+        version-free on the hot path; instead the *cache* is bound,
+        and :meth:`rebind` must be called before serving a different
+        version — it drops all entries (reported as derived-cache
+        invalidations), so stale pools can never leak across graph
+        versions."""
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         if event_sample < 1:
@@ -77,6 +87,27 @@ class SetOperationCache:
         self._event_sample = event_sample
         self._hits_pending = 0
         self._misses_pending = 0
+        self.graph_version = graph_version
+
+    def rebind(self, graph_version: Optional[str]) -> int:
+        """Bind the cache to ``graph_version``, evicting stale entries.
+
+        Returns the number of entries dropped (0 when the version is
+        unchanged).  Drops are folded into the process-global
+        derived-cache invalidation counters, so run records and the
+        mutation-equivalence suite can prove stale pools were evicted
+        rather than coincidentally unused.
+        """
+        if graph_version == self.graph_version:
+            return 0
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.graph_version = graph_version
+        if dropped:
+            from ..graph.store import derived_cache
+
+            derived_cache().note_invalidations(dropped)
+        return dropped
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -141,10 +172,18 @@ class TaskCache:
     previous entries to compute new ones").
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "graph_version")
 
-    def __init__(self, num_steps: int) -> None:
+    def __init__(
+        self, num_steps: int, graph_version: Optional[str] = None
+    ) -> None:
+        """``graph_version`` tags the task's entries with the content
+        version of the graph the task explores.  Task caches are
+        created fresh per rooted task over one immutable snapshot, so
+        the tag is an audit handle (asserted by the mutation-
+        equivalence suite), not a per-lookup key component."""
         self._entries: list = [None] * num_steps
+        self.graph_version = graph_version
 
     def set_entry(self, step: int, key: CacheKey, candidates: Any) -> None:
         self._entries[step] = (key, candidates)

@@ -108,6 +108,7 @@ class MiningEngine:
             stats=self.stats,
             enabled=cache_enabled,
             bus=ctx.bus if ctx is not None else None,
+            graph_version=graph.version_key,
         )
 
     def _task_cache(self) -> SetOperationCache:
@@ -119,6 +120,7 @@ class MiningEngine:
             stats=self.stats,
             enabled=self._cache_enabled,
             bus=self.ctx.bus if self.ctx is not None else None,
+            graph_version=self.graph.version_key,
         )
 
     # ------------------------------------------------------------------

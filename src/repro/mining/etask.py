@@ -91,7 +91,9 @@ class ETask:
         self.ctx = ctx
         self.index = index
         self.task_cache = (
-            TaskCache(plan.num_steps) if index is not None else None
+            TaskCache(plan.num_steps, graph_version=graph.version_key)
+            if index is not None
+            else None
         )
         self._stopped = False
         # Instrumentation gate, resolved once per task: the subscriber

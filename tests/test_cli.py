@@ -422,3 +422,62 @@ class TestAnalyzeScheduler:
         payload = json.loads(capsys.readouterr().out)
         codes = {d["code"] for d in payload["diagnostics"]}
         assert "CG505" in codes
+
+
+class TestGraphStoreCli:
+    def test_graphs_lists_registered_versions(self, capsys):
+        from repro.bench import dataset
+        from repro.graph.store import graph_store
+
+        graph_store().register(dataset("dblp"), "dblp")
+        assert main(["graphs"]) == 0
+        out = capsys.readouterr().out
+        assert "dblp@v1" in out
+        assert "derived cache:" in out
+
+    def test_graphs_json_payload(self, capsys):
+        assert main(["graphs", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "graphs", "unmaterialized_datasets", "derived_cache",
+        }
+        assert set(payload["derived_cache"]) == {
+            "hits", "misses", "invalidations",
+        }
+
+    def test_graph_flag_resolves_store_ref(self, capsys):
+        assert main(
+            ["mqc", "--graph", "dblp@latest", "--gamma", "0.8",
+             "--max-size", "4", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["maximal_quasi_cliques"] > 0
+        assert payload["graph"]["version"].startswith("dblp-s@")
+        assert len(payload["graph"]["fingerprint"]) == 64
+        assert set(payload["derived_cache"]) == {
+            "hits", "misses", "invalidations",
+        }
+
+    def test_graph_flag_unknown_ref_errors(self):
+        with pytest.raises(SystemExit, match="unknown graph"):
+            main(["mqc", "--graph", "nosuch@v3", "--max-size", "4"])
+
+    def test_graph_flag_still_accepts_files(self, tmp_path, capsys):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        path = tmp_path / "toy.txt"
+        write_edge_list(g, path)
+        assert main(
+            ["mqc", "--graph", str(path), "--max-size", "4", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["graph"]["fingerprint"] == g.fingerprint
+
+    def test_admission_record_carries_fingerprint(self, capsys):
+        assert main(
+            ["mqc", "--dataset", "dblp", "--max-size", "4",
+             "--admission", "warn", "--time-limit", "60", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        record = payload["admission"]
+        assert record["graph"].startswith("dblp-s@")
+        assert len(record["graph_fingerprint"]) == 64

@@ -1,0 +1,441 @@
+"""Versioned graph store: identity, derived caching, invalidation.
+
+Covers the ``repro.graph.store`` subsystem end to end: content
+fingerprints (including the count-string collision the old
+``GraphStats.version`` had), the ``DerivedCache`` protocol and its
+counters, cross-object artifact sharing (same content ⇒ same cached
+index/adjacency-set/stats objects, including across pickle round
+trips), ``MutationBatch``/``apply_mutation`` semantics, the
+``GraphStore`` registry, and the mutation-equivalence property: mining
+a batch-mutated graph is bit-identical to mining the same graph
+rebuilt from scratch, on every scheduler, with stale derived artifacts
+provably evicted.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import maximal_quasi_cliques
+from repro.apps.nsq import nested_subgraph_query, paper_query_triangles
+from repro.graph import Graph, erdos_renyi
+from repro.graph.store import (
+    PATTERN_SCOPE,
+    DerivedCache,
+    GraphStore,
+    MutationBatch,
+    apply_mutation,
+    derived_cache,
+    format_version_key,
+    graph_fingerprint,
+    graph_store,
+    reset_default_store,
+)
+from repro.mining import SetOperationCache
+
+SCHEDULERS = ("serial", "process", "workqueue")
+
+
+@pytest.fixture(autouse=True)
+def fresh_store():
+    """Isolate every test from globally accumulated store state."""
+    reset_default_store()
+    yield
+    reset_default_store()
+
+
+def _mine_mqc(graph, scheduler=None):
+    return maximal_quasi_cliques(
+        graph, gamma=0.8, max_size=4, min_size=3, scheduler=scheduler
+    )
+
+
+def _rebuilt(graph):
+    """The same content built from scratch (no structure sharing)."""
+    return Graph(
+        [list(graph.neighbors(v)) for v in graph.vertices()],
+        labels=graph.labels,
+        name=graph.name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Content fingerprints
+# ----------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_content_addressed_not_name_addressed(self):
+        rows = [[1], [0, 2], [1]]
+        a = Graph(rows, name="left")
+        b = Graph(rows, name="right")
+        assert a.fingerprint == b.fingerprint
+        assert a.version_key == "left@" + a.fingerprint[:12]
+        assert b.version_key == "right@" + a.fingerprint[:12]
+        assert a.version_key == format_version_key("left", a.fingerprint)
+
+    def test_same_counts_different_structure_distinct(self):
+        # The old GraphStats.version ("name:4v:2e:0l") collided here:
+        # both graphs have 4 vertices, 2 edges, 0 labels.
+        matching = Graph([[1], [0], [3], [2]], name="g")
+        path = Graph([[1], [0, 2], [1], []], name="g")
+        assert matching.fingerprint != path.fingerprint
+        sa, sb = matching.stats_summary(), path.stats_summary()
+        assert sa.size_signature == sb.size_signature  # the collision
+        assert sa.version != sb.version  # the fix
+
+    def test_labels_change_fingerprint(self):
+        rows = [[1], [0]]
+        assert (
+            graph_fingerprint([(1,), (0,)], None)
+            != graph_fingerprint([(1,), (0,)], (0, 1))
+        )
+        assert Graph(rows).fingerprint != Graph(rows, labels=[0, 1]).fingerprint
+
+    def test_stats_carries_fingerprint_and_alias(self):
+        g = erdos_renyi(12, 0.4, seed=3)
+        stats = g.stats_summary()
+        assert stats.fingerprint == g.fingerprint
+        assert stats.version == g.version_key
+        d = stats.to_dict()
+        assert d["fingerprint"] == g.fingerprint
+        assert d["version_alias"] == stats.size_signature
+        assert ":" in stats.size_signature  # old human-readable shape
+
+
+# ----------------------------------------------------------------------
+# DerivedCache protocol
+# ----------------------------------------------------------------------
+
+
+class TestDerivedCache:
+    def test_miss_then_hit_builds_once(self):
+        cache = DerivedCache()
+        calls = []
+        build = lambda: calls.append(1) or "artifact"  # noqa: E731
+        assert cache.get_or_build("g@1", "stats", build) == "artifact"
+        assert cache.get_or_build("g@1", "stats", build) == "artifact"
+        assert calls == [1]
+        assert cache.counters() == {
+            "hits": 1, "misses": 1, "invalidations": 0,
+        }
+
+    def test_invalidate_version_counts_entries(self):
+        cache = DerivedCache()
+        cache.get_or_build("g@1", "a", dict)
+        cache.get_or_build("g@1", "b", dict)
+        cache.get_or_build("g@2", "a", dict)
+        assert cache.invalidate("g@1") == 2
+        assert cache.counters()["invalidations"] == 2
+        assert cache.versions() == ["g@2"]
+
+    def test_invalidate_single_artifact(self):
+        cache = DerivedCache()
+        cache.get_or_build("g@1", "a", dict)
+        cache.get_or_build("g@1", "b", dict)
+        assert cache.invalidate("g@1", artifact_key="a") == 1
+        assert cache.artifact_count("g@1") == 1
+
+    def test_note_invalidations_folds_external_evictions(self):
+        cache = DerivedCache()
+        cache.note_invalidations(7)
+        assert cache.counters()["invalidations"] == 7
+
+    def test_version_lru_eviction(self):
+        cache = DerivedCache(max_versions=2)
+        cache.get_or_build("g@1", "a", dict)
+        cache.get_or_build("g@2", "a", dict)
+        cache.get_or_build("g@3", "a", dict)
+        assert "g@1" not in cache.versions()
+        assert cache.counters()["invalidations"] == 1
+
+    def test_pattern_scope_survives_eviction(self):
+        cache = DerivedCache(max_versions=1)
+        memo = cache.get_or_build(PATTERN_SCOPE, ("orders", 1), dict)
+        cache.get_or_build("g@1", "a", dict)
+        cache.get_or_build("g@2", "a", dict)
+        assert PATTERN_SCOPE in cache.versions()
+        assert cache.get_or_build(PATTERN_SCOPE, ("orders", 1), dict) is memo
+
+
+# ----------------------------------------------------------------------
+# Cross-object and cross-pickle artifact sharing
+# ----------------------------------------------------------------------
+
+
+class TestArtifactSharing:
+    def test_same_content_graphs_share_artifacts(self):
+        g1 = erdos_renyi(18, 0.3, seed=5)
+        g2 = _rebuilt(g1)
+        idx = g1.kernel_index("bitset")
+        assert g2.kernel_index("bitset") is idx
+        assert g2.neighbor_set(0) is g1.neighbor_set(0)
+        assert g2.stats_summary() is g1.stats_summary()
+
+    def test_pickle_reattaches_instead_of_rebuilding(self):
+        # Satellite regression: shards arriving in a worker must
+        # re-attach to the already-built index for their graph
+        # version, not rebuild one per shard.
+        g = erdos_renyi(18, 0.3, seed=6)
+        idx = g.kernel_index("bitset")
+        cache = derived_cache()
+        builds_before = cache.counters()["misses"]
+        blob = pickle.dumps(g)
+        shard_a = pickle.loads(blob)
+        shard_b = pickle.loads(blob)
+        assert shard_a.fingerprint == g.fingerprint
+        assert shard_a.kernel_index("bitset") is idx
+        assert shard_b.kernel_index("bitset") is idx
+        # Zero index rebuilds across the two simulated shards.
+        assert cache.counters()["misses"] == builds_before
+
+    def test_two_worker_process_run_matches_serial(self):
+        g = erdos_renyi(22, 0.3, seed=7)
+        serial = _mine_mqc(g, scheduler="serial")
+        procs = maximal_quasi_cliques(
+            g, gamma=0.8, max_size=4, min_size=3,
+            scheduler="process", n_workers=2,
+        )
+        assert procs.all_sets() == serial.all_sets()
+
+
+# ----------------------------------------------------------------------
+# MutationBatch / apply_mutation
+# ----------------------------------------------------------------------
+
+
+class TestMutationBatch:
+    def test_apply_matches_from_scratch_rebuild(self):
+        g = erdos_renyi(10, 0.35, seed=11)
+        u, v = next(
+            (a, b) for a in g.vertices() for b in g.neighbors(a) if a < b
+        )
+        batch = MutationBatch.of(
+            add_edges=[(0, 9), (3, 7)], remove_edges=[(u, v)]
+        )
+        mutated = apply_mutation(g, batch)
+        edges = {
+            (min(a, b), max(a, b))
+            for a in g.vertices()
+            for b in g.neighbors(a)
+        }
+        edges -= {(u, v)}
+        edges |= {(0, 9), (3, 7)}
+        expected_rows = [[] for _ in g.vertices()]
+        for a, b in edges:
+            expected_rows[a].append(b)
+            expected_rows[b].append(a)
+        expected = Graph([sorted(r) for r in expected_rows], name=g.name)
+        assert mutated.fingerprint == expected.fingerprint
+
+    def test_set_semantics_idempotent(self):
+        g = Graph([[1], [0], []])
+        batch = MutationBatch.of(add_edges=[(0, 1)], remove_edges=[(1, 2)])
+        assert apply_mutation(g, batch).fingerprint == g.fingerprint
+
+    def test_self_loop_rejected(self):
+        g = Graph([[1], [0]])
+        with pytest.raises(ValueError):
+            apply_mutation(g, MutationBatch.of(add_edges=[(1, 1)]))
+
+    def test_out_of_range_rejected(self):
+        g = Graph([[1], [0]])
+        with pytest.raises(ValueError):
+            apply_mutation(g, MutationBatch.of(add_edges=[(0, 5)]))
+
+    def test_add_vertices_defaults_label_zero(self):
+        g = Graph([[1], [0]], labels=[2, 3])
+        grown = apply_mutation(
+            g, MutationBatch.of(add_vertices=2, add_edges=[(1, 3)])
+        )
+        assert grown.num_vertices == 4
+        assert grown.labels == (2, 3, 0, 0)
+        assert grown.neighbors(3) == (1,)
+
+    def test_structure_sharing_on_untouched_rows(self):
+        g = erdos_renyi(12, 0.3, seed=13)
+        mutated = apply_mutation(
+            g, MutationBatch.of(add_edges=[(0, 11)])
+        )
+        # Rows not named by the batch are the same tuple objects.
+        untouched = [
+            v for v in g.vertices()
+            if v not in (0, 11)
+        ]
+        assert untouched
+        for v in untouched:
+            assert mutated.neighbors(v) is g.neighbors(v)
+
+    def test_empty_batch_is_empty(self):
+        assert MutationBatch.of().is_empty
+        assert not MutationBatch.of(add_vertices=1).is_empty
+
+
+# ----------------------------------------------------------------------
+# GraphStore registry
+# ----------------------------------------------------------------------
+
+
+class TestGraphStore:
+    def test_register_resolve_latest(self):
+        store = GraphStore()
+        g = erdos_renyi(8, 0.4, seed=17, name="toy")
+        gv = store.register(g)
+        assert gv.ref == "toy@v1"
+        assert store.resolve("toy").graph is g
+        assert store.resolve("toy@latest").graph is g
+        assert store.resolve("toy@v1").graph is g
+        with pytest.raises(KeyError):
+            store.resolve("toy@v2")
+        with pytest.raises(KeyError):
+            store.resolve("elsewhere")
+
+    def test_register_idempotent_on_identical_content(self):
+        store = GraphStore()
+        g = erdos_renyi(8, 0.4, seed=17)
+        first = store.register(g, "toy")
+        again = store.register(_rebuilt(g), "toy")
+        assert again.version == first.version
+
+    def test_apply_batch_bumps_version_and_invalidates(self):
+        cache = DerivedCache()
+        store = GraphStore(cache=cache)
+        g = erdos_renyi(10, 0.4, seed=19, name="toy")
+        store.register(g)
+        cache.get_or_build(g.version_key, "probe", dict)
+        before = cache.counters()["invalidations"]
+        edge = next(
+            (u, v) for u in g.vertices() for v in g.neighbors(u) if u < v
+        )
+        v2 = store.apply_batch("toy", MutationBatch.of(remove_edges=[edge]))
+        assert v2.ref == "toy@v2"
+        assert v2.fingerprint != g.fingerprint
+        assert store.latest("toy").version == 2
+        # v1's derived scope was dropped (retain=1 keeps only v2).
+        assert cache.counters()["invalidations"] > before
+        assert g.version_key not in cache.versions()
+
+
+# ----------------------------------------------------------------------
+# Mutation equivalence: mine(apply_batch(g)) == mine(rebuild(g))
+# ----------------------------------------------------------------------
+
+
+class TestMutationEquivalence:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_mqc_identical_after_mutation(self, scheduler):
+        g = erdos_renyi(20, 0.3, seed=23, name="mut")
+        store = graph_store()
+        store.register(g, "mut")
+        _mine_mqc(g)  # warm derived artifacts for v1
+        edge = next(
+            (u, v) for u in g.vertices() for v in g.neighbors(u) if u < v
+        )
+        batch = MutationBatch.of(
+            add_edges=[(0, g.num_vertices - 1)], remove_edges=[edge]
+        )
+        before = derived_cache().counters()["invalidations"]
+        mutated = store.apply_batch("mut", batch).graph
+        # Stale v1 artifacts were provably evicted, not reused.
+        assert derived_cache().counters()["invalidations"] > before
+        expected = _mine_mqc(_rebuilt(mutated), scheduler=scheduler)
+        actual = _mine_mqc(mutated, scheduler=scheduler)
+        assert actual.all_sets() == expected.all_sets()
+        assert actual.by_size.keys() == expected.by_size.keys()
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_nsq_identical_after_mutation(self, scheduler):
+        g = erdos_renyi(18, 0.35, seed=29, name="mutq")
+        p_m, p_plus = paper_query_triangles()
+        nested_subgraph_query(g, p_m, p_plus)  # warm v1
+        mutated = apply_mutation(
+            g, MutationBatch.of(add_edges=[(0, 17), (1, 16)])
+        )
+        expected = nested_subgraph_query(
+            _rebuilt(mutated), p_m, p_plus, scheduler=scheduler
+        )
+        actual = nested_subgraph_query(
+            mutated, p_m, p_plus, scheduler=scheduler
+        )
+        assert sorted(actual.assignments()) == sorted(expected.assignments())
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_mutation_equivalence_property(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=12), label="n")
+        seed = data.draw(st.integers(min_value=0, max_value=999), label="s")
+        g = erdos_renyi(n, 0.4, seed=seed)
+        possible = [
+            (u, v) for u in range(n) for v in range(u + 1, n)
+        ]
+        adds = data.draw(
+            st.lists(st.sampled_from(possible), max_size=4, unique=True),
+            label="adds",
+        )
+        removes = data.draw(
+            st.lists(st.sampled_from(possible), max_size=4, unique=True),
+            label="removes",
+        )
+        batch = MutationBatch.of(add_edges=adds, remove_edges=removes)
+        mutated = apply_mutation(g, batch)
+        rebuilt = _rebuilt(mutated)
+        assert mutated.fingerprint == rebuilt.fingerprint
+        assert (
+            _mine_mqc(mutated).all_sets() == _mine_mqc(rebuilt).all_sets()
+        )
+        # Replaying the same batch is a no-op difference only where
+        # adds/removes overlap; applying to the mutated graph with
+        # empty batch is the identity.
+        assert (
+            apply_mutation(mutated, MutationBatch.of()).fingerprint
+            == mutated.fingerprint
+        )
+
+
+# ----------------------------------------------------------------------
+# Version-bound mining caches
+# ----------------------------------------------------------------------
+
+
+class TestVersionBoundCaches:
+    def test_set_operation_cache_rebind_reports_drops(self):
+        g = erdos_renyi(10, 0.4, seed=31)
+        cache = SetOperationCache(graph_version=g.version_key)
+        cache.store(frozenset({1}), frozenset({2, 3}))
+        cache.store(frozenset({4}), frozenset({5}))
+        before = derived_cache().counters()["invalidations"]
+        dropped = cache.rebind("other@deadbeef0123")
+        assert dropped == 2
+        assert cache.graph_version == "other@deadbeef0123"
+        assert cache.lookup(frozenset({1})) is None
+        assert derived_cache().counters()["invalidations"] == before + 2
+
+    def test_engine_caches_bound_to_graph_version(self):
+        from repro.mining import MiningEngine
+
+        g = erdos_renyi(12, 0.4, seed=37)
+        engine = MiningEngine(g, adjacency="bitset")
+        assert engine.cache.graph_version == g.version_key
+        assert engine._task_cache().graph_version == g.version_key
+
+
+# ----------------------------------------------------------------------
+# The CI store-smoke entry point
+# ----------------------------------------------------------------------
+
+
+class TestStoreSmoke:
+    def test_run_smoke_counters_move(self):
+        from repro.graph.store import run_smoke
+
+        summary = run_smoke()
+        assert summary["v1"]["fingerprint"] != summary["v2"]["fingerprint"]
+        assert summary["counters"]["misses"] > 0
+        assert summary["counters"]["invalidations"] > 0
+        assert summary["matches_v1"] > 0

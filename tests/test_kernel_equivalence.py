@@ -468,11 +468,14 @@ class TestLRUCache:
 class TestGraphCaching:
     def test_neighbor_set_is_lazy_and_cached(self):
         graph = random_graph(20, 0.3, seed=31)
-        assert not graph._adj_sets
+        assert graph._adj_sets is None  # nothing attached before use
         first = graph.neighbor_set(3)
-        assert graph._adj_sets.keys() == {3}
+        assert 3 in graph._adj_sets
         assert graph.neighbor_set(3) is first
         assert first == frozenset(graph.neighbors(3))
+        # Same-content graphs attach to the same cache-owned sets.
+        twin = Graph([graph.neighbors(v) for v in graph.vertices()])
+        assert twin.neighbor_set(3) is first
 
     def test_max_degree_cached(self):
         graph = random_graph(20, 0.3, seed=33)
@@ -487,20 +490,26 @@ class TestGraphCaching:
         freq[0] = -1  # mutating the copy must not poison the cache
         assert graph.label_frequencies()[0] != -1
 
-    def test_pickle_round_trip_drops_derived_state(self):
+    def test_pickle_round_trip_reattaches_derived_state(self):
         graph = labeled_random_graph(15, 0.4, num_labels=2, seed=37)
-        graph.neighbor_set(0)
-        graph.kernel_index("bitset")
+        adj = graph.neighbor_set(0)
+        idx = graph.kernel_index("bitset")
         _ = graph.max_degree
         clone = pickle.loads(pickle.dumps(graph))
-        assert not clone._adj_sets
-        assert not clone._indexes
+        # The payload carries no derived handles...
+        assert clone._adj_sets is None
+        assert clone._indexes is None
         assert clone._max_degree is None
         assert clone.num_edges == graph.num_edges
         assert clone.labels == graph.labels
+        assert clone.fingerprint == graph.fingerprint
         for v in graph.vertices():
             assert clone.neighbors(v) == graph.neighbors(v)
-        # And the rebuilt-on-demand kernels still agree.
+        # ...and on first use, the clone re-attaches to the same
+        # cache-owned artifacts instead of rebuilding (same process ⇒
+        # same derived cache ⇒ same objects).
+        assert clone.neighbor_set(0) is adj
+        assert clone.kernel_index("bitset") is idx
         assert _match_multiset(clone, triangle(), "auto") == _match_multiset(
             graph, triangle(), "sets"
         )
@@ -510,8 +519,10 @@ class TestGraphCaching:
 
         graph = erdos_renyi(20, 0.3, seed=39)
         engine = build_mqc_engine(graph, 0.8, 4, adjacency="bitset")
-        graph.kernel_index("bitset")  # populate, then pickle
+        idx = graph.kernel_index("bitset")  # populate, then pickle
         payload = pickle.dumps(engine)
         revived = pickle.loads(payload)
         assert revived.adjacency == "bitset"
-        assert not revived.graph._indexes
+        assert revived.graph._indexes is None  # nothing shipped
+        # In-process revival shares the already-built index.
+        assert revived.graph.kernel_index("bitset") is idx
