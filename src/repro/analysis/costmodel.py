@@ -38,10 +38,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..core.constraints import ConstraintSet, ContainmentConstraint
 from ..graph.stats import GraphStats
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from ..graph.aux import AuxSummary
 from ..patterns.pattern import Pattern
 from ..patterns.plan import ExplorationPlan, plan_for
 from .diagnostics import AnalysisReport, make
@@ -247,13 +250,24 @@ def _label_multiplier(
     return fraction, False
 
 
-def estimate_plan(plan: ExplorationPlan, stats: GraphStats) -> PlanEstimate:
+def estimate_plan(
+    plan: ExplorationPlan,
+    stats: GraphStats,
+    aux: Optional["AuxSummary"] = None,
+) -> PlanEstimate:
     """Project candidate cardinalities for one exploration plan.
 
     Walks the plan's steps, propagating the expected number of partial
     matches; the per-step candidate count equals the new partials
     (``extensions_attempted`` counts candidates after anchor, label,
     and symmetry filtering — exactly what the pool model estimates).
+
+    ``aux`` is the pattern's auxiliary-graph pruning summary
+    (:class:`repro.graph.aux.AuxSummary`) when the engine will run
+    with ``enable_aux``: roots scale by the pruning's survivor
+    fraction and per-step pools by the pruned/full average-degree
+    ratio (which may exceed 1.0 — peeling removes low-degree
+    vertices, so the surviving adjacency is denser on average).
     """
     n = float(stats.num_vertices)
     shrink = _shrink(stats)
@@ -263,6 +277,11 @@ def estimate_plan(plan: ExplorationPlan, stats: GraphStats) -> PlanEstimate:
     multiplier, flagged = _label_multiplier(stats, root_label)
     uncalibrated = uncalibrated or flagged
     roots = n * multiplier
+    degree_scale = 1.0
+    if aux is not None:
+        roots *= aux.root_survival
+        degree_scale = aux.degree_scale
+        n = min(n, float(aux.vertices_after))
 
     steps: List[StepEstimate] = [
         StepEstimate(
@@ -284,6 +303,7 @@ def estimate_plan(plan: ExplorationPlan, stats: GraphStats) -> PlanEstimate:
         # First hop from the size-biased anchor; every further anchor
         # survives with probability ``shrink``.
         pool = stats.avg_degree if i == 1 else stats.size_biased_degree
+        pool *= degree_scale
         pool *= shrink ** max(0, anchors - 1)
         multiplier, flagged = _label_multiplier(stats, label)
         uncalibrated = uncalibrated or flagged

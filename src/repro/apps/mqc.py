@@ -73,6 +73,7 @@ def build_mqc_engine(
     rl_strategy: str = "heuristic",
     time_limit: Optional[float] = None,
     adjacency: str = "auto",
+    enable_aux: bool = False,
 ) -> ContigraEngine:
     """Construct the Contigra engine for an MQC workload.
 
@@ -92,6 +93,7 @@ def build_mqc_engine(
         rl_strategy=rl_strategy,
         time_limit=time_limit,
         adjacency=adjacency,
+        enable_aux=enable_aux,
     )
 
 

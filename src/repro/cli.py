@@ -118,6 +118,16 @@ def _add_adjacency_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_aux_argument(parser: argparse.ArgumentParser) -> None:
+    """Auxiliary pruned graphs (ContigraEngine-backed commands)."""
+    parser.add_argument(
+        "--aux", action="store_true",
+        help="prune each pattern's exploration adjacency to vertices "
+             "that can appear in one of its matches (tier-2 kernels; "
+             "see docs/performance.md)",
+    )
+
+
 def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
     """Execution-core scheduler selection (mqc and nsq runs)."""
     parser.add_argument(
@@ -173,9 +183,13 @@ def _export_observability(args: argparse.Namespace, tracer, registry) -> dict:
     if tracer is None:
         return extra
     tracer.finalize()
+    from .graph.aux import publish_aux_graph_metrics
+    from .graph.shm import publish_shared_graph_metrics
     from .graph.store import publish_derived_cache_metrics
 
     publish_derived_cache_metrics(registry)
+    publish_shared_graph_metrics(registry)
+    publish_aux_graph_metrics(registry)
     if args.trace:
         tracer.write_chrome(args.trace)
         extra["trace_file"] = args.trace
@@ -475,6 +489,7 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         n_workers=args.workers,
         adjacency=args.adjacency,
+        enable_aux=args.aux,
         ctx=ctx,
         retries=args.retries,
         on_failure=args.on_failure,
@@ -587,6 +602,7 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         n_workers=args.workers,
         adjacency=args.adjacency,
+        enable_aux=args.aux,
         ctx=ctx,
         retries=args.retries,
         on_failure=args.on_failure,
@@ -955,6 +971,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_arguments(mqc)
     _add_scheduler_arguments(mqc)
     _add_adjacency_argument(mqc)
+    _add_aux_argument(mqc)
     _add_observability_arguments(mqc)
     _add_admission_argument(mqc)
     mqc.add_argument("--gamma", type=float, default=0.8)
@@ -982,6 +999,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_arguments(nsq)
     _add_scheduler_arguments(nsq)
     _add_adjacency_argument(nsq)
+    _add_aux_argument(nsq)
     _add_observability_arguments(nsq)
     _add_admission_argument(nsq)
     nsq.add_argument(

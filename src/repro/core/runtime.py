@@ -67,8 +67,9 @@ from ..exec.events import (
     StatsSubscriber,
 )
 from ..exec.scheduler import merge_counter_dict
+from ..graph.aux import auxiliary_graph
 from ..graph.graph import Graph
-from ..graph.index import ADJACENCY_MODES
+from ..graph.index import ADJACENCY_MODES, GraphIndex
 from ..mining.cache import SetOperationCache
 from ..mining.candidates import root_candidates
 from ..mining.etask import ETask, resolve_index
@@ -148,11 +149,19 @@ class ContigraEngine:
         cache_entries: int = 200_000,
         time_limit: Optional[float] = None,
         adjacency: str = "auto",
+        enable_aux: bool = False,
     ) -> None:
         """``adjacency`` selects the candidate kernels for every ETask
         and VTask this engine runs (see :mod:`repro.graph.index`);
         only the mode string is stored, so pickled engines ship no
-        index data — process-scheduler workers rebuild lazily."""
+        index data — process-scheduler workers rebuild lazily.
+
+        ``enable_aux`` turns on per-pattern auxiliary pruned graphs
+        (:mod:`repro.graph.aux`): each pattern's ETasks run over
+        adjacency restricted to vertices that can actually appear in
+        one of its matches.  Exploration-only — containment VTasks
+        always validate against the full graph, and with the ``sets``
+        path (no kernel index) only root filtering applies."""
         if adjacency not in ADJACENCY_MODES:
             raise ValueError(
                 f"adjacency must be one of {ADJACENCY_MODES}, "
@@ -166,6 +175,7 @@ class ContigraEngine:
         self.enable_lateral = enable_lateral
         self.rl_strategy = rl_strategy
         self.adjacency = adjacency
+        self.enable_aux = enable_aux
         self.time_limit = time_limit
         self.stats = ConstraintStats()
         self._cache_entries = cache_entries
@@ -333,14 +343,35 @@ class EngineSession:
     # ------------------------------------------------------------------
 
     def _roots_for(self, pattern: Pattern) -> List[int]:
-        """Root candidates for one pattern, memoized per session."""
+        """Root candidates for one pattern, memoized per session.
+
+        With auxiliary graphs enabled, roots the pruning proved
+        unusable for this pattern are dropped up front — skipping a
+        pruned root is sound because no match can bind it at
+        matching-order position 0."""
         key = pattern.structure_key()
         cached = self._pattern_roots.get(key)
         if cached is None:
             plan = plan_for(pattern, induced=self.engine.induced)
             cached = root_candidates(self.engine.graph, plan)
+            if self.engine.enable_aux:
+                aux = auxiliary_graph(self.engine.graph, pattern)
+                cached = aux.filter_roots(cached)
             self._pattern_roots[key] = cached
         return cached
+
+    def _pattern_index(self, pattern: Pattern) -> Optional[GraphIndex]:
+        """The kernel index this pattern's ETasks should run on.
+
+        The session index unless auxiliary graphs are on, in which
+        case the pattern's pruned-adjacency index (same mode, distinct
+        cache key — see :mod:`repro.graph.aux` on fusion safety).
+        Exploration only: VTasks keep validating over the full graph.
+        """
+        if self._index is None or not self.engine.enable_aux:
+            return self._index
+        aux = auxiliary_graph(self.engine.graph, pattern)
+        return aux.index(self._index.mode)
 
     def run_roots(self, roots: Optional[Sequence[int]] = None) -> None:
         """Run every workload pattern over ``roots`` (None = all roots).
@@ -355,6 +386,7 @@ class EngineSession:
         observed = self.ctx.observed
         for pattern in engine._ordered_patterns:
             plan = plan_for(pattern, induced=engine.induced)
+            pattern_index = self._pattern_index(pattern)
             pattern_roots = self._roots_for(pattern)
             if shard is not None:
                 pattern_roots = [r for r in pattern_roots if r in shard]
@@ -378,7 +410,7 @@ class EngineSession:
                     task = ETask(
                         engine.graph, plan, root, self._task_cache,
                         self.stats, pattern=pattern, ctx=self.ctx,
-                        index=self._index,
+                        index=pattern_index,
                     )
                     task.run(self._on_etask_match)
             finally:
@@ -509,6 +541,11 @@ class ContigraJob:
 
     def shard_payload(self, roots: Sequence[int]) -> Tuple[Any, List[int]]:
         return (self, list(roots))
+
+    def data_graph(self) -> Graph:
+        """The data graph shards mine — schedulers use this to decide
+        whether to publish it to shared memory before dispatch."""
+        return self.engine.graph
 
     def worker_session(self, ctx: TaskContext) -> EngineSession:
         return self.engine.session(ctx=ctx)

@@ -66,6 +66,8 @@ __all__ = [
     "TransientWorkerError",
     "is_transient",
     "mark_degraded",
+    "register_crash_cleanup",
+    "run_crash_cleanups",
     "select_primary_failure",
 ]
 
@@ -445,3 +447,43 @@ def mark_degraded(
         [f"{type(exc).__name__}: {exc}" for exc in failures],
     )
     return result
+
+
+# ----------------------------------------------------------------------
+# Crash-cleanup hooks
+# ----------------------------------------------------------------------
+
+#: Hooks fired when a run ends with dead shards (see
+#: ``ProcessShardScheduler``): resources whose child-side cleanup a
+#: crashed worker skipped (a chaos kill is ``os._exit``) are reclaimed
+#: by the parent here instead of waiting for interpreter exit.  The
+#: shared-memory graph registry (:mod:`repro.graph.shm`) registers its
+#: segment reclamation at import time.
+_CRASH_CLEANUPS: List[Any] = []
+
+
+def register_crash_cleanup(hook: Any) -> None:
+    """Register a zero-argument callable fired on terminal shard failure.
+
+    Hooks must be idempotent and safe to call from a healthy process:
+    the scheduler may fire them while other runs' resources are being
+    re-created, and re-registration of the same callable is a no-op.
+    """
+    if hook not in _CRASH_CLEANUPS:
+        _CRASH_CLEANUPS.append(hook)
+
+
+def run_crash_cleanups() -> int:
+    """Fire every registered crash-cleanup hook; returns how many ran.
+
+    A raising hook is skipped (cleanup must never mask the primary
+    failure the scheduler is about to surface).
+    """
+    ran = 0
+    for hook in list(_CRASH_CLEANUPS):
+        try:
+            hook()
+            ran += 1
+        except Exception:  # pragma: no cover - defensive isolation
+            pass
+    return ran

@@ -84,6 +84,7 @@ from .resilience import (
     RetryPolicy,
     is_transient,
     mark_degraded,
+    run_crash_cleanups,
     select_primary_failure,
 )
 
@@ -217,6 +218,34 @@ def run_shard_payload(
         result.elapsed,
         recorder.serialize(),
     )
+
+
+def _share_job_graph(job: Any) -> None:
+    """Publish the job's data graph to shared memory when eligible.
+
+    Eligible means the job exposes ``data_graph()`` and that graph's
+    content is registered in the process-global
+    :class:`~repro.graph.store.GraphStore` — registration is the
+    opt-in that says the graph has serving lifetime.  While published,
+    every shard payload pickles the graph as an O(1) segment
+    reference instead of the full adjacency (see
+    :mod:`repro.graph.shm`); publishing is idempotent, so repeated
+    runs over the same content reuse one segment.
+    """
+    getter = getattr(job, "data_graph", None)
+    if getter is None:
+        return
+    graph = getter()
+    if graph is None:
+        return
+    from ..graph.shm import publish_graph
+    from ..graph.store import graph_store
+
+    fingerprint = graph.fingerprint
+    for entry in graph_store().entries():
+        if entry.fingerprint == fingerprint:
+            publish_graph(graph)
+            return
 
 
 def _is_observed(ctx: Optional[TaskContext]) -> bool:
@@ -412,6 +441,7 @@ class ProcessShardScheduler:
                 PHASE_RUN, scheduler=self.name, workers=self.n_workers
             )
         try:
+            _share_job_graph(job)
             shards: List[List[int]] = [[] for _ in range(self.n_workers)]
             for index, vertex in enumerate(job.all_roots()):
                 shards[index % self.n_workers].append(vertex)
@@ -531,6 +561,11 @@ class ProcessShardScheduler:
                 roots=len(shard.roots),
             )
         if dead and self.on_failure == ON_FAILURE_RAISE:
+            # Reclaim crash-scoped resources (shared-memory graph
+            # segments) now: a chaos-killed worker skipped all of its
+            # own cleanup, and the raise below may be the run's last
+            # act in this process for a long time.
+            run_crash_cleanups()
             raise select_primary_failure(
                 [shard.last_error for shard in dead]
             )
@@ -563,6 +598,7 @@ class ProcessShardScheduler:
                     type(shard.last_error).__name__ for shard in dead
                 ],
             )
+            run_crash_cleanups()
         return merged
 
     def _schedule_retries(

@@ -71,6 +71,7 @@ class Graph:
         "_label_freq",
         "_max_degree",
         "_stats",
+        "_shared_csr",
     )
 
     def __init__(
@@ -112,6 +113,10 @@ class Graph:
         self._label_freq: Optional[Dict[int, int]] = None
         self._max_degree: Optional[int] = None
         self._stats: Optional["GraphStats"] = None
+        # Zero-copy CSR views into a shared-memory segment, set only by
+        # repro.graph.shm when this instance was attached rather than
+        # built: kernel indexes adopt them instead of re-flattening.
+        self._shared_csr: Optional[Tuple[Sequence[int], Sequence[int]]] = None
 
     # ------------------------------------------------------------------
     # Identity
@@ -242,7 +247,7 @@ class Graph:
             index = derived_cache().get_or_build(
                 self.version_key,
                 ("index", mode),
-                lambda: GraphIndex(self, mode=mode),
+                lambda: GraphIndex(self, mode=mode, csr=self._shared_csr),
             )
             indexes[mode] = index
         return index
@@ -445,7 +450,22 @@ class Graph:
         key and therefore shares one set of kernel indexes, frozenset
         adjacency, and stats instead of rebuilding them per shard.
         The fingerprint rides along so workers skip recomputing it.
+
+        When this content is published to a shared-memory segment
+        (:func:`repro.graph.shm.publish_graph`), the payload collapses
+        to the O(1) ``(name, fingerprint, segment)`` reference instead
+        of the adjacency — receiving processes attach to the segment,
+        once per worker, and read the CSR arrays in place.
         """
+        fingerprint = self.fingerprint
+        from .shm import _restore_shared_graph, published_segment
+
+        segment = published_segment(fingerprint)
+        if segment is not None:
+            return (
+                _restore_shared_graph,
+                (self._name, fingerprint, segment),
+            )
         return (
             _restore_graph,
             (
@@ -453,7 +473,7 @@ class Graph:
                 self._labels,
                 self._num_edges,
                 self._name,
-                self.fingerprint,
+                fingerprint,
             ),
         )
 

@@ -27,7 +27,19 @@ auxiliary adjacency):
 ``auto``
     Degree-threshold hybrid: pools seeded at a high-degree anchor use
     bitsets, pools seeded at a low-degree anchor use CSR galloping.
-    This is the default engine mode.
+    This is the default engine mode.  When numpy is importable the
+    hybrid also engages the tier-2 batch kernel (see ``vector``) for
+    sibling-pool prefetches.
+
+``vector``
+    Tier-2 batched intersections: single pools behave exactly like
+    ``bitset`` pools, but *many* pools per extension step are computed
+    in one pass over a packed adjacency matrix
+    (:meth:`GraphIndex.batch_pool` / :meth:`GraphIndex.batch_extend`).
+    numpy is an optional accelerator — when it is missing (or
+    ``REPRO_NO_NUMPY`` is set) the same batch entry points run a pure
+    Python big-int fallback, so results never depend on numpy being
+    installed.
 
 ``sets``
     The seed ``frozenset`` path, kept verbatim in
@@ -43,10 +55,12 @@ few vertices of a large graph never pay an O(n + m) spike.
 
 from __future__ import annotations
 
+import os
 from array import array
 from bisect import bisect_left, bisect_right
 from typing import (
     TYPE_CHECKING,
+    Any,
     Dict,
     List,
     Optional,
@@ -59,8 +73,23 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .graph import Graph
 
+# numpy is an optional accelerator, never a dependency: the vector
+# kernels fall back to pure-Python big-int operations when it cannot
+# be imported, and ``REPRO_NO_NUMPY=1`` forces the fallback so the CI
+# numpy-absent leg (and local debugging) can exercise it on a machine
+# that has numpy installed.
+_np: Any = None
+if not os.environ.get("REPRO_NO_NUMPY"):
+    try:  # pragma: no cover - exercised via the numpy-absent test leg
+        import numpy as _np
+    except ImportError:
+        _np = None
+
+#: Whether the numpy-backed vector kernels are active in this process.
+HAS_NUMPY = _np is not None
+
 #: Public adjacency-mode names, as accepted by engines and the CLI.
-ADJACENCY_MODES: Tuple[str, ...] = ("auto", "sets", "bitset", "csr")
+ADJACENCY_MODES: Tuple[str, ...] = ("auto", "sets", "bitset", "csr", "vector")
 
 #: ``auto`` seeds a bitset pool when the smallest anchor degree is at
 #: least this; below it, galloping over CSR windows wins (the AND cost
@@ -71,8 +100,26 @@ DEFAULT_BITSET_MIN_DEGREE = 16
 #: the whole graph stays on the legacy frozenset path.  Sparse pools
 #: are so small that the kernel layer's fixed per-step cost (semantic
 #: cache keys, reuse-table probes) exceeds what its intersections
-#: save over C-speed hash-set ``&``.
+#: save over C-speed hash-set ``&``.  Calibrated against the bundled
+#: dataset analogs: on the densest committed sparse workload (dblp,
+#: avg degree ~5.8) every kernel mode measures 0.89–0.91x end-to-end,
+#: so the fallback *is* the optimal tier there — ``auto`` on a sparse
+#: graph dispatches to the identical code path as ``sets`` and cannot
+#: lose to it by construction (guarded by a dispatch-identity test).
 AUTO_MIN_AVG_DEGREE = 16.0
+
+#: Galloping cap (satellite fix for the csr-on-dense pathology): when
+#: the seed window of an explicit ``csr`` pool is at least this large,
+#: per-element binary search over equally large operand windows is
+#: strictly worse than one bitmask AND, so the pool falls through to
+#: the bitset path instead of galloping.  Below the cap (the sparse
+#: regime csr exists for) galloping keeps its already-sorted output.
+GALLOP_WINDOW_CAP = 64
+
+#: Minimum sibling-batch size for the tier-2 batch kernel: below this
+#: the per-call overhead of staging a batch exceeds what one pass
+#: saves over individual big-int ANDs.
+BATCH_MIN_SIZE = 4
 
 
 def auto_selects_kernels(graph: "Graph") -> bool:
@@ -180,13 +227,17 @@ class GraphIndex:
     __slots__ = (
         "graph",
         "mode",
+        "cache_key",
         "graph_version",
         "bitset_min_degree",
+        "batch_enabled",
         "_offsets",
         "_flat",
         "_bits",
         "_label_bits",
         "_label_adj",
+        "_packed",
+        "_label_packed",
     )
 
     def __init__(
@@ -194,26 +245,52 @@ class GraphIndex:
         graph: "Graph",
         mode: str = "auto",
         bitset_min_degree: int = DEFAULT_BITSET_MIN_DEGREE,
+        csr: Optional[Tuple[Sequence[int], Sequence[int]]] = None,
+        cache_tag: Optional[str] = None,
     ) -> None:
-        if mode not in ("auto", "bitset", "csr"):
+        """``csr`` adopts prebuilt ``(offsets, flat)`` arrays instead of
+        deriving them from the graph's adjacency rows — the zero-copy
+        path: a worker attached to a shared-memory graph segment hands
+        the segment's views straight to the index.
+
+        ``cache_tag`` disambiguates this index's pools in shared
+        set-operation caches: indexes over *different adjacency* for
+        the same data graph (auxiliary pruned graphs,
+        :mod:`repro.graph.aux`) must not answer each other's cache
+        lookups, so their :attr:`cache_key` carries the tag while
+        plain indexes keep the bare mode string."""
+        if mode not in ("auto", "bitset", "csr", "vector"):
             raise ValueError(
-                f"GraphIndex mode must be auto/bitset/csr, got {mode!r} "
-                "(the 'sets' mode needs no index)"
+                f"GraphIndex mode must be auto/bitset/csr/vector, got "
+                f"{mode!r} (the 'sets' mode needs no index)"
             )
         self.graph = graph
         self.mode = mode
+        self.cache_key = mode if cache_tag is None else f"{mode}#{cache_tag}"
         self.graph_version = graph.version_key
         self.bitset_min_degree = bitset_min_degree
-        offsets = array("l", [0])
-        flat = array("l")
-        for v in graph.vertices():
-            flat.extend(graph.neighbors(v))
-            offsets.append(len(flat))
-        self._offsets = offsets
-        self._flat = flat
+        if csr is not None:
+            self._offsets = csr[0]
+            self._flat = csr[1]
+        else:
+            offsets = array("l", [0])
+            flat = array("l")
+            for v in graph.vertices():
+                flat.extend(graph.neighbors(v))
+                offsets.append(len(flat))
+            self._offsets = offsets
+            self._flat = flat
         self._bits: Dict[int, int] = {}
         self._label_bits: Dict[int, int] = {}
         self._label_adj: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        # Tier-2 batch kernel gate: ``vector`` always batches (pure
+        # Python fallback included); the ``auto``/``bitset`` tiers fold
+        # the batch pass in only when numpy makes it a win.
+        self.batch_enabled = mode == "vector" or (
+            HAS_NUMPY and mode in ("auto", "bitset")
+        )
+        self._packed: Any = None
+        self._label_packed: Dict[int, Any] = {}
 
     # ------------------------------------------------------------------
     # Primitive accessors
@@ -279,7 +356,9 @@ class GraphIndex:
 
     def seed_is_bitset(self, min_degree: int) -> bool:
         """Whether a pool seeded at this degree should use bitsets."""
-        if self.mode == "bitset":
+        if self.mode in ("bitset", "vector"):
+            # ``vector`` single pools are bitset pools: the tier-2 win
+            # comes from batch_extend(), not a new single-pool form.
             return True
         if self.mode == "csr":
             return False
@@ -336,6 +415,20 @@ class GraphIndex:
         else:
             lo, hi = self.window(seed)
             current = self._flat[lo:hi]
+        if len(ordered) > 1 and len(current) >= GALLOP_WINDOW_CAP:
+            # Dense-seed fallthrough: galloping a large window through
+            # equally large operand windows is O(d log d) per operand
+            # while a bitmask AND is O(n/64) flat — on dense graphs the
+            # former loses by ~50x (the 0.14x csr-on-dense pathology).
+            bits = bits_from_sorted(current, self.graph.num_vertices)
+            for v in ordered[1:]:
+                bits &= self.neighbor_bits(v)
+                if stats is not None:
+                    stats.set_intersections += 1
+                    stats.bitset_intersections += 1
+                if not bits:
+                    return ()
+            return tuple(bits_to_sorted(bits))
         result: List[int] = list(current)
         for v in ordered[1:]:
             lo, hi = self.window(v)
@@ -411,6 +504,168 @@ class GraphIndex:
             return bits_count(pool)
         return len(pool)
 
+    # ------------------------------------------------------------------
+    # Tier-2 batch kernels
+    # ------------------------------------------------------------------
+
+    def _ensure_packed(self) -> Any:
+        """The packed adjacency matrix behind the numpy batch kernels.
+
+        A ``(n, ceil(n/8))`` uint8 matrix whose row ``v`` is the
+        little-endian byte encoding of ``neighbor_bits(v)`` — the same
+        encoding big-int ``to_bytes``/``from_bytes`` uses, so rows and
+        bitmask pools interconvert without re-packing.  Built lazily on
+        the first batch call (O(n²/8) bytes; only graphs dense enough
+        to engage the batch tier pay it).
+        """
+        packed = self._packed
+        if packed is None:
+            n = self.graph.num_vertices
+            offsets = _np.asarray(self._offsets, dtype=_np.int64)
+            flat = _np.asarray(self._flat, dtype=_np.int64)
+            dense = _np.zeros((n, max(n, 1)), dtype=bool)
+            if len(flat):
+                rows = _np.repeat(_np.arange(n), _np.diff(offsets))
+                dense[rows, flat] = True
+            packed = _np.packbits(dense, axis=1, bitorder="little")
+            self._packed = packed
+        return packed
+
+    def _packed_label_row(self, label: int) -> Any:
+        """``label_bits(label)`` as a uint8 row aligned with the packed
+        adjacency matrix (lazy, cached per label)."""
+        row = self._label_packed.get(label)
+        if row is None:
+            width = self._ensure_packed().shape[1]
+            row = _np.frombuffer(
+                self.label_bits(label).to_bytes(width, "little"),
+                dtype=_np.uint8,
+            )
+            self._label_packed[label] = row
+        return row
+
+    def batch_extend(
+        self,
+        base: Optional[int],
+        candidates: Sequence[int],
+        label: Optional[int] = None,
+        stats: Optional["_IntersectionStats"] = None,
+    ) -> List[Pool]:
+        """One pool per candidate: ``neighbor_bits(c) & base & label``.
+
+        This is the tier-2 sibling prefetch: when an extension step is
+        about to descend into each candidate ``c`` in turn, every
+        child's pool shares the same fixed-anchor ``base`` mask and
+        differs only in ``c``'s adjacency — so all of them are one
+        fancy-indexed row gather plus one broadcast AND over the packed
+        matrix, instead of ``len(candidates)`` separate big-int ANDs.
+        Returns bitmask pools aligned with ``candidates``; the numpy
+        and pure-Python paths are bit-identical.
+        """
+        count = len(candidates)
+        if stats is not None:
+            stats.batch_intersections += 1
+            stats.set_intersections += count
+            stats.bitset_intersections += count
+        if _np is not None:
+            packed = self._ensure_packed()
+            width = packed.shape[1]
+            block = packed[
+                _np.fromiter(candidates, dtype=_np.int64, count=count)
+            ]
+            if base is not None:
+                block = block & _np.frombuffer(
+                    base.to_bytes(width, "little"), dtype=_np.uint8
+                )
+            if label is not None:
+                block = block & self._packed_label_row(label)
+            blob = block.tobytes()
+            return [
+                int.from_bytes(blob[i * width : (i + 1) * width], "little")
+                for i in range(count)
+            ]
+        label_mask = self.label_bits(label) if label is not None else None
+        neighbor_bits = self.neighbor_bits
+        out: List[Pool] = []
+        for c in candidates:
+            mask = neighbor_bits(c)
+            if base is not None:
+                mask &= base
+            if label_mask is not None:
+                mask &= label_mask
+            out.append(mask)
+        return out
+
+    def batch_pool(
+        self,
+        batches: Sequence[Sequence[int]],
+        label: Optional[int] = None,
+        stats: Optional["_IntersectionStats"] = None,
+    ) -> List[Pool]:
+        """Many independent anchor-set intersections in one pass.
+
+        ``batches[i]`` is an anchor sequence; the result is the bitmask
+        pool of each (common neighbors of its anchors, label-masked).
+        Anchor sets of equal size are grouped so each group is ``k``
+        column gathers AND-ed pairwise over ``(B, width)`` blocks —
+        measurably faster than one ``bitwise_and.reduce`` over a
+        gathered ``(B, k, width)`` cube, which materializes the full
+        intermediate before reducing.
+        """
+        if stats is not None:
+            stats.batch_intersections += 1
+            total = sum(max(len(b) - 1, 1) for b in batches)
+            stats.set_intersections += total
+            stats.bitset_intersections += total
+        results: List[Pool] = [0] * len(batches)
+        if _np is not None:
+            packed = self._ensure_packed()
+            width = packed.shape[1]
+            by_size: Dict[int, List[int]] = {}
+            for i, anchors in enumerate(batches):
+                by_size.setdefault(len(anchors), []).append(i)
+            label_row = (
+                self._packed_label_row(label) if label is not None else None
+            )
+            from_bytes = int.from_bytes
+            for size, positions in by_size.items():
+                if size == 0:
+                    continue
+                ids = _np.array(
+                    [batches[i] for i in positions], dtype=_np.int64
+                )
+                block = packed[ids[:, 0]]
+                for col in range(1, size):
+                    block = block & packed[ids[:, col]]
+                if label_row is not None:
+                    block = block & label_row
+                blob = block.tobytes()
+                pools = [
+                    from_bytes(blob[j * width : (j + 1) * width], "little")
+                    for j in range(len(positions))
+                ]
+                if len(positions) == len(batches):
+                    results = pools
+                else:
+                    for i, pool in zip(positions, pools):
+                        results[i] = pool
+            return results
+        label_mask = self.label_bits(label) if label is not None else None
+        neighbor_bits = self.neighbor_bits
+        for i, anchors in enumerate(batches):
+            if not anchors:
+                continue
+            it = iter(anchors)
+            mask = neighbor_bits(next(it))
+            for v in it:
+                mask &= neighbor_bits(v)
+                if not mask:
+                    break
+            if label_mask is not None:
+                mask &= label_mask
+            results[i] = mask
+        return results
+
     def __repr__(self) -> str:
         return (
             f"GraphIndex(mode={self.mode!r}, |V|={self.graph.num_vertices}, "
@@ -430,3 +685,4 @@ class _IntersectionStats(Protocol):
     set_intersections: int
     bitset_intersections: int
     galloping_intersections: int
+    batch_intersections: int

@@ -74,11 +74,13 @@ def kernel_pool(
 ) -> Pool:
     """Label-restricted common-neighbor pool of ``anchors``, cached.
 
-    The shared-cache key carries the label and kernel mode alongside
-    the anchor identity, so fused tasks (VTasks sharing the parent
-    ETask's cache) hit the same entries the ETask populated.
+    The shared-cache key carries the label and the index's cache key
+    (mode, plus a tag for auxiliary pruned indexes) alongside the
+    anchor identity, so fused tasks (VTasks sharing the parent ETask's
+    cache) hit the same entries the ETask populated — but never a
+    pruned pool computed over different adjacency.
     """
-    key = (frozenset(anchors), label, index.mode)
+    key = (frozenset(anchors), label, index.cache_key)
     cached = cache.lookup(key)
     if cached is not None:
         return cached
@@ -96,19 +98,24 @@ def _step_pool(
     cache: SetOperationCache,
     stats: MiningStats,
     task_cache: Optional[TaskCache],
+    override: Optional[Pool] = None,
 ) -> Pool:
     """The candidate pool for one matching-order step, all reuse tiers.
 
-    Lookup order: (1) the shared semantic cache, (2) incremental
-    refinement of the task's cached pool from the plan's reuse step,
-    (3) full kernel intersection.  Whatever produced the pool, it is
-    stored in both caches for deeper steps and fused tasks.
+    Lookup order: (1) the shared semantic cache, (2) a prefetched
+    ``override`` pool (the tier-2 batch kernel computed this step's
+    intersection alongside its siblings' — see
+    :meth:`~repro.graph.index.GraphIndex.batch_extend`), (3)
+    incremental refinement of the task's cached pool from the plan's
+    reuse step, (4) full kernel intersection.  Whatever produced the
+    pool, it is stored in both caches for deeper steps and fused tasks.
     """
     label = plan.labels_at[step]
-    key = (frozenset(anchors), label, index.mode)
+    key = (frozenset(anchors), label, index.cache_key)
     pool: Optional[Pool] = cache.lookup(key)
     if pool is None:
-        if task_cache is not None:
+        pool = override
+        if pool is None and task_cache is not None:
             pool = _incremental_pool(
                 index, plan, step, bound, label, stats, task_cache
             )
@@ -173,6 +180,7 @@ def compute_candidates(
     apply_symmetry: bool = True,
     index: Optional[GraphIndex] = None,
     task_cache: Optional[TaskCache] = None,
+    pool_override: Optional[Pool] = None,
 ) -> List[int]:
     """Sorted data-vertex candidates for matching-order position ``step``.
 
@@ -181,7 +189,9 @@ def compute_candidates(
     by VTasks, where restrictions of the parent pattern must be undone
     (paper §5.2.1).  ``index=None`` selects the legacy frozenset path;
     otherwise the index's kernels run, with ``task_cache`` enabling
-    incremental candidate extension across steps.
+    incremental candidate extension across steps and ``pool_override``
+    supplying a batch-prefetched pool (used only on a shared-cache
+    miss, so hit/miss semantics are unchanged).
     """
     stats.candidate_computations += 1
     anchors = [bound[j] for j in plan.backward_neighbors[step]]
@@ -204,7 +214,8 @@ def compute_candidates(
         return _filter_sets(graph, plan, step, bound, anchors, cache, stats, lo, hi)
 
     pool = _step_pool(
-        index, plan, step, bound, anchors, cache, stats, task_cache
+        index, plan, step, bound, anchors, cache, stats, task_cache,
+        override=pool_override,
     )
     if isinstance(pool, int):
         return _filter_bits(index, plan, step, bound, pool, lo, hi)

@@ -341,3 +341,51 @@ class TestMakeSchedulerKnobs:
         for name in ("serial", "process", "workqueue"):
             with pytest.raises(ValueError):
                 make_scheduler(name, on_failure="explode")
+
+
+class TestSharedSegmentReclamation:
+    """Shared-memory graph segments survive worker deaths and are
+    reclaimed by the owning process, never leaked (tentpole lifecycle
+    contract of ``repro.graph.shm``)."""
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method required")
+    @pytest.mark.skipif(
+        "process" not in SCHEDULERS, reason="process scheduler excluded"
+    )
+    def test_killed_worker_leaves_segment_reclaimable(self):
+        from multiprocessing import shared_memory
+
+        from repro.graph.shm import (
+            published_segment,
+            shared_graphs,
+            unpublish_all,
+        )
+        from repro.graph.store import graph_store, reset_default_store
+
+        graph = erdos_renyi(12, 0.45, seed=5, name="chaos-shared")
+        reference = match_multiset(
+            engine_for(graph).run_with(SerialScheduler())
+        )
+        graph_store().register(graph)
+        try:
+            plan = FaultPlan().kill(0, times=1)
+            result = engine_for(graph).run_with(
+                ProcessShardScheduler(
+                    n_workers=2, retry=FAST, fault_plan=plan
+                )
+            )
+            # The run published the registered graph and survived the
+            # worker death with the exact serial result.
+            assert match_multiset(result) == reference
+            segment = published_segment(graph.fingerprint)
+            assert segment is not None
+            # The dead worker's attachment must not pin the segment:
+            # the owner unlinks it and the name disappears.
+            shared_graphs().release_attachments()
+            assert unpublish_all() == 1
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=segment)
+            assert published_segment(graph.fingerprint) is None
+        finally:
+            unpublish_all()
+            reset_default_store()

@@ -19,6 +19,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.apps import maximal_quasi_cliques
+from repro.apps.mqc import build_mqc_engine
 from repro.apps.nsq import nested_subgraph_query, paper_query_triangles
 from repro.graph import Graph, erdos_renyi
 from repro.graph.store import (
@@ -423,6 +424,96 @@ class TestVersionBoundCaches:
         engine = MiningEngine(g, adjacency="bitset")
         assert engine.cache.graph_version == g.version_key
         assert engine._task_cache().graph_version == g.version_key
+
+
+# ----------------------------------------------------------------------
+# Zero-copy shared-memory graphs: O(1) pickle payloads
+# ----------------------------------------------------------------------
+
+
+class TestSharedGraphPayloads:
+    """While a graph is published to shared memory, every pickle of it
+    (and therefore every process-scheduler shard payload) collapses to
+    an O(1) segment reference instead of the adjacency arrays."""
+
+    @pytest.fixture(autouse=True)
+    def clean_segments(self):
+        from repro.graph.shm import shared_graphs, unpublish_all
+
+        yield
+        shared_graphs().release_attachments()
+        unpublish_all()
+
+    def test_published_pickle_payload_is_constant_size(self):
+        from repro.graph.shm import publish_graph, unpublish_graph
+
+        small = erdos_renyi(40, 0.2, seed=3, name="payload-small")
+        big = erdos_renyi(600, 0.2, seed=5, name="payload-big")
+        plain_small = len(pickle.dumps(small))
+        plain_big = len(pickle.dumps(big))
+        assert plain_big > 10 * plain_small  # scales with the graph
+
+        publish_graph(small)
+        publish_graph(big)
+        shared_small = len(pickle.dumps(small))
+        shared_big = len(pickle.dumps(big))
+        # O(1): a segment reference, independent of graph size.
+        assert shared_big < 400
+        assert abs(shared_big - shared_small) < 100
+
+        # Unpublishing restores the plain payload.
+        assert unpublish_graph(big.fingerprint)
+        assert len(pickle.dumps(big)) == plain_big
+
+    def test_round_trip_attaches_and_dedups(self):
+        from repro.graph.shm import publish_graph, shm_counters
+
+        graph = erdos_renyi(120, 0.15, seed=7, name="rt")
+        publish_graph(graph)
+        payload = pickle.dumps(graph)
+        before = shm_counters()["attaches"]
+        first = pickle.loads(payload)
+        second = pickle.loads(payload)
+        assert second is first  # one attachment per segment, reused
+        assert shm_counters()["attaches"] == before + 1
+        assert first.fingerprint == graph.fingerprint
+        assert first.labels == graph.labels
+        for v in graph.vertices():
+            assert first.neighbors(v) == graph.neighbors(v)
+
+    def test_scheduler_shard_payload_ships_no_adjacency(self):
+        from repro.core.runtime import ContigraJob
+        from repro.exec.scheduler import _share_job_graph
+
+        def shard_bytes(n):
+            graph = erdos_renyi(n, 0.2, seed=11, name=f"shard-{n}")
+            graph_store().register(graph)
+            engine = build_mqc_engine(graph, 0.8, 4)
+            job = ContigraJob(engine)
+            _share_job_graph(job)  # what every scheduler run invokes
+            return len(pickle.dumps(job.shard_payload([0, 1, 2])))
+
+        small, big = shard_bytes(30), shard_bytes(500)
+        # The payload carries the engine tables but no per-shard
+        # adjacency: growing the graph 16x must not grow the payload.
+        assert big < small + 200
+
+    def test_unregistered_graph_is_not_published(self):
+        from repro.core.runtime import ContigraJob
+        from repro.exec.scheduler import _share_job_graph
+        from repro.graph.shm import published_segment
+
+        graph = erdos_renyi(30, 0.2, seed=13, name="unregistered")
+        job = ContigraJob(build_mqc_engine(graph, 0.8, 4))
+        _share_job_graph(job)
+        assert published_segment(graph.fingerprint) is None
+
+    def test_process_scheduler_results_identical_when_shared(self):
+        graph = erdos_renyi(18, 0.4, seed=17, name="shared-e2e")
+        reference = _mine_mqc(graph).all_sets()
+        graph_store().register(graph)
+        shared = _mine_mqc(graph, scheduler="process").all_sets()
+        assert shared == reference
 
 
 # ----------------------------------------------------------------------

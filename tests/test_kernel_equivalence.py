@@ -526,3 +526,164 @@ class TestGraphCaching:
         assert revived.graph._indexes is None  # nothing shipped
         # In-process revival shares the already-built index.
         assert revived.graph.kernel_index("bitset") is idx
+
+
+# ----------------------------------------------------------------------
+# Tier-2 batch kernels: one-pass sibling intersections
+# ----------------------------------------------------------------------
+
+
+class TestBatchKernels:
+    """``batch_pool``/``batch_extend`` vs per-pool oracle, both with
+    and without numpy (the fallback is bit-identical by contract)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batch_pool_matches_individual_pools(self, seed):
+        graph = labeled_random_graph(40, 0.4, num_labels=2, seed=seed)
+        index = graph.kernel_index("vector")
+        stats = MiningStats()
+        rng = random.Random(seed)
+        batch = [
+            rng.sample(range(40), rng.randrange(1, 4)) for _ in range(8)
+        ]
+        for label in (None, 0, 1):
+            pools = index.batch_pool(batch, label, stats)
+            assert len(pools) == len(batch)
+            for anchors, pool in zip(batch, pools):
+                expected = set.intersection(
+                    *(set(graph.neighbors(v)) for v in anchors)
+                )
+                if label is not None:
+                    expected = {
+                        v for v in expected if graph.label(v) == label
+                    }
+                assert index.pool_to_sorted(pool) == sorted(expected)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batch_extend_matches_per_child_pools(self, seed):
+        graph = random_graph(35, 0.4, seed=60 + seed)
+        index = graph.kernel_index("vector")
+        stats = MiningStats()
+        base = index.neighbor_bits(0) & index.neighbor_bits(1)
+        candidates = bits_to_sorted(base)
+        pools = index.batch_extend(base, candidates, None, stats)
+        assert len(pools) == len(candidates)
+        for c, pool in zip(candidates, pools):
+            expected = bits_to_sorted(base & index.neighbor_bits(c))
+            assert index.pool_to_sorted(pool) == expected
+
+    def test_batch_stats_counters_move(self):
+        graph = random_graph(30, 0.5, seed=71)
+        index = graph.kernel_index("vector")
+        stats = MiningStats()
+        index.batch_pool([[0, 1], [2, 3], [4]], None, stats)
+        assert stats.batch_intersections == 1
+        assert stats.set_intersections >= 3
+
+
+# ----------------------------------------------------------------------
+# Auxiliary (pruned-adjacency) graphs: soundness and equivalence
+# ----------------------------------------------------------------------
+
+
+def _core_periphery(seed=23, core_n=20, total_n=60):
+    """A dense core plus degree-2 periphery: the regime auxiliary
+    pruning targets (the periphery can host no clique-like match)."""
+    rng = random.Random(seed)
+    core = erdos_renyi(core_n, 0.6, seed=seed)
+    adjacency = [list(core.neighbors(v)) for v in core.vertices()]
+    adjacency.extend([] for _ in range(total_n - core_n))
+    for v in range(core_n, total_n):
+        for u in rng.sample(range(core_n), 2):
+            adjacency[v].append(u)
+            adjacency[u].append(v)
+    return Graph(adjacency, name=f"aux-test-{seed}")
+
+
+class TestAuxiliaryGraphs:
+    def test_pruning_never_drops_a_match_vertex(self):
+        from repro.graph.aux import auxiliary_graph
+
+        graph = _core_periphery()
+        pattern = clique(4)
+        aux = auxiliary_graph(graph, pattern)
+        assert aux.summary.prune_ratio > 0  # the test is not vacuous
+        used = {
+            v
+            for assignment in _match_multiset(graph, pattern, "sets")
+            for v in assignment
+        }
+        assert used <= set(aux.allowed)
+
+    def test_aux_pool_is_full_pool_restricted_to_survivors(self):
+        from repro.graph.aux import auxiliary_graph
+
+        graph = _core_periphery(seed=31)
+        aux = auxiliary_graph(graph, clique(4))
+        full = graph.kernel_index("bitset")
+        pruned = aux.index("bitset")
+        allowed = set(aux.allowed)
+        stats = MiningStats()
+        rng = random.Random(7)
+        for _ in range(20):
+            anchors = rng.sample(aux.allowed, 2)
+            full_pool = set(
+                full.pool_to_sorted(full.pool(anchors, None, stats))
+            )
+            aux_pool = set(
+                pruned.pool_to_sorted(pruned.pool(anchors, None, stats))
+            )
+            assert aux_pool == full_pool & allowed
+
+    def test_aux_index_cache_key_never_collides_with_full(self):
+        from repro.graph.aux import auxiliary_graph
+
+        graph = _core_periphery(seed=37)
+        aux = auxiliary_graph(graph, clique(4))
+        for mode in ("bitset", "csr"):
+            assert graph.kernel_index(mode).cache_key == mode
+            assert aux.index(mode).cache_key.startswith(f"{mode}#aux")
+
+    def test_artifact_cached_per_signature(self):
+        from repro.graph.aux import auxiliary_graph, requirement_signature
+
+        graph = _core_periphery(seed=41)
+        first = auxiliary_graph(graph, clique(4))
+        assert auxiliary_graph(graph, clique(4)) is first
+        # A different degree requirement is a different artifact.
+        assert requirement_signature(triangle()) != requirement_signature(
+            clique(4)
+        )
+        assert auxiliary_graph(graph, triangle()) is not first
+
+    def test_root_filtering_matches_allowed_set(self):
+        from repro.graph.aux import auxiliary_graph
+
+        graph = _core_periphery(seed=43)
+        aux = auxiliary_graph(graph, clique(4))
+        roots = list(graph.vertices())
+        assert aux.filter_roots(roots) == sorted(aux.allowed)
+
+    @pytest.mark.parametrize("mode", ["sets", "bitset", "auto"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mqc_identical_with_aux(self, mode, seed):
+        graph = _core_periphery(seed=80 + seed)
+        baseline = maximal_quasi_cliques(
+            graph, 0.75, 4, adjacency=mode
+        ).all_sets()
+        assert baseline
+        with_aux = maximal_quasi_cliques(
+            graph, 0.75, 4, adjacency=mode, enable_aux=True
+        ).all_sets()
+        assert with_aux == baseline, (mode, seed)
+
+    def test_nsq_identical_with_aux(self):
+        graph = _core_periphery(seed=91)
+        p_m, p_plus = paper_query_triangles()
+        baseline = nested_subgraph_query(
+            graph, p_m, p_plus, adjacency="bitset"
+        ).assignments()
+        with_aux = nested_subgraph_query(
+            graph, p_m, p_plus, adjacency="bitset", enable_aux=True
+        ).assignments()
+        assert with_aux == baseline

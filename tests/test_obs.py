@@ -71,7 +71,9 @@ def observed_run(graph, scheduler, **engine_options):
 
 class TestEventVocabularyIsAlive:
     def test_engine_run_emits_every_non_cache_event(self):
-        graph = erdos_renyi(16, 0.5, seed=11)
+        # Dense enough (avg degree >= AUTO_MIN_AVG_DEGREE) that auto
+        # engages the kernel tier, so kernel_batch_intersect is alive.
+        graph = erdos_renyi(20, 0.9, seed=11)
         _, _, _, log = observed_run(graph, SerialScheduler())
         seen = {name for name, _ in log.records}
         # Cache events need a cache; resilience events need a failure.
@@ -96,7 +98,7 @@ class TestEventVocabularyIsAlive:
 
     def test_every_event_name_is_emitted_somewhere(self):
         """The regression gate: EVENTS may not contain dead names."""
-        graph = erdos_renyi(16, 0.5, seed=11)
+        graph = erdos_renyi(20, 0.9, seed=11)
         _, _, _, log = observed_run(graph, SerialScheduler())
         seen = {name for name, _ in log.records}
         bus = EventBus()
