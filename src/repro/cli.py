@@ -228,6 +228,7 @@ def _run_record(
     adjacency: Optional[str] = None,
     workers: Optional[int] = None,
     graph: Optional[Graph] = None,
+    scope=None,
 ) -> dict:
     """The json-only run envelope: configuration, wall time, counters.
 
@@ -238,8 +239,10 @@ def _run_record(
     let bench results be joined against estimator recommendations.
     When ``graph`` is given the record also pins the exact graph
     content (fingerprint + store version key) plus a derived-cache
-    counter snapshot, so results from two runs are comparable only
-    when their fingerprints match.
+    counter snapshot.  ``scope`` is the :class:`repro.obs.RunScope`
+    opened before the run: with it, the derived-cache counters are
+    *this run's* deltas rather than the process-cumulative totals (the
+    cumulative numbers inflated every second in-process run's record).
     """
     record = {
         "scheduler": scheduler,
@@ -249,14 +252,17 @@ def _run_record(
         "counters": result.stats.as_dict(),
     }
     if graph is not None:
-        from .graph.store import derived_cache
-
         record["graph"] = {
             "name": graph.name,
             "version": graph.version_key,
             "fingerprint": graph.fingerprint,
         }
-        record["derived_cache"] = derived_cache().counters()
+        if scope is not None:
+            record["derived_cache"] = scope.deltas()["derived_cache"]
+        else:
+            from .graph.store import derived_cache
+
+            record["derived_cache"] = derived_cache().counters()
     if getattr(result, "incomplete", False):
         # Degraded runs are never silently complete: the record always
         # names what was skipped and why.
@@ -477,9 +483,12 @@ def _close_admission_loop(
 
 
 def _cmd_mqc(args: argparse.Namespace) -> int:
+    from .obs import RunScope
+
     graph = _load_graph(args)
     admission = _admission_check(args, graph, _mqc_constraint_set(args))
     ctx, tracer, registry = _make_observability(args)
+    scope = RunScope.begin()
     result = maximal_quasi_cliques(
         graph,
         gamma=args.gamma,
@@ -514,7 +523,7 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
         json_extra={
             **_run_record(
                 result, args.scheduler, args.adjacency,
-                workers=args.workers, graph=graph,
+                workers=args.workers, graph=graph, scope=scope,
             ),
             **admission_extra,
             **obs_extra,
@@ -524,7 +533,10 @@ def _cmd_mqc(args: argparse.Namespace) -> int:
 
 
 def _cmd_quasicliques(args: argparse.Namespace) -> int:
+    from .obs import RunScope
+
     graph = _load_graph(args)
+    scope = RunScope.begin()
     if args.fused:
         # Fused mode walks the shared ESU tree directly; the kernel
         # layer applies only to per-pattern ETask exploration.
@@ -549,13 +561,18 @@ def _cmd_quasicliques(args: argparse.Namespace) -> int:
             "elapsed_seconds": round(result.elapsed, 3),
             "mode": "fused" if args.fused else "per-pattern",
         },
-        json_extra=_run_record(result, "serial", adjacency, graph=graph),
+        json_extra=_run_record(
+            result, "serial", adjacency, graph=graph, scope=scope
+        ),
     )
     return 0
 
 
 def _cmd_kws(args: argparse.Namespace) -> int:
+    from .obs import RunScope
+
     graph = _load_graph(args)
+    scope = RunScope.begin()
     if args.keywords in ("mf", "lf"):
         most_frequent, less_frequent = frequent_and_rare_keywords(graph)
         keywords = most_frequent if args.keywords == "mf" else less_frequent
@@ -577,12 +594,14 @@ def _cmd_kws(args: argparse.Namespace) -> int:
             "patterns_skipped": result.patterns_skipped,
             "matches_checked": result.stats.matches_checked,
         },
-        json_extra=_run_record(result, "serial", graph=graph),
+        json_extra=_run_record(result, "serial", graph=graph, scope=scope),
     )
     return 0
 
 
 def _cmd_nsq(args: argparse.Namespace) -> int:
+    from .obs import RunScope
+
     graph = _load_graph(args)
     if args.query == "triangles":
         p_m, p_plus = paper_query_triangles()
@@ -596,6 +615,7 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
             args, graph, nested_query_constraints(p_m, p_plus)
         )
     ctx, tracer, registry = _make_observability(args)
+    scope = RunScope.begin()
     result = nested_subgraph_query(
         graph, p_m, p_plus,
         time_limit=args.time_limit,
@@ -621,7 +641,7 @@ def _cmd_nsq(args: argparse.Namespace) -> int:
         json_extra={
             **_run_record(
                 result, args.scheduler, args.adjacency,
-                workers=args.workers, graph=graph,
+                workers=args.workers, graph=graph, scope=scope,
             ),
             **admission_extra,
             **obs_extra,
@@ -1100,7 +1120,78 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--labels", help="label file (with --graph)"
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived mining daemon (see docs/serving.md)",
+        description=(
+            "Serve the graph registry and MQC queries over HTTP: "
+            "per-tenant token-bucket rate limits, CG6xx admission "
+            "control, bounded concurrent runs, and NDJSON match "
+            "streaming."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8265)
+    serve.add_argument(
+        "--max-concurrent", type=int, default=2,
+        help="worker slots executing queries concurrently",
+    )
+    serve.add_argument(
+        "--admission", choices=("off", "warn", "strict"), default="strict",
+        help="CG6xx admission gate mode (strict rejects projected "
+             "TLE/OOM before scheduling)",
+    )
+    serve.add_argument(
+        "--tenant-config", default=None, metavar="FILE",
+        help="JSON tenant policy file (rates, priorities, budgets)",
+    )
+    serve.add_argument(
+        "--preload", action="append", default=[], metavar="DATASET",
+        choices=dataset_keys(),
+        help="register this synthetic dataset at startup (repeatable)",
+    )
     return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .bench import dataset
+    from .serve import ServeConfig, serve_in_thread
+
+    for key in args.preload:
+        dataset(key)  # registers in the process-global graph store
+    if args.tenant_config:
+        config = ServeConfig.from_file(
+            args.tenant_config,
+            host=args.host,
+            port=args.port,
+            max_concurrent=args.max_concurrent,
+            admission=args.admission,
+        )
+    else:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_concurrent=args.max_concurrent,
+            admission=args.admission,
+        )
+    handle = serve_in_thread(config)
+    print(
+        json.dumps(
+            {
+                "serving": f"{handle.host}:{handle.port}",
+                "admission": config.admission,
+                "max_concurrent": config.max_concurrent,
+                "preloaded": list(args.preload),
+            }
+        ),
+        flush=True,
+    )
+    try:
+        handle.thread.join()
+    except KeyboardInterrupt:
+        handle.stop()
+    return 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -1115,6 +1206,7 @@ def main(argv: Optional[list] = None) -> int:
         "trace": _cmd_trace,
         "explain": _cmd_explain,
         "analyze": _cmd_analyze,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -48,6 +48,7 @@ from __future__ import annotations
 import time
 from typing import (
     Any,
+    Callable,
     Dict,
     FrozenSet,
     List,
@@ -84,6 +85,10 @@ from .promotion import PromotionRegistry
 from .vtask import ValidationTarget
 
 _DEADLINE_CHECK_INTERVAL = 256
+
+#: Incremental match consumer: ``(pattern, canonical_assignment)``,
+#: called synchronously on the mining thread as matches validate.
+MatchSink = Callable[[Pattern, Tuple[int, ...]], None]
 
 
 class ContigraResult:
@@ -239,14 +244,21 @@ class ContigraEngine:
         self,
         stats: Optional[ConstraintStats] = None,
         ctx: Optional[TaskContext] = None,
+        match_sink: Optional[MatchSink] = None,
     ) -> "EngineSession":
-        """A fresh run session (own registry/result) over this engine."""
-        return EngineSession(self, stats=stats, ctx=ctx)
+        """A fresh run session (own registry/result) over this engine.
+
+        ``match_sink`` is called with ``(pattern, canonical_assignment)``
+        the moment a match passes validation — the incremental delivery
+        hook streaming consumers (the serving daemon) attach to.
+        """
+        return EngineSession(self, stats=stats, ctx=ctx, match_sink=match_sink)
 
     def run(
         self,
         roots: Optional[Sequence[int]] = None,
         ctx: Optional[TaskContext] = None,
+        match_sink: Optional[MatchSink] = None,
     ) -> ContigraResult:
         """Mine all workload patterns under their containment constraints.
 
@@ -256,8 +268,17 @@ class ContigraEngine:
         whole graph, so per-shard results are exact for the subgraphs
         their roots own.  ``ctx`` supplies an external deadline/token;
         without one the engine's ``time_limit`` applies.
+
+        Each run gets **fresh** stats: ``self.stats`` is rebound to the
+        new run's counters so ``engine.stats`` always describes the
+        *last* run.  (Previously the counters accumulated across runs,
+        which inflated every second in-process run's reported totals —
+        fatal for a long-lived daemon attributing work per query.)
         """
-        session = self.session(stats=self.stats, ctx=ctx)
+        self.stats = ConstraintStats()
+        session = self.session(
+            stats=self.stats, ctx=ctx, match_sink=match_sink
+        )
         session.run_roots(roots)
         return session.finish()
 
@@ -294,8 +315,10 @@ class EngineSession:
         engine: ContigraEngine,
         stats: Optional[ConstraintStats] = None,
         ctx: Optional[TaskContext] = None,
+        match_sink: Optional[MatchSink] = None,
     ) -> None:
         self.engine = engine
+        self.match_sink = match_sink
         self.stats = stats if stats is not None else ConstraintStats()
         if ctx is None:
             self.ctx = TaskContext.create(
@@ -472,9 +495,10 @@ class EngineSession:
         if violation is None:
             # Results are stored canonically (idempotent for matches
             # that arrived through the promotion path).
-            self.result.valid.append(
-                (pattern, canonical_assignment(assignment, pattern))
-            )
+            canonical = canonical_assignment(assignment, pattern)
+            self.result.valid.append((pattern, canonical))
+            if self.match_sink is not None:
+                self.match_sink(pattern, canonical)
             if self.ctx.bus.has_subscribers(MATCH):
                 self.ctx.emit(
                     MATCH,

@@ -54,6 +54,7 @@ preserving the original relative timings for timed subscribers.
 from __future__ import annotations
 
 import logging
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -154,34 +155,48 @@ class EventBus:
         handlers ran.  Worker/session buses forward to the run bus so
         observability subscribers attached at the top see the whole
         run while per-worker stats stay isolated.
+
+    Thread safety: subscription changes are serialized by a lock and
+    applied copy-on-write — every mutation installs a *new* handler
+    list, never edits one in place.  :meth:`emit` therefore iterates
+    an immutable snapshot without taking the lock: a subscriber added,
+    removed, or self-removing concurrently with an emit (work-queue
+    scheduler threads, concurrent daemon runs) can neither be skipped
+    nor double-delivered within that emit, and the hot path stays a
+    dict lookup plus a truthiness test.
     """
 
-    __slots__ = ("_handlers", "_timed", "_forward", "strict")
+    __slots__ = ("_handlers", "_timed", "_forward", "_lock", "strict")
 
     def __init__(
         self,
         strict: bool = False,
         forward_to: Optional["EventBus"] = None,
     ) -> None:
-        self._handlers: Dict[str, List[Handler]] = {}
-        self._timed: List[TimedHandler] = []
+        self._handlers: Dict[str, Tuple[Handler, ...]] = {}
+        self._timed: Tuple[TimedHandler, ...] = ()
         self._forward = forward_to
+        self._lock = threading.Lock()
         self.strict = strict
 
     def subscribe(self, event: str, handler: Handler) -> None:
         """Register ``handler`` for ``event`` (called on every emit)."""
         if event not in EVENTS:
             raise ValueError(f"unknown execution event {event!r}")
-        self._handlers.setdefault(event, []).append(handler)
+        with self._lock:
+            self._handlers[event] = self._handlers.get(event, ()) + (
+                handler,
+            )
 
     def subscribe_all(self, handler: Handler) -> None:
         """Register ``handler`` for every event; it receives
         ``(event, **payload)``.  Relative order against other
         subscriptions is preserved per event."""
-        for event in EVENTS:
-            self._handlers.setdefault(event, []).append(
-                _BoundEvent(event, handler)
-            )
+        with self._lock:
+            for event in EVENTS:
+                self._handlers[event] = self._handlers.get(event, ()) + (
+                    _BoundEvent(event, handler),
+                )
 
     def subscribe_timed(self, handler: TimedHandler) -> None:
         """Register a timestamp-aware handler for every event.
@@ -191,7 +206,63 @@ class EventBus:
         is what makes shard-worker span timings survive the process
         boundary.
         """
-        self._timed.append(handler)
+        with self._lock:
+            self._timed = self._timed + (handler,)
+
+    def unsubscribe(self, event: str, handler: Handler) -> bool:
+        """Remove one registration of ``handler`` from ``event``.
+
+        Safe to call from inside a handler during an emit (the
+        in-flight emit still completes over its snapshot; the next
+        emit sees the updated list).  Returns whether a registration
+        was removed.  ``subscribe_all`` registrations are matched by
+        their wrapped handler too.
+        """
+        with self._lock:
+            handlers = self._handlers.get(event, ())
+            for index, existing in enumerate(handlers):
+                # ``==`` (not ``is``): bound methods are fresh objects
+                # on every attribute access but compare equal.
+                if existing == handler or (
+                    isinstance(existing, _BoundEvent)
+                    and existing._handler == handler
+                ):
+                    self._handlers[event] = (
+                        handlers[:index] + handlers[index + 1:]
+                    )
+                    return True
+            return False
+
+    def unsubscribe_all(self, handler: Handler) -> int:
+        """Remove every registration of ``handler`` (plain and
+        ``subscribe_all``-wrapped) from every event; returns how many
+        registrations were removed."""
+        removed = 0
+        with self._lock:
+            for event, handlers in list(self._handlers.items()):
+                kept = tuple(
+                    existing
+                    for existing in handlers
+                    if existing != handler
+                    and not (
+                        isinstance(existing, _BoundEvent)
+                        and existing._handler == handler
+                    )
+                )
+                removed += len(handlers) - len(kept)
+                self._handlers[event] = kept
+        return removed
+
+    def unsubscribe_timed(self, handler: TimedHandler) -> bool:
+        """Remove one registration of a timed ``handler``."""
+        with self._lock:
+            for index, existing in enumerate(self._timed):
+                if existing == handler:
+                    self._timed = (
+                        self._timed[:index] + self._timed[index + 1:]
+                    )
+                    return True
+            return False
 
     def has_subscribers(self, event: str) -> bool:
         """Whether emitting ``event`` would reach anyone (hot-path gate)."""

@@ -220,8 +220,8 @@ def run_shard_payload(
     )
 
 
-def _share_job_graph(job: Any) -> None:
-    """Publish the job's data graph to shared memory when eligible.
+def _share_job_graph(job: Any) -> Optional[str]:
+    """Lease the job's data graph into shared memory when eligible.
 
     Eligible means the job exposes ``data_graph()`` and that graph's
     content is registered in the process-global
@@ -229,23 +229,36 @@ def _share_job_graph(job: Any) -> None:
     opt-in that says the graph has serving lifetime.  While published,
     every shard payload pickles the graph as an O(1) segment
     reference instead of the full adjacency (see
-    :mod:`repro.graph.shm`); publishing is idempotent, so repeated
-    runs over the same content reuse one segment.
+    :mod:`repro.graph.shm`).  The segment is acquired as a run-scoped
+    lease — the caller must pass the returned fingerprint to
+    :func:`_release_job_graph` when the run finishes, so that in a
+    long-lived process the segment is unlinked as soon as the last run
+    referencing that content completes (concurrent runs over the same
+    content share one segment via the lease count).
     """
     getter = getattr(job, "data_graph", None)
     if getter is None:
-        return
+        return None
     graph = getter()
     if graph is None:
-        return
-    from ..graph.shm import publish_graph
+        return None
+    from ..graph.shm import acquire_graph
     from ..graph.store import graph_store
 
     fingerprint = graph.fingerprint
     for entry in graph_store().entries():
         if entry.fingerprint == fingerprint:
-            publish_graph(graph)
-            return
+            return acquire_graph(graph)
+    return None
+
+
+def _release_job_graph(fingerprint: Optional[str]) -> None:
+    """Drop the run's shared-graph lease (no-op for ``None``)."""
+    if fingerprint is None:
+        return
+    from ..graph.shm import release_graph
+
+    release_graph(fingerprint)
 
 
 def _is_observed(ctx: Optional[TaskContext]) -> bool:
@@ -440,8 +453,9 @@ class ProcessShardScheduler:
             run_ctx.phase_start(
                 PHASE_RUN, scheduler=self.name, workers=self.n_workers
             )
+        lease: Optional[str] = None
         try:
-            _share_job_graph(job)
+            lease = _share_job_graph(job)
             shards: List[List[int]] = [[] for _ in range(self.n_workers)]
             for index, vertex in enumerate(job.all_roots()):
                 shards[index % self.n_workers].append(vertex)
@@ -454,6 +468,7 @@ class ProcessShardScheduler:
                 return job.merge([], run_ctx.budget.elapsed())
             return self._run_rounds(job, run_ctx, observed, pending)
         finally:
+            _release_job_graph(lease)
             if observed:
                 run_ctx.phase_end(PHASE_RUN)
 

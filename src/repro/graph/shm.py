@@ -25,9 +25,16 @@ Lifecycle and crash safety
 --------------------------
 
 Segments are owned by the publishing process (the PID is recorded at
-publish time).  Three reclamation paths cover every exit mode:
+publish time).  Four reclamation paths cover every exit mode:
 
-* explicit — :func:`unpublish_graph` / :func:`unpublish_all`;
+* leased — runs acquire segments through :func:`acquire_graph` /
+  :func:`release_graph`; the segment is refcounted per active run and
+  unlinked when the last run referencing its fingerprint finishes.
+  This is what keeps a long-lived daemon from accumulating one
+  segment per query until process death;
+* explicit — :func:`unpublish_graph` / :func:`unpublish_all`
+  (explicit :func:`publish_graph` calls *pin* the segment: it is
+  never auto-reclaimed by a lease release, only by these);
 * normal exit — an ``atexit`` hook runs :func:`unpublish_all` in the
   owner;
 * failed runs — :func:`unpublish_all` is registered as a crash-cleanup
@@ -49,6 +56,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 from array import array
 from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
@@ -61,10 +69,12 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
 
 __all__ = [
     "SharedGraphManager",
+    "acquire_graph",
     "attach_graph",
     "publish_graph",
     "published_segment",
     "publish_shared_graph_metrics",
+    "release_graph",
     "shared_graphs",
     "shm_counters",
     "unpublish_all",
@@ -78,18 +88,27 @@ _WORD = 8
 
 
 class _PublishedSegment:
-    """Owner-side record of one published graph segment."""
+    """Owner-side record of one published graph segment.
 
-    __slots__ = ("fingerprint", "segment", "owner_pid", "_shm")
+    ``leases`` counts the active runs holding the segment through
+    :meth:`SharedGraphManager.acquire`; ``pinned`` marks segments
+    published explicitly (outside any run), which only an explicit
+    unpublish (or the exit hooks) may reclaim.
+    """
+
+    __slots__ = ("fingerprint", "segment", "owner_pid", "leases", "pinned", "_shm")
 
     def __init__(
         self,
         fingerprint: str,
         shm: shared_memory.SharedMemory,
+        pinned: bool = True,
     ) -> None:
         self.fingerprint = fingerprint
         self.segment = shm.name
         self.owner_pid = os.getpid()
+        self.leases = 0
+        self.pinned = pinned
         self._shm = shm
 
 
@@ -132,33 +151,51 @@ class SharedGraphManager:
     One process-global instance (:func:`shared_graphs`) backs the
     module-level helpers; separate instances exist for tests.  All
     operations are idempotent per fingerprint, and counters
-    (``publishes`` / ``attaches`` / ``unlinks``) are per-process
-    cumulative — :func:`publish_shared_graph_metrics` mirrors them
-    into the metrics registry.
+    (``publishes`` / ``attaches`` / ``unlinks`` / ``releases``) are
+    per-process cumulative — :func:`publish_shared_graph_metrics`
+    mirrors them into the metrics registry.
+
+    Run-scoped lifetimes go through :meth:`acquire` / :meth:`release`:
+    each concurrent run holds one lease on its graph's fingerprint and
+    the segment is unlinked when the last lease drops (unless the
+    segment was also published explicitly, which pins it).  Publish
+    bookkeeping is lock-protected so concurrent daemon runs sharing
+    one graph cannot double-publish or unlink a segment another run
+    still references.
     """
 
     def __init__(self) -> None:
         self._published: Dict[str, _PublishedSegment] = {}
         self._attached: Dict[str, _AttachedSegment] = {}
+        self._lock = threading.RLock()
         self.counters: Dict[str, int] = {
             "publishes": 0,
             "attaches": 0,
             "unlinks": 0,
+            "releases": 0,
         }
 
     # -- publishing (owner side) ----------------------------------------
 
-    def publish(self, graph: Graph) -> str:
+    def publish(self, graph: Graph, pinned: bool = True) -> str:
         """Materialize ``graph`` into a segment; returns its name.
 
         Idempotent: re-publishing content that is already live returns
         the existing segment.  While published, pickling any
         same-content graph ships the O(1) segment reference instead of
-        the adjacency.
+        the adjacency.  ``pinned`` (the default for explicit publishes)
+        exempts the segment from lease-driven reclamation; re-publishing
+        a leased segment explicitly upgrades it to pinned.
         """
+        with self._lock:
+            return self._publish_locked(graph, pinned)
+
+    def _publish_locked(self, graph: Graph, pinned: bool) -> str:
         fingerprint = graph.fingerprint
         existing = self._published.get(fingerprint)
         if existing is not None:
+            if pinned:
+                existing.pinned = True
             return existing.segment
         n = graph.num_vertices
         labeled = graph.is_labeled
@@ -176,9 +213,45 @@ class SharedGraphManager:
         raw = data.tobytes()
         shm = shared_memory.SharedMemory(create=True, size=max(len(raw), 1))
         shm.buf[: len(raw)] = raw
-        self._published[fingerprint] = _PublishedSegment(fingerprint, shm)
+        self._published[fingerprint] = _PublishedSegment(
+            fingerprint, shm, pinned
+        )
         self.counters["publishes"] += 1
         return shm.name
+
+    def acquire(self, graph: Graph) -> str:
+        """Take one run-scoped lease on ``graph``'s segment.
+
+        Publishes the segment if it is not live yet (unpinned: it
+        belongs to the runs referencing it) and increments its lease
+        count; returns the fingerprint to :meth:`release` when the run
+        finishes.
+        """
+        with self._lock:
+            fingerprint = graph.fingerprint
+            self._publish_locked(graph, pinned=False)
+            self._published[fingerprint].leases += 1
+            return fingerprint
+
+    def release(self, fingerprint: str) -> bool:
+        """Drop one lease; unlink when the last lease of an unpinned
+        segment goes.  Returns whether the segment was reclaimed."""
+        with self._lock:
+            entry = self._published.get(fingerprint)
+            if entry is None:
+                return False
+            if entry.leases > 0:
+                entry.leases -= 1
+            self.counters["releases"] += 1
+            if entry.leases == 0 and not entry.pinned:
+                return self.unpublish(fingerprint)
+            return False
+
+    def lease_count(self, fingerprint: str) -> int:
+        """Active run leases on ``fingerprint`` (0 if unpublished)."""
+        with self._lock:
+            entry = self._published.get(fingerprint)
+            return entry.leases if entry is not None else 0
 
     def published_segment(self, fingerprint: str) -> Optional[str]:
         """The live segment name for ``fingerprint``, if published."""
@@ -192,7 +265,8 @@ class SharedGraphManager:
         drop their record and close their mapping but never unlink —
         the parent still serves the segment.
         """
-        entry = self._published.pop(fingerprint, None)
+        with self._lock:
+            entry = self._published.pop(fingerprint, None)
         if entry is None:
             return False
         try:
@@ -328,8 +402,18 @@ def shared_graphs() -> SharedGraphManager:
 
 
 def publish_graph(graph: Graph) -> str:
-    """Publish ``graph`` to shared memory (see :meth:`publish`)."""
+    """Publish ``graph`` to shared memory, pinned (see :meth:`publish`)."""
     return _MANAGER.publish(graph)
+
+
+def acquire_graph(graph: Graph) -> str:
+    """Take one run-scoped lease on ``graph``'s shared segment."""
+    return _MANAGER.acquire(graph)
+
+
+def release_graph(fingerprint: str) -> bool:
+    """Drop one run lease; reclaims the segment when the last goes."""
+    return _MANAGER.release(fingerprint)
 
 
 def published_segment(fingerprint: str) -> Optional[str]:
@@ -362,7 +446,8 @@ def publish_shared_graph_metrics(registry: "MetricsRegistry") -> None:
 
     Exports ``repro_shared_graph_publish_total`` /
     ``repro_shared_graph_attach_total`` /
-    ``repro_shared_graph_unlink_total``.  Counters are monotone, so
+    ``repro_shared_graph_unlink_total`` /
+    ``repro_shared_graph_release_total``.  Counters are monotone, so
     repeated publishing applies only the delta (same contract as
     :func:`repro.graph.store.publish_derived_cache_metrics`).  The
     attach counter is per-process: worker-side attaches show up in the
@@ -372,6 +457,7 @@ def publish_shared_graph_metrics(registry: "MetricsRegistry") -> None:
         ("publishes", "publish"),
         ("attaches", "attach"),
         ("unlinks", "unlink"),
+        ("releases", "release"),
     ):
         series = registry.counter(
             f"repro_shared_graph_{metric}_total",

@@ -37,10 +37,12 @@ from .metrics import (
     MetricsSubscriber,
     observe_estimate_error,
 )
+from .runscope import RunScope
 from .trace import Span, SpanTracer
 from .validate import validate_chrome_trace, validate_prometheus
 
 __all__ = [
+    "RunScope",
     "Span",
     "SpanTracer",
     "Counter",

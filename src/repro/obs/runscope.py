@@ -1,0 +1,67 @@
+"""Per-run scoping of process-cumulative counters.
+
+The derived-cache and shared-memory counters are process-global by
+design (their Prometheus mirrors must be monotone), but a long-lived
+process running many queries needs *per-run* attribution: the second
+run's JSON run record must not report the first run's hits, and a
+daemon's per-query accounting must not inflate with process age.
+
+:class:`RunScope` is the bridge: snapshot the cumulative counters when
+a run starts, read the deltas when it finishes.
+
+.. code-block:: python
+
+    scope = RunScope.begin()
+    result = engine.run_with(scheduler)
+    record["derived_cache"] = scope.deltas()["derived_cache"]
+
+Deltas are computed key-by-key against the begin snapshot, clamped at
+zero (a counter reset mid-run — tests calling
+``reset_default_store()`` — yields 0, never a negative delta).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def _counter_sources() -> Dict[str, Dict[str, int]]:
+    from ..graph.shm import shm_counters
+    from ..graph.store import derived_cache
+
+    return {
+        "derived_cache": dict(derived_cache().counters()),
+        "shared_graphs": dict(shm_counters()),
+    }
+
+
+class RunScope:
+    """Delta view over the process-cumulative counters for one run.
+
+    Tracks the :func:`repro.graph.store.derived_cache` counters
+    (``hits`` / ``misses`` / ``invalidations``) and the
+    :func:`repro.graph.shm.shm_counters` lifecycle counters
+    (``publishes`` / ``attaches`` / ``unlinks`` / ``releases``).
+    Create one per run *before* the run starts; :meth:`deltas` is
+    re-readable and always relative to the begin snapshot.
+    """
+
+    def __init__(self, baseline: Dict[str, Dict[str, int]]) -> None:
+        self._baseline = baseline
+
+    @classmethod
+    def begin(cls) -> "RunScope":
+        """Snapshot the cumulative counters at run start."""
+        return cls(_counter_sources())
+
+    def deltas(self) -> Dict[str, Dict[str, int]]:
+        """Counter movement since :meth:`begin`, grouped by source."""
+        current = _counter_sources()
+        out: Dict[str, Dict[str, int]] = {}
+        for source, counters in current.items():
+            base = self._baseline.get(source, {})
+            out[source] = {
+                key: max(0, value - base.get(key, 0))
+                for key, value in counters.items()
+            }
+        return out

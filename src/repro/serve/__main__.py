@@ -1,0 +1,130 @@
+"""``python -m repro.serve`` — serve, or run the CI smoke check.
+
+``--smoke`` boots a daemon on an ephemeral port, registers a small
+graph, streams one MQC query through the full intake path (rate
+limit → admission → queue → worker slot → NDJSON), scrapes
+``/metrics``, shuts down cleanly, and prints a JSON report.  A nonzero
+exit code means some stage of that round trip broke — this is the CI
+``serve-smoke`` job's entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from .client import ServeClient
+from .config import ServeConfig
+from .daemon import serve_in_thread
+
+
+def _smoke() -> int:
+    config = ServeConfig(max_concurrent=2, admission="warn", port=0)
+    handle = serve_in_thread(config)
+    report: Dict[str, Any] = {"port": handle.port}
+    try:
+        client = ServeClient(handle.host, handle.port, timeout=120.0)
+        report["health"] = client.health()
+        # A bundled synthetic dataset, registered through the HTTP
+        # registry like any client graph would be.
+        client.register_graph("smoke", dataset="dblp")
+        events: List[Dict[str, Any]] = list(
+            client.stream_query(
+                tenant="smoke-ci",
+                graph="smoke",
+                gamma=0.8,
+                max_size=4,
+                time_limit=120.0,
+            )
+        )
+        report["events"] = len(events)
+        report["accepted"] = bool(
+            events and events[0].get("type") == "accepted"
+        )
+        summary = events[-1] if events else {}
+        report["summary"] = summary
+        matches = [e for e in events if e.get("type") == "match"]
+        report["streamed_matches"] = len(matches)
+        metrics = client.metrics()
+        report["metrics_ok"] = (
+            'repro_serve_queries_total{tenant="smoke-ci"} 1' in metrics
+        )
+        ok = (
+            report["accepted"]
+            and summary.get("status") == "ok"
+            and len(matches) > 0
+            and summary.get("matches") == len(matches)
+            and report["metrics_ok"]
+        )
+        report["ok"] = ok
+        return 0 if ok else 1
+    except Exception as exc:  # noqa: BLE001 — smoke reports any failure
+        report["ok"] = False
+        report["error"] = f"{type(exc).__name__}: {exc}"
+        return 1
+    finally:
+        handle.stop()
+        print(json.dumps(report, indent=2, default=str))
+
+
+def _serve(args: argparse.Namespace) -> int:
+    if args.tenant_config:
+        config = ServeConfig.from_file(
+            args.tenant_config,
+            host=args.host,
+            port=args.port,
+            max_concurrent=args.max_concurrent,
+            admission=args.admission,
+        )
+    else:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_concurrent=args.max_concurrent,
+            admission=args.admission,
+        )
+    handle = serve_in_thread(config)
+    print(
+        json.dumps(
+            {"serving": f"{handle.host}:{handle.port}",
+             "admission": config.admission,
+             "max_concurrent": config.max_concurrent}
+        ),
+        flush=True,
+    )
+    try:
+        handle.thread.join()
+    except KeyboardInterrupt:
+        handle.stop()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run the mining daemon (or its CI smoke check).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8265)
+    parser.add_argument("--max-concurrent", type=int, default=2)
+    parser.add_argument(
+        "--admission", choices=("off", "warn", "strict"), default="strict"
+    )
+    parser.add_argument(
+        "--tenant-config", default=None,
+        help="JSON tenant policy file (see docs/serving.md)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="boot ephemeral daemon, run one streamed query, exit",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke()
+    return _serve(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""CG6xx admission control for the serving daemon.
+
+Reuses the static cost model of :mod:`repro.analysis.costmodel`
+(PR 6) as a pre-scheduling gate: the query's constraint set is
+estimated against the target graph's statistics, and
+:func:`~repro.analysis.costmodel.check_estimate` projects wall time
+and peak memory for the requested scheduler configuration.  Under
+``strict`` admission a projected budget violation (CG601 TLE /
+CG602 OOM) rejects the query before any task is scheduled — the error
+payload carries the diagnostic codes and rendered findings so clients
+see *why* and what configuration the model recommends instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.constraints import ConstraintSet
+from ..graph.graph import Graph
+
+
+class AdmissionDecision:
+    """Outcome of one admission evaluation."""
+
+    __slots__ = ("admitted", "codes", "diagnostics", "record")
+
+    def __init__(
+        self,
+        admitted: bool,
+        codes: List[str],
+        diagnostics: List[Dict[str, str]],
+        record: Dict[str, Any],
+    ) -> None:
+        self.admitted = admitted
+        self.codes = codes
+        self.diagnostics = diagnostics
+        self.record = record
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "admitted": self.admitted,
+            "codes": self.codes,
+            "diagnostics": self.diagnostics,
+            **self.record,
+        }
+
+
+def admit_query(
+    graph: Graph,
+    constraint_set: ConstraintSet,
+    mode: str,
+    budget_seconds: Optional[float] = None,
+    budget_bytes: Optional[int] = None,
+    scheduler: str = "serial",
+    n_workers: int = 2,
+) -> AdmissionDecision:
+    """Evaluate the CG6xx gate for one query.
+
+    ``mode='off'`` admits unconditionally (empty record).  ``'warn'``
+    runs the estimate and annotates but always admits; ``'strict'``
+    rejects when the report carries error-severity findings (projected
+    TLE/OOM against the given budgets).
+    """
+    if mode == "off":
+        return AdmissionDecision(True, [], [], {"mode": "off"})
+    from ..analysis import check_estimate, estimate_constraint_set
+
+    stats = graph.stats_summary()
+    estimate = estimate_constraint_set(constraint_set, stats)
+    report = check_estimate(
+        estimate,
+        budget_seconds=budget_seconds,
+        budget_bytes=budget_bytes,
+        scheduler=scheduler,
+        n_workers=n_workers,
+    ).sorted()
+    projection = estimate.projection_for(scheduler, n_workers)
+    record: Dict[str, Any] = {
+        "mode": mode,
+        "graph": stats.version,
+        "graph_fingerprint": stats.fingerprint,
+        "estimated_candidates": round(estimate.total_candidates, 2),
+        "projected_seconds": round(projection.seconds, 4),
+        "projected_peak_memory_bytes": round(estimate.peak_memory_bytes),
+        "recommended": estimate.recommended.to_dict(),
+    }
+    admitted = not (mode == "strict" and report.has_errors)
+    return AdmissionDecision(
+        admitted,
+        report.codes(),
+        [d.to_dict() for d in report.diagnostics],
+        record,
+    )

@@ -1,0 +1,180 @@
+"""Stdlib client for the mining daemon.
+
+``ServeClient`` wraps :mod:`http.client` (no third-party deps) and
+mirrors the daemon's endpoints one method per route.  The streaming
+entry point, :meth:`ServeClient.stream_query`, returns a generator of
+decoded NDJSON events; calling ``close()`` on the generator closes the
+underlying socket, which the daemon observes as a client disconnect
+and turns into run cancellation — the mechanism the mid-stream
+disconnect tests exercise.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class ServeError(Exception):
+    """Non-2xx daemon response, carrying the decoded error payload."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', 'request failed')}"
+        )
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """One daemon address; a fresh connection per request.
+
+    The daemon speaks ``Connection: close`` HTTP/1.1, so connections
+    are intentionally not reused.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, bytes]:
+        conn = self._connect()
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        status, raw = self._request(method, path, body)
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if not isinstance(decoded, dict):
+            decoded = {"value": decoded}
+        if status >= 400:
+            raise ServeError(status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._json("GET", "/health")
+
+    def metrics(self) -> str:
+        status, raw = self._request("GET", "/metrics")
+        if status >= 400:
+            raise ServeError(status, {"error": raw.decode("utf-8", "replace")})
+        return raw.decode("utf-8")
+
+    def graphs(self) -> List[Dict[str, Any]]:
+        return list(self._json("GET", "/graphs").get("graphs", []))
+
+    def queue(self) -> Dict[str, Any]:
+        return self._json("GET", "/queue")
+
+    def register_graph(
+        self,
+        name: str,
+        dataset: Optional[str] = None,
+        edges: Optional[List[Tuple[int, int]]] = None,
+        num_vertices: int = 0,
+        labels: Optional[Dict[int, int]] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"name": name}
+        if dataset is not None:
+            body["dataset"] = dataset
+        if edges is not None:
+            body["edges"] = [list(edge) for edge in edges]
+            body["num_vertices"] = num_vertices
+        if labels:
+            body["labels"] = {str(k): v for k, v in labels.items()}
+        return self._json("POST", "/graphs", body)
+
+    def mutate_graph(self, name: str, **mutations: Any) -> Dict[str, Any]:
+        return self._json("POST", f"/graphs/{name}/mutate", mutations)
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._json("POST", "/shutdown")
+
+    def query(self, **params: Any) -> Dict[str, Any]:
+        """Aggregate (non-streaming) query: one JSON result object."""
+        params.setdefault("stream", False)
+        return self._json("POST", "/query", params)
+
+    def stream_query(self, **params: Any) -> Iterator[Dict[str, Any]]:
+        """Streamed query: yields decoded NDJSON events.
+
+        The first event is ``accepted``; each match arrives as a
+        ``match`` event; the final event is ``summary`` (or ``error``
+        / ``cancelled``).  Closing the generator early —
+        ``gen.close()`` or just abandoning a ``for`` loop via
+        ``break`` + ``close`` — tears down the socket, which the
+        daemon treats as a disconnect and cancels the run.
+        """
+        params.setdefault("stream", True)
+        conn = self._connect()
+        started = False
+        try:
+            conn.request(
+                "POST",
+                "/query",
+                body=json.dumps(params).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    decoded = {"error": raw.decode("utf-8", "replace")}
+                raise ServeError(response.status, decoded)
+            started = True
+
+            def events() -> Iterator[Dict[str, Any]]:
+                try:
+                    while True:
+                        line = response.readline()
+                        if not line:
+                            return
+                        line = line.strip()
+                        if not line:
+                            continue
+                        yield json.loads(line.decode("utf-8"))
+                finally:
+                    conn.close()
+
+            return events()
+        finally:
+            if not started:
+                conn.close()

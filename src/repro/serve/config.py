@@ -1,0 +1,149 @@
+"""Daemon and tenant configuration.
+
+Tenants are named principals with their own token-bucket rate limit,
+scheduling priority, and default run budgets.  A ``--tenant-config``
+JSON file has the shape::
+
+    {
+      "default": {"rate": 10.0, "burst": 5, "priority": 0},
+      "tenants": {
+        "alice": {"rate": 2.0, "burst": 2, "priority": 5,
+                  "budget_seconds": 30.0},
+        "batch": {"rate": 0.5, "burst": 1, "priority": -5}
+      }
+    }
+
+Unknown tenants fall back to ``default`` (one *shared* bucket per
+unknown name — each name still gets its own bucket instance, so one
+noisy anonymous client cannot starve another).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+
+class TenantConfig:
+    """Per-tenant serving policy."""
+
+    __slots__ = (
+        "name",
+        "rate",
+        "burst",
+        "priority",
+        "budget_seconds",
+        "budget_bytes",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        rate: float = 10.0,
+        burst: int = 5,
+        priority: int = 0,
+        budget_seconds: Optional[float] = None,
+        budget_bytes: Optional[int] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("tenant rate must be positive")
+        if burst < 1:
+            raise ValueError("tenant burst must be >= 1")
+        self.name = name
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.priority = int(priority)
+        self.budget_seconds = budget_seconds
+        self.budget_bytes = budget_bytes
+
+    @classmethod
+    def from_dict(cls, name: str, raw: Mapping[str, Any]) -> "TenantConfig":
+        allowed = {
+            "rate", "burst", "priority", "budget_seconds", "budget_bytes"
+        }
+        unknown = set(raw) - allowed
+        if unknown:
+            raise ValueError(
+                f"tenant {name!r}: unknown config keys {sorted(unknown)}"
+            )
+        return cls(name, **dict(raw))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "rate": self.rate,
+            "burst": self.burst,
+            "priority": self.priority,
+            "budget_seconds": self.budget_seconds,
+            "budget_bytes": self.budget_bytes,
+        }
+
+
+class ServeConfig:
+    """Whole-daemon configuration: tenants plus serving knobs."""
+
+    def __init__(
+        self,
+        tenants: Optional[Dict[str, TenantConfig]] = None,
+        default: Optional[TenantConfig] = None,
+        max_concurrent: int = 2,
+        admission: str = "strict",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if admission not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"admission must be off/warn/strict, got {admission!r}"
+            )
+        self.tenants = dict(tenants or {})
+        self.default = default or TenantConfig("default")
+        self.max_concurrent = max_concurrent
+        self.admission = admission
+        self.host = host
+        self.port = port
+
+    def for_tenant(self, name: str) -> TenantConfig:
+        """The tenant's policy, or the default policy under its name."""
+        found = self.tenants.get(name)
+        if found is not None:
+            return found
+        default = self.default
+        return TenantConfig(
+            name,
+            rate=default.rate,
+            burst=default.burst,
+            priority=default.priority,
+            budget_seconds=default.budget_seconds,
+            budget_bytes=default.budget_bytes,
+        )
+
+    @classmethod
+    def from_dict(
+        cls, raw: Mapping[str, Any], **overrides: Any
+    ) -> "ServeConfig":
+        tenants = {
+            name: TenantConfig.from_dict(name, spec)
+            for name, spec in dict(raw.get("tenants", {})).items()
+        }
+        default = TenantConfig.from_dict(
+            "default", dict(raw.get("default", {}))
+        )
+        kwargs: Dict[str, Any] = {
+            key: raw[key]
+            for key in ("max_concurrent", "admission", "host", "port")
+            if key in raw
+        }
+        kwargs.update(overrides)
+        return cls(tenants=tenants, default=default, **kwargs)
+
+    @classmethod
+    def from_file(cls, path: str, **overrides: Any) -> "ServeConfig":
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"{path}: tenant config must be a JSON object"
+            )
+        return cls.from_dict(raw, **overrides)

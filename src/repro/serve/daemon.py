@@ -1,0 +1,938 @@
+"""The mining daemon: a long-lived asyncio server over ``repro.exec``.
+
+One process serves many tenants and many queries:
+
+* **Graph registry** — ``GET/POST /graphs`` and
+  ``POST /graphs/{name}/mutate`` wrap the process-global
+  :class:`~repro.graph.store.GraphStore` (``name@vN`` addressing,
+  :class:`~repro.graph.store.MutationBatch` mutations).  Because the
+  registry *is* the graph store, the process scheduler's shared-memory
+  publication applies to every served graph automatically.
+* **Query intake** — ``POST /query`` passes a per-tenant token-bucket
+  rate limit (429 + retry-after on refusal), then the CG6xx admission
+  gate (:mod:`repro.serve.admission`; 422 with diagnostic codes on
+  strict rejection), then enters a priority queue ordered by tenant
+  priority.
+* **Run multiplexing** — ``max_concurrent`` worker slots pull from the
+  queue and dispatch runs onto the existing engine/schedulers inside a
+  thread pool, keeping the event loop free.  Every run owns a
+  :class:`~repro.exec.context.TaskContext` whose cancellation token is
+  cancelled when the client disconnects mid-stream — the engine's
+  cooperative checks then end the run early, so no worker is orphaned.
+* **Streaming** — with ``"stream": true`` matches are delivered as
+  newline-delimited JSON the moment they validate (the engine-session
+  ``match_sink`` hook), followed by one terminal ``summary`` line
+  carrying per-run counter deltas (:class:`~repro.obs.RunScope`).
+* **/metrics** — the Prometheus exposition :mod:`repro.obs` renders,
+  extended with per-tenant intake counters and queue-depth gauges.
+
+The HTTP layer is a deliberately small hand-rolled HTTP/1.1
+implementation (stdlib only, ``Connection: close`` per request) — the
+daemon serves trusted lab traffic, not the open internet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..apps.mqc import build_mqc_engine
+from ..core.constraints import ConstraintSet
+from ..core.runtime import ContigraResult
+from ..errors import ReproError
+from ..exec.context import TaskContext
+from ..exec.scheduler import SCHEDULER_NAMES, make_scheduler
+from ..graph.graph import Graph
+from ..graph.store import GraphStore, MutationBatch, graph_store
+from ..obs import MetricsRegistry, RunScope
+from ..patterns.pattern import Pattern
+from .admission import admit_query
+from .config import ServeConfig, TenantConfig
+from .ratelimit import TokenBucket
+
+logger = logging.getLogger(__name__)
+
+#: Serving runs favor cancellation responsiveness over per-check cost.
+_CHECK_INTERVAL = 64
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class QueryError(Exception):
+    """An intake failure that maps to one HTTP error response."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(str(payload.get("error", "query error")))
+        self.status = status
+        self.payload = payload
+
+
+class QueryRun:
+    """One admitted query travelling queue → worker slot → client."""
+
+    def __init__(
+        self,
+        query_id: str,
+        tenant: str,
+        priority: int,
+        params: Dict[str, Any],
+        graph: Graph,
+        ctx: TaskContext,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        self.query_id = query_id
+        self.tenant = tenant
+        self.priority = priority
+        self.params = params
+        self.graph = graph
+        self.ctx = ctx
+        self.loop = loop
+        #: Delivery channel consumed by the HTTP handler: match events
+        #: followed by exactly one terminal summary/error event.
+        self.events: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue()
+        self.finished = loop.create_future()
+
+    def post(self, event: Dict[str, Any]) -> None:
+        """Thread-safe event delivery onto the daemon's loop."""
+        self.loop.call_soon_threadsafe(self.events.put_nowait, event)
+
+    def seal(self, summary: Dict[str, Any]) -> None:
+        """Mark the run finished (idempotent; loop thread only)."""
+        if not self.finished.done():
+            self.finished.set_result(summary)
+
+
+def _json_body(body: bytes) -> Dict[str, Any]:
+    if not body:
+        return {}
+    try:
+        parsed = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise QueryError(400, {"error": f"bad JSON body: {exc}"})
+    if not isinstance(parsed, dict):
+        raise QueryError(400, {"error": "JSON body must be an object"})
+    return parsed
+
+
+def _encode(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, default=str).encode("utf-8")
+
+
+class MiningDaemon:
+    """The serving process: registry + intake + run multiplexing.
+
+    Lifecycle: :meth:`start` binds the socket and spawns the worker
+    slots; :meth:`drain` stops intake and waits for queued/active runs
+    to finish; :meth:`stop` tears everything down.  All coroutines must
+    run on one event loop (use :func:`serve_in_thread` to own that
+    loop on a background thread).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        store: Optional[GraphStore] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.store = store if store is not None else graph_store()
+        self.registry = MetricsRegistry()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._pending: "asyncio.PriorityQueue[Tuple[int, int, QueryRun]]"
+        self.shutdown_event: asyncio.Event
+        self._seq = 0
+        self._active: Set[str] = set()
+        self._workers: List["asyncio.Task[None]"] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and spawn the worker slots."""
+        self._loop = asyncio.get_event_loop()
+        self._pending = asyncio.PriorityQueue()
+        self.shutdown_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent,
+            thread_name_prefix="repro-serve-run",
+        )
+        self._workers = [
+            self._loop.create_task(self._worker_loop())
+            for _ in range(self.config.max_concurrent)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+        self._started_at = time.monotonic()
+        logger.info("repro.serve listening on %s:%d", self.host, self.port)
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def drain(self, poll_seconds: float = 0.02) -> None:
+        """Stop accepting queries; wait for queued + active runs."""
+        self._draining = True
+        while not self._pending.empty() or self._active:
+            await asyncio.sleep(poll_seconds)
+
+    async def stop(self) -> None:
+        """Tear down workers, socket, and the run executor."""
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, target, body = request
+                await self._dispatch(method, target, body, reader, writer)
+        except QueryError as exc:
+            await self._send_json(writer, exc.status, exc.payload)
+        except (
+            ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError
+        ):
+            pass
+        except Exception:
+            logger.exception("request handling failed")
+            try:
+                await self._send_json(
+                    writer, 500, {"error": "internal server error"}
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise QueryError(400, {"error": "malformed request line"})
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0") or "0"
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise QueryError(400, {"error": "bad Content-Length"})
+        body = await reader.readexactly(length) if length > 0 else b""
+        return method, target, body
+
+    def _head(
+        self,
+        status: int,
+        content_type: str,
+        length: Optional[int] = None,
+    ) -> bytes:
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            "Connection: close",
+        ]
+        if length is not None:
+            lines.append(f"Content-Length: {length}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+    ) -> None:
+        body = _encode(payload) + b"\n"
+        writer.write(
+            self._head(status, "application/json", len(body)) + body
+        )
+        await writer.drain()
+
+    async def _send_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        body = text.encode("utf-8")
+        writer.write(self._head(status, content_type, len(body)) + body)
+        await writer.drain()
+
+    async def _dispatch(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        path = target.split("?", 1)[0]
+        if path == "/health" and method == "GET":
+            await self._send_json(writer, 200, self._health())
+            return
+        if path == "/metrics" and method == "GET":
+            await self._send_text(
+                writer, 200, self._render_metrics(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
+        if path == "/graphs" and method == "GET":
+            await self._send_json(writer, 200, self._list_graphs())
+            return
+        if path == "/graphs" and method == "POST":
+            await self._send_json(
+                writer, 200, self._register_graph(_json_body(body))
+            )
+            return
+        if (
+            path.startswith("/graphs/")
+            and path.endswith("/mutate")
+            and method == "POST"
+        ):
+            name = path[len("/graphs/"):-len("/mutate")]
+            await self._send_json(
+                writer, 200, self._mutate_graph(name, _json_body(body))
+            )
+            return
+        if path == "/queue" and method == "GET":
+            await self._send_json(writer, 200, self._queue_state())
+            return
+        if path == "/query" and method == "POST":
+            await self._handle_query(_json_body(body), reader, writer)
+            return
+        if path == "/shutdown" and method == "POST":
+            self.shutdown_event.set()
+            await self._send_json(writer, 200, {"status": "draining"})
+            return
+        if path in (
+            "/health", "/metrics", "/graphs", "/queue", "/query", "/shutdown"
+        ):
+            raise QueryError(405, {"error": f"{method} not allowed on {path}"})
+        raise QueryError(404, {"error": f"unknown endpoint {path}"})
+
+    # ------------------------------------------------------------------
+    # Registry + introspection endpoints
+    # ------------------------------------------------------------------
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": round(
+                time.monotonic() - self._started_at, 3
+            ),
+            "active_runs": len(self._active),
+            "queued": self._pending.qsize(),
+            "max_concurrent": self.config.max_concurrent,
+            "admission": self.config.admission,
+        }
+
+    def _queue_state(self) -> Dict[str, Any]:
+        return {
+            "depth": self._pending.qsize(),
+            "active": len(self._active),
+            "draining": self._draining,
+        }
+
+    def _list_graphs(self) -> Dict[str, Any]:
+        return {
+            "graphs": [
+                dict(
+                    gv.to_dict(),
+                    latest=(
+                        gv.version == self.store.latest(gv.name).version
+                    ),
+                )
+                for gv in self.store.entries()
+            ]
+        }
+
+    def _register_graph(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise QueryError(400, {"error": "graph registration needs a name"})
+        dataset_key = body.get("dataset")
+        edges = body.get("edges")
+        if (dataset_key is None) == (edges is None):
+            raise QueryError(
+                400,
+                {"error": "pass exactly one of 'dataset' or 'edges'"},
+            )
+        if dataset_key is not None:
+            from ..bench import dataset, dataset_keys
+
+            if dataset_key not in dataset_keys():
+                raise QueryError(
+                    400, {"error": f"unknown dataset {dataset_key!r}"}
+                )
+            graph = dataset(dataset_key)
+        else:
+            from ..graph.builder import GraphBuilder
+
+            if not isinstance(edges, list):
+                raise QueryError(400, {"error": "'edges' must be a list"})
+            builder = GraphBuilder(name=name)
+            try:
+                for vertex in range(int(body.get("num_vertices", 0))):
+                    builder.add_vertex(vertex)
+                for pair in edges:
+                    u, v = pair
+                    builder.add_edge(int(u), int(v))
+                for vertex, label in dict(body.get("labels", {})).items():
+                    builder.set_label(int(vertex), int(label))
+            except (TypeError, ValueError) as exc:
+                raise QueryError(400, {"error": f"bad edge payload: {exc}"})
+            graph = builder.build()
+        version = self.store.register(graph, name)
+        return {"registered": version.to_dict()}
+
+    def _mutate_graph(
+        self, name: str, body: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        allowed = {"add_edges", "remove_edges", "set_labels", "add_vertices"}
+        unknown = set(body) - allowed
+        if unknown:
+            raise QueryError(
+                400, {"error": f"unknown mutation keys {sorted(unknown)}"}
+            )
+        try:
+            batch = MutationBatch.of(
+                add_edges=[
+                    (int(u), int(v)) for u, v in body.get("add_edges", [])
+                ],
+                remove_edges=[
+                    (int(u), int(v)) for u, v in body.get("remove_edges", [])
+                ],
+                set_labels=[
+                    (int(vertex), int(label))
+                    for vertex, label in body.get("set_labels", [])
+                ],
+                add_vertices=int(body.get("add_vertices", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise QueryError(400, {"error": f"bad mutation payload: {exc}"})
+        try:
+            version = self.store.apply_batch(name, batch)
+        except KeyError as exc:
+            raise QueryError(404, {"error": str(exc.args[0])})
+        except ValueError as exc:
+            raise QueryError(400, {"error": str(exc)})
+        return {"mutated": version.to_dict()}
+
+    def _render_metrics(self) -> str:
+        from ..graph.aux import publish_aux_graph_metrics
+        from ..graph.shm import publish_shared_graph_metrics
+        from ..graph.store import publish_derived_cache_metrics
+
+        publish_derived_cache_metrics(self.registry)
+        publish_shared_graph_metrics(self.registry)
+        publish_aux_graph_metrics(self.registry)
+        self.registry.gauge(
+            "repro_serve_uptime_seconds",
+            help_text="Daemon uptime",
+        ).set(time.monotonic() - self._started_at)
+        self.registry.gauge(
+            "repro_serve_active_runs",
+            help_text="Runs currently executing in worker slots",
+        ).set(float(len(self._active)))
+        self.registry.gauge(
+            "repro_serve_queue_depth",
+            help_text="Admitted queries waiting for a worker slot",
+        ).set(float(self._pending.qsize()))
+        return self.registry.to_prometheus()
+
+    # ------------------------------------------------------------------
+    # Query intake
+    # ------------------------------------------------------------------
+
+    def _bucket_for(self, tenant: TenantConfig) -> TokenBucket:
+        bucket = self._buckets.get(tenant.name)
+        if bucket is None:
+            bucket = TokenBucket(tenant.rate, tenant.burst)
+            self._buckets[tenant.name] = bucket
+        return bucket
+
+    def _tenant_counter(self, name: str, tenant: str, help_text: str) -> None:
+        self.registry.counter(
+            name, labels={"tenant": tenant}, help_text=help_text
+        ).inc()
+
+    def _parse_query(
+        self, body: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], TenantConfig]:
+        tenant_name = body.get("tenant", "default")
+        if not isinstance(tenant_name, str) or not tenant_name:
+            raise QueryError(400, {"error": "'tenant' must be a string"})
+        tenant = self.config.for_tenant(tenant_name)
+        workload = body.get("workload", "mqc")
+        if workload != "mqc":
+            raise QueryError(
+                400,
+                {"error": f"unsupported workload {workload!r} (only 'mqc')"},
+            )
+        graph_ref = body.get("graph")
+        if not isinstance(graph_ref, str) or not graph_ref:
+            raise QueryError(
+                400, {"error": "'graph' must be a store reference"}
+            )
+        scheduler = body.get("scheduler", "serial")
+        if scheduler not in SCHEDULER_NAMES:
+            raise QueryError(
+                400,
+                {"error": f"scheduler must be one of {SCHEDULER_NAMES}"},
+            )
+        admission = body.get("admission", self.config.admission)
+        if admission not in ("off", "warn", "strict"):
+            raise QueryError(
+                400, {"error": "admission must be off/warn/strict"}
+            )
+        time_limit = body.get("time_limit", tenant.budget_seconds)
+        params: Dict[str, Any] = {
+            "workload": "mqc",
+            "graph": graph_ref,
+            "gamma": float(body.get("gamma", 0.8)),
+            "max_size": int(body.get("max_size", 4)),
+            "min_size": int(body.get("min_size", 3)),
+            "scheduler": scheduler,
+            "workers": int(body.get("workers", 2)),
+            "time_limit": (
+                float(time_limit) if time_limit is not None else None
+            ),
+            "admission": admission,
+            "stream": bool(body.get("stream", True)),
+        }
+        return params, tenant
+
+    def _constraint_set(self, params: Dict[str, Any]) -> ConstraintSet:
+        from ..core import maximality_constraints
+        from ..patterns import quasi_clique_patterns_up_to
+
+        return maximality_constraints(
+            quasi_clique_patterns_up_to(
+                params["max_size"],
+                params["gamma"],
+                min_size=params["min_size"],
+            ),
+            induced=True,
+        )
+
+    async def _handle_query(
+        self,
+        body: Dict[str, Any],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        assert self._loop is not None
+        params, tenant = self._parse_query(body)
+        self._tenant_counter(
+            "repro_serve_queries_total",
+            tenant.name,
+            "Queries received, by tenant (all intake outcomes)",
+        )
+        if self._draining:
+            raise QueryError(
+                503, {"error": "daemon is draining", "tenant": tenant.name}
+            )
+        granted, retry_after = self._bucket_for(tenant).try_acquire()
+        if not granted:
+            self._tenant_counter(
+                "repro_serve_rate_limited_total",
+                tenant.name,
+                "Queries refused by the tenant token bucket",
+            )
+            raise QueryError(
+                429,
+                {
+                    "error": "rate limited",
+                    "tenant": tenant.name,
+                    "retry_after_seconds": round(retry_after, 4),
+                },
+            )
+        try:
+            graph = self.store.resolve(params["graph"]).graph
+        except KeyError as exc:
+            raise QueryError(404, {"error": str(exc.args[0])})
+        constraint_set = self._constraint_set(params)
+        decision = admit_query(
+            graph,
+            constraint_set,
+            params["admission"],
+            budget_seconds=params["time_limit"],
+            budget_bytes=tenant.budget_bytes,
+            scheduler=params["scheduler"],
+            n_workers=params["workers"],
+        )
+        if not decision.admitted:
+            self._tenant_counter(
+                "repro_serve_admission_rejected_total",
+                tenant.name,
+                "Queries rejected by the CG6xx admission gate",
+            )
+            raise QueryError(
+                422,
+                {
+                    "error": "admission rejected",
+                    "tenant": tenant.name,
+                    "admission": decision.to_dict(),
+                },
+            )
+        self._seq += 1
+        run = QueryRun(
+            query_id=uuid.uuid4().hex[:12],
+            tenant=tenant.name,
+            priority=tenant.priority,
+            params=params,
+            graph=graph,
+            ctx=TaskContext.create(
+                time_limit=params["time_limit"],
+                memory_budget_bytes=tenant.budget_bytes,
+                check_interval=_CHECK_INTERVAL,
+            ),
+            loop=self._loop,
+        )
+        self._pending.put_nowait((-run.priority, self._seq, run))
+        self.registry.gauge(
+            "repro_serve_queue_depth",
+            labels={"tenant": tenant.name},
+            help_text="Admitted queries waiting for a worker slot",
+        ).inc()
+        accepted: Dict[str, Any] = {
+            "type": "accepted",
+            "query_id": run.query_id,
+            "tenant": tenant.name,
+            "priority": run.priority,
+            "admission": decision.to_dict(),
+        }
+        if params["stream"]:
+            await self._stream_response(run, accepted, reader, writer)
+        else:
+            await self._aggregate_response(run, accepted, reader, writer)
+
+    # ------------------------------------------------------------------
+    # Response delivery
+    # ------------------------------------------------------------------
+
+    async def _stream_response(
+        self,
+        run: QueryRun,
+        accepted: Dict[str, Any],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        writer.write(self._head(200, "application/x-ndjson"))
+        writer.write(_encode(accepted) + b"\n")
+        await writer.drain()
+        await self._pump_events(run, reader, writer, emit_line=True)
+
+    async def _aggregate_response(
+        self,
+        run: QueryRun,
+        accepted: Dict[str, Any],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        matches: List[Dict[str, Any]] = []
+        terminal = await self._pump_events(
+            run, reader, writer, emit_line=False, collect=matches
+        )
+        if terminal is None:
+            return  # client disconnected; nothing to send
+        payload = dict(accepted)
+        payload["type"] = "result"
+        payload["matches"] = matches
+        payload["summary"] = terminal
+        await self._send_json(writer, 200, payload)
+
+    async def _pump_events(
+        self,
+        run: QueryRun,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        emit_line: bool,
+        collect: Optional[List[Dict[str, Any]]] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Forward run events until the terminal one; watch for client
+        disconnect (EOF on ``reader``) and cancel the run if it goes.
+
+        Returns the terminal event, or None when the client vanished.
+        """
+        watcher = asyncio.ensure_future(reader.read(1))
+        try:
+            while True:
+                getter = asyncio.ensure_future(run.events.get())
+                done, _ = await asyncio.wait(
+                    {getter, watcher},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if getter not in done:
+                    # EOF (or stray bytes) from the client: it is gone.
+                    getter.cancel()
+                    run.ctx.cancel("client disconnected")
+                    return None
+                event = getter.result()
+                terminal = event.get("type") in (
+                    "summary", "error", "cancelled"
+                )
+                if emit_line:
+                    try:
+                        writer.write(_encode(event) + b"\n")
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError):
+                        run.ctx.cancel("client connection lost")
+                        return None
+                elif collect is not None and not terminal:
+                    collect.append(event)
+                if terminal:
+                    return event
+        finally:
+            if not watcher.done():
+                watcher.cancel()
+
+    # ------------------------------------------------------------------
+    # Worker slots
+    # ------------------------------------------------------------------
+
+    async def _worker_loop(self) -> None:
+        assert self._loop is not None
+        while True:
+            _, _, run = await self._pending.get()
+            self.registry.gauge(
+                "repro_serve_queue_depth",
+                labels={"tenant": run.tenant},
+                help_text="Admitted queries waiting for a worker slot",
+            ).dec()
+            if run.ctx.cancelled:
+                event = {
+                    "type": "cancelled",
+                    "query_id": run.query_id,
+                    "reason": run.ctx.token.reason or "cancelled",
+                }
+                run.post(event)
+                run.seal(event)
+                continue
+            self._active.add(run.query_id)
+            try:
+                assert self._executor is not None
+                summary = await self._loop.run_in_executor(
+                    self._executor, self._execute, run
+                )
+                run.seal(summary)
+            except Exception as exc:  # defensive: _execute catches
+                logger.exception("query %s failed", run.query_id)
+                event = {
+                    "type": "error",
+                    "query_id": run.query_id,
+                    "error": str(exc),
+                }
+                run.post(event)
+                run.seal(event)
+            finally:
+                self._active.discard(run.query_id)
+
+    def _execute(self, run: QueryRun) -> Dict[str, Any]:
+        """Run one query on the executor thread; returns the terminal
+        event (which is also posted to the run's event queue)."""
+        params = run.params
+        scope = RunScope.begin()
+        delivered = 0
+
+        def sink(pattern: Pattern, assignment: Tuple[int, ...]) -> None:
+            nonlocal delivered
+            delivered += 1
+            run.post(
+                {
+                    "type": "match",
+                    "query_id": run.query_id,
+                    "pattern": pattern.name or f"P{pattern.num_vertices}",
+                    "vertices": list(assignment),
+                }
+            )
+
+        started = time.monotonic()
+        status = "ok"
+        error: Optional[str] = None
+        result: Optional[ContigraResult] = None
+        try:
+            engine = build_mqc_engine(
+                run.graph,
+                params["gamma"],
+                params["max_size"],
+                min_size=params["min_size"],
+            )
+            if params["scheduler"] == "serial":
+                result = engine.run(ctx=run.ctx, match_sink=sink)
+            else:
+                result = engine.run_with(
+                    make_scheduler(
+                        params["scheduler"], n_workers=params["workers"]
+                    ),
+                    ctx=run.ctx,
+                )
+                for pattern, assignment in result.valid:
+                    sink(pattern, assignment)
+        except ReproError as exc:
+            status = "error"
+            error = f"{type(exc).__name__}: {exc}"
+        except Exception as exc:
+            logger.exception("query %s crashed", run.query_id)
+            status = "error"
+            error = f"{type(exc).__name__}: {exc}"
+        if run.ctx.cancelled:
+            status = "cancelled"
+        terminal: Dict[str, Any] = {
+            "type": {"ok": "summary", "cancelled": "cancelled"}.get(
+                status, "error"
+            ),
+            "query_id": run.query_id,
+            "status": status,
+            "matches": delivered,
+            "elapsed_seconds": round(time.monotonic() - started, 4),
+            "run": scope.deltas(),
+        }
+        if result is not None:
+            terminal["counters"] = result.stats.as_dict()
+        if error is not None:
+            terminal["error"] = error
+        if run.ctx.token.reason:
+            terminal["reason"] = run.ctx.token.reason
+        run.post(terminal)
+        return terminal
+
+
+# ----------------------------------------------------------------------
+# Thread-hosted serving (tests, CLI)
+# ----------------------------------------------------------------------
+
+
+class DaemonHandle:
+    """A daemon running its event loop on a background thread."""
+
+    def __init__(
+        self,
+        daemon: MiningDaemon,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.daemon = daemon
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.daemon.host
+
+    @property
+    def port(self) -> int:
+        return self.daemon.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request drain + shutdown and wait for the loop thread."""
+        if self.thread.is_alive():
+            self.loop.call_soon_threadsafe(
+                self.daemon.shutdown_event.set
+            )
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("daemon thread did not stop in time")
+
+
+def serve_in_thread(config: Optional[ServeConfig] = None) -> DaemonHandle:
+    """Start a daemon on a dedicated event-loop thread.
+
+    Returns once the socket is bound; the caller talks to
+    ``handle.host:handle.port`` and finishes with ``handle.stop()``
+    (drain, then teardown).  Startup failures re-raise here.
+    """
+    daemon = MiningDaemon(config)
+    ready = threading.Event()
+    boot: Dict[str, Any] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        boot["loop"] = loop
+        try:
+            loop.run_until_complete(daemon.start())
+        except Exception as exc:  # surface bind errors to the caller
+            boot["error"] = exc
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        try:
+            loop.run_until_complete(daemon.shutdown_event.wait())
+            loop.run_until_complete(daemon.drain())
+            loop.run_until_complete(daemon.stop())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=runner, name="repro-serve-loop", daemon=True
+    )
+    thread.start()
+    if not ready.wait(30.0):
+        raise RuntimeError("daemon failed to start in time")
+    if "error" in boot:
+        raise boot["error"]
+    return DaemonHandle(daemon, boot["loop"], thread)

@@ -1,0 +1,62 @@
+"""Token-bucket rate limiting for query intake.
+
+One bucket per tenant: capacity ``burst`` tokens, refilled at ``rate``
+tokens per second against a monotonic clock.  ``try_acquire`` is
+non-blocking — the daemon turns a refusal into an HTTP 429 carrying
+the bucket's own retry-after estimate, instead of queueing work the
+tenant is not entitled to yet.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional, Tuple
+
+
+class TokenBucket:
+    """Monotonic-clock token bucket (thread-safe)."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_lock")
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(
+            float(self.burst), self._tokens + elapsed * self.rate
+        )
+
+    def try_acquire(
+        self, tokens: float = 1.0, now: Optional[float] = None
+    ) -> Tuple[bool, float]:
+        """Take ``tokens`` if available.
+
+        Returns ``(granted, retry_after_seconds)``; ``retry_after`` is
+        0 on success and the time until the deficit refills otherwise.
+        """
+        current = time.monotonic() if now is None else now
+        with self._lock:
+            self._refill(current)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True, 0.0
+            deficit = tokens - self._tokens
+            return False, deficit / self.rate
+
+    @property
+    def available(self) -> float:
+        """Current token count (refilled to now; diagnostic only)."""
+        with self._lock:
+            self._refill(time.monotonic())
+            return self._tokens

@@ -358,6 +358,7 @@ class TestSharedSegmentReclamation:
         from repro.graph.shm import (
             published_segment,
             shared_graphs,
+            shm_counters,
             unpublish_all,
         )
         from repro.graph.store import graph_store, reset_default_store
@@ -368,6 +369,7 @@ class TestSharedSegmentReclamation:
         )
         graph_store().register(graph)
         try:
+            before = shm_counters()
             plan = FaultPlan().kill(0, times=1)
             result = engine_for(graph).run_with(
                 ProcessShardScheduler(
@@ -377,15 +379,49 @@ class TestSharedSegmentReclamation:
             # The run published the registered graph and survived the
             # worker death with the exact serial result.
             assert match_multiset(result) == reference
-            segment = published_segment(graph.fingerprint)
-            assert segment is not None
-            # The dead worker's attachment must not pin the segment:
-            # the owner unlinks it and the name disappears.
+            after = shm_counters()
+            assert after["publishes"] == before["publishes"] + 1
+            # Run-scoped leasing: the scheduler released its lease at
+            # merge time and the last release unlinked the segment —
+            # a dead worker's attachment cannot pin it, and there is
+            # nothing left for the exit hooks to reclaim.
             shared_graphs().release_attachments()
-            assert unpublish_all() == 1
-            with pytest.raises(FileNotFoundError):
-                shared_memory.SharedMemory(name=segment)
             assert published_segment(graph.fingerprint) is None
+            assert after["unlinks"] == before["unlinks"] + 1
+            assert unpublish_all() == 0
+        finally:
+            unpublish_all()
+            reset_default_store()
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method required")
+    @pytest.mark.skipif(
+        "process" not in SCHEDULERS, reason="process scheduler excluded"
+    )
+    def test_no_segment_leak_across_sequential_runs(self):
+        """N sequential in-process runs leave zero published segments
+        behind — the daemon-lifetime contract: each run's lease release
+        reclaims its segment instead of waiting for atexit."""
+        from repro.graph.shm import (
+            published_segment,
+            shm_counters,
+            unpublish_all,
+        )
+        from repro.graph.store import graph_store, reset_default_store
+
+        graph = erdos_renyi(12, 0.45, seed=7, name="chaos-sequential")
+        graph_store().register(graph)
+        try:
+            before = shm_counters()
+            for _ in range(3):
+                engine_for(graph).run_with(
+                    ProcessShardScheduler(n_workers=2, retry=FAST)
+                )
+                assert published_segment(graph.fingerprint) is None
+            after = shm_counters()
+            assert after["publishes"] == before["publishes"] + 3
+            assert after["unlinks"] == before["unlinks"] + 3
+            assert after["releases"] == before["releases"] + 3
+            assert unpublish_all() == 0
         finally:
             unpublish_all()
             reset_default_store()

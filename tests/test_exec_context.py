@@ -281,3 +281,105 @@ class TestBridgeDeadline:
         stats = ConstraintStats()
         cache = SetOperationCache(stats=stats)
         target.run([0, 1, 2], g, cache, stats)
+
+
+class TestEventBusConcurrency:
+    """The copy-on-write subscription contract (the daemon bug sweep).
+
+    The historic failure mode: ``emit`` iterated the live handler list
+    while another thread (or the handler itself) mutated it —
+    ``RuntimeError: list changed size during iteration`` or silently
+    skipped subscribers.  Handler lists are now immutable tuples
+    replaced under a lock, so an in-flight emit always completes over
+    its snapshot.
+    """
+
+    def test_handler_can_unsubscribe_itself_during_emit(self):
+        bus = EventBus(strict=True)
+        calls = []
+
+        def once(**payload):
+            calls.append(payload)
+            assert bus.unsubscribe(CANCEL, once)
+
+        def steady(**payload):
+            calls.append(payload)
+
+        bus.subscribe(CANCEL, once)
+        bus.subscribe(CANCEL, steady)
+        bus.emit(CANCEL, kind="lateral", count=1)
+        # The self-removing handler ran once, the later subscriber was
+        # not skipped by the removal, and the next emit skips `once`.
+        assert len(calls) == 2
+        bus.emit(CANCEL, kind="lateral", count=1)
+        assert len(calls) == 3
+
+    def test_unsubscribe_all_removes_bound_registrations(self):
+        bus = EventBus(strict=True)
+        log = EventLog(bus)  # subscribe_all under the hood
+        bus.emit(PROMOTE, count=1)
+        assert log.count(PROMOTE) == 1
+        from repro.exec.events import EVENTS
+
+        removed = bus.unsubscribe_all(log.record)
+        assert removed == len(EVENTS)
+        bus.emit(PROMOTE, count=1)
+        assert log.count(PROMOTE) == 1  # no longer receiving
+
+    def test_unsubscribe_unknown_handler_is_a_noop(self):
+        bus = EventBus()
+        assert bus.unsubscribe(CANCEL, lambda **p: None) is False
+        assert bus.unsubscribe_all(lambda **p: None) == 0
+        assert bus.unsubscribe_timed(lambda *a: None) is False
+
+    def test_concurrent_emit_and_churn_never_corrupts_delivery(self):
+        """Threads hammering subscribe/unsubscribe while others emit.
+
+        Regression for the daemon scenario: long-lived bus, per-run
+        subscribers attaching and detaching while worker threads emit.
+        Under the old in-place list mutation this raised (iteration
+        over a mutating list) or dropped handlers; with copy-on-write
+        tuples every emit must complete and the persistent subscriber
+        must see every single emit.
+        """
+        import threading
+
+        bus = EventBus(strict=True)
+        seen = []
+        bus.subscribe(CANCEL, lambda **p: seen.append(1))
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            def ephemeral(**payload):
+                bus.unsubscribe(CANCEL, ephemeral)  # self-removal
+
+            try:
+                while not stop.is_set():
+                    bus.subscribe(CANCEL, ephemeral)
+                    bus.emit(CANCEL, kind="lateral", count=1)
+                    bus.unsubscribe(CANCEL, ephemeral)
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        emits_per_thread = 300
+        def emitter():
+            try:
+                for _ in range(emits_per_thread):
+                    bus.emit(CANCEL, kind="lateral", count=1)
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        churners = [threading.Thread(target=churn) for _ in range(2)]
+        emitters = [threading.Thread(target=emitter) for _ in range(3)]
+        for t in churners + emitters:
+            t.start()
+        for t in emitters:
+            t.join()
+        stop.set()
+        for t in churners:
+            t.join()
+        assert errors == []
+        # The persistent subscriber saw every emitter emit (plus the
+        # churners' own emits); nothing was lost or double-counted.
+        assert len(seen) >= 3 * emits_per_thread

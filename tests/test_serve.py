@@ -1,0 +1,433 @@
+"""Tests for ``repro.serve``: the mining daemon and its bug sweep.
+
+Covers the intake pipeline unit by unit (token buckets, tenant
+config, the CG6xx admission gate), then the daemon end to end over
+real sockets: lifecycle, the graph registry endpoints, streamed and
+aggregate queries, concurrent tenants, rate limiting, strict
+admission rejection, mid-stream disconnect cancellation, per-tenant
+metrics, and the long-lived-process regressions (no metric carry-over
+and no shared-memory leak across sequential in-process runs).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.apps.mqc import build_mqc_engine
+from repro.graph import erdos_renyi
+from repro.graph.store import graph_store, reset_default_store
+from repro.serve import (
+    ServeConfig,
+    TenantConfig,
+    TokenBucket,
+    admit_query,
+    serve_in_thread,
+)
+from repro.serve.client import ServeClient, ServeError
+
+SMOKE_EDGES = [
+    (0, 1), (1, 2), (0, 2),
+    (2, 3), (3, 4), (2, 4),
+    (4, 5),
+]
+
+
+@pytest.fixture(autouse=True)
+def clean_store():
+    reset_default_store()
+    yield
+    reset_default_store()
+
+
+def wait_until(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# Units: rate limiting, config, admission
+# ----------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_then_deny_with_retry_after(self):
+        bucket = TokenBucket(rate=1.0, burst=2)
+        assert bucket.try_acquire(now=100.0) == (True, 0.0)
+        assert bucket.try_acquire(now=100.0) == (True, 0.0)
+        granted, retry = bucket.try_acquire(now=100.0)
+        assert not granted
+        assert retry == pytest.approx(1.0)
+
+    def test_refill_restores_capacity_up_to_burst(self):
+        bucket = TokenBucket(rate=2.0, burst=3)
+        for _ in range(3):
+            assert bucket.try_acquire(now=50.0)[0]
+        assert not bucket.try_acquire(now=50.0)[0]
+        # 1 second at rate 2 refills two tokens; a century caps at burst.
+        assert bucket.try_acquire(now=51.0)[0]
+        assert bucket.try_acquire(now=51.0)[0]
+        assert not bucket.try_acquire(now=51.0)[0]
+        for _ in range(3):
+            assert bucket.try_acquire(now=5000.0)[0]
+        assert not bucket.try_acquire(now=5000.0)[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestServeConfig:
+    def test_for_tenant_falls_back_to_default_policy(self):
+        config = ServeConfig(
+            tenants={"alice": TenantConfig("alice", rate=2.0, priority=5)},
+            default=TenantConfig("default", rate=7.0, burst=9),
+        )
+        assert config.for_tenant("alice").priority == 5
+        anon = config.for_tenant("bob")
+        assert (anon.name, anon.rate, anon.burst) == ("bob", 7.0, 9)
+
+    def test_from_dict_round_trip_and_validation(self):
+        config = ServeConfig.from_dict(
+            {
+                "default": {"rate": 4.0},
+                "tenants": {"t1": {"rate": 1.0, "burst": 1, "priority": -2}},
+                "max_concurrent": 3,
+                "admission": "warn",
+            }
+        )
+        assert config.max_concurrent == 3
+        assert config.admission == "warn"
+        assert config.for_tenant("t1").priority == -2
+        with pytest.raises(ValueError):
+            ServeConfig(admission="sometimes")
+        with pytest.raises(ValueError):
+            TenantConfig.from_dict("x", {"rate": 1.0, "color": "red"})
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps({"default": {"rate": 3.0}}))
+        config = ServeConfig.from_file(str(path), max_concurrent=4)
+        assert config.default.rate == 3.0
+        assert config.max_concurrent == 4
+
+
+class TestAdmission:
+    def _constraints(self):
+        from repro.core import maximality_constraints
+        from repro.patterns import quasi_clique_patterns_up_to
+
+        return maximality_constraints(
+            quasi_clique_patterns_up_to(4, 0.8), induced=True
+        )
+
+    def test_off_admits_unconditionally(self):
+        graph = erdos_renyi(20, 0.3, seed=1)
+        decision = admit_query(graph, self._constraints(), "off")
+        assert decision.admitted
+        assert decision.codes == []
+
+    def test_strict_rejects_projected_tle_with_cg601(self):
+        graph = erdos_renyi(40, 0.4, seed=2)
+        decision = admit_query(
+            graph, self._constraints(), "strict", budget_seconds=1e-12
+        )
+        assert not decision.admitted
+        assert "CG601" in decision.codes
+        payload = decision.to_dict()
+        assert payload["admitted"] is False
+        assert payload["projected_seconds"] >= 0
+
+    def test_warn_annotates_but_admits(self):
+        graph = erdos_renyi(40, 0.4, seed=2)
+        decision = admit_query(
+            graph, self._constraints(), "warn", budget_seconds=1e-12
+        )
+        assert decision.admitted
+        assert "CG601" in decision.codes
+
+
+# ----------------------------------------------------------------------
+# Daemon end-to-end
+# ----------------------------------------------------------------------
+
+
+def _daemon(**kwargs):
+    kwargs.setdefault("admission", "warn")
+    kwargs.setdefault("port", 0)
+    return serve_in_thread(ServeConfig(**kwargs))
+
+
+class TestDaemonLifecycle:
+    def test_start_serve_drain_shutdown(self):
+        handle = _daemon()
+        try:
+            client = ServeClient(handle.host, handle.port)
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["max_concurrent"] == 2
+            client.register_graph("tiny", edges=SMOKE_EDGES, num_vertices=6)
+            result = client.query(
+                tenant="t", graph="tiny", gamma=0.8, max_size=4
+            )
+            assert result["type"] == "result"
+            assert result["summary"]["status"] == "ok"
+            assert client.shutdown()["status"] == "draining"
+        finally:
+            handle.stop()
+        assert not handle.thread.is_alive()
+        # The socket is gone after shutdown.
+        with pytest.raises(OSError):
+            ServeClient(handle.host, handle.port, timeout=2.0).health()
+
+    def test_registry_endpoints_and_version_addressing(self):
+        handle = _daemon()
+        try:
+            client = ServeClient(handle.host, handle.port)
+            client.register_graph("g", edges=SMOKE_EDGES, num_vertices=6)
+            client.mutate_graph("g", add_edges=[[0, 5], [1, 5]])
+            graphs = client.graphs()
+            refs = {entry["ref"] for entry in graphs}
+            assert {"g@v1", "g@v2"} <= refs
+            latest = [e for e in graphs if e.get("latest")]
+            assert any(e["ref"] == "g@v2" for e in latest)
+            # Old and new versions both resolvable by queries.
+            v1 = client.query(tenant="t", graph="g@v1", max_size=3)
+            v2 = client.query(tenant="t", graph="g@latest", max_size=3)
+            assert v1["summary"]["status"] == "ok"
+            assert v2["summary"]["status"] == "ok"
+        finally:
+            handle.stop()
+
+    def test_error_paths(self):
+        handle = _daemon()
+        try:
+            client = ServeClient(handle.host, handle.port)
+            with pytest.raises(ServeError) as err:
+                client.query(tenant="t", graph="missing")
+            assert err.value.status == 404
+            with pytest.raises(ServeError) as err:
+                client.register_graph("dual", dataset="dblp",
+                                      edges=[], num_vertices=0)
+            assert err.value.status == 400
+            with pytest.raises(ServeError) as err:
+                client.query(tenant="t", graph="x", scheduler="quantum")
+            assert err.value.status == 400
+            with pytest.raises(ServeError) as err:
+                client.mutate_graph("nope", add_edges=[[0, 1]])
+            assert err.value.status == 404
+            status, _ = client._request("GET", "/nope")
+            assert status == 404
+            status, _ = client._request("DELETE", "/graphs")
+            assert status == 405
+        finally:
+            handle.stop()
+
+
+class TestStreaming:
+    def test_streamed_matches_arrive_incrementally(self):
+        handle = _daemon()
+        try:
+            client = ServeClient(handle.host, handle.port)
+            client.register_graph("tiny", edges=SMOKE_EDGES, num_vertices=6)
+            events = list(
+                client.stream_query(tenant="t", graph="tiny", max_size=4)
+            )
+            assert events[0]["type"] == "accepted"
+            assert events[0]["admission"]["mode"] == "warn"
+            matches = [e for e in events if e["type"] == "match"]
+            summary = events[-1]
+            assert summary["type"] == "summary"
+            assert summary["status"] == "ok"
+            assert summary["matches"] == len(matches) > 0
+            for match in matches:
+                assert isinstance(match["vertices"], list)
+        finally:
+            handle.stop()
+
+    def test_two_concurrent_tenant_queries_both_stream(self):
+        handle = _daemon(max_concurrent=2)
+        try:
+            client = ServeClient(handle.host, handle.port)
+            graph = erdos_renyi(30, 0.4, seed=7)
+            store = graph_store()
+            store.register(graph, "shared")
+            outcomes = {}
+
+            def run(tenant):
+                local = ServeClient(handle.host, handle.port, timeout=120.0)
+                events = list(
+                    local.stream_query(
+                        tenant=tenant, graph="shared", max_size=4,
+                        time_limit=120.0,
+                    )
+                )
+                outcomes[tenant] = events
+
+            threads = [
+                threading.Thread(target=run, args=(name,))
+                for name in ("alice", "bob")
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+            assert set(outcomes) == {"alice", "bob"}
+            for tenant, events in outcomes.items():
+                assert events[0]["type"] == "accepted", tenant
+                assert events[-1]["status"] == "ok", tenant
+                assert events[-1]["matches"] > 0, tenant
+            metrics = client.metrics()
+            assert 'repro_serve_queries_total{tenant="alice"} 1' in metrics
+            assert 'repro_serve_queries_total{tenant="bob"} 1' in metrics
+        finally:
+            handle.stop()
+
+
+class TestRateLimiting:
+    def test_second_query_hits_429_with_retry_after(self):
+        handle = serve_in_thread(
+            ServeConfig(
+                tenants={
+                    "slow": TenantConfig("slow", rate=0.001, burst=1)
+                },
+                admission="off",
+                port=0,
+            )
+        )
+        try:
+            client = ServeClient(handle.host, handle.port)
+            client.register_graph("tiny", edges=SMOKE_EDGES, num_vertices=6)
+            first = client.query(tenant="slow", graph="tiny", max_size=3)
+            assert first["summary"]["status"] == "ok"
+            with pytest.raises(ServeError) as err:
+                client.query(tenant="slow", graph="tiny", max_size=3)
+            assert err.value.status == 429
+            assert err.value.payload["retry_after_seconds"] > 0
+            # Other tenants are unaffected (separate buckets).
+            other = client.query(tenant="fast", graph="tiny", max_size=3)
+            assert other["summary"]["status"] == "ok"
+            metrics = client.metrics()
+            assert (
+                'repro_serve_rate_limited_total{tenant="slow"} 1' in metrics
+            )
+        finally:
+            handle.stop()
+
+
+class TestAdmissionRejection:
+    def test_strict_rejection_carries_cg601_diagnostic(self):
+        handle = _daemon(admission="strict")
+        try:
+            client = ServeClient(handle.host, handle.port)
+            graph = erdos_renyi(40, 0.4, seed=3)
+            graph_store().register(graph, "big")
+            with pytest.raises(ServeError) as err:
+                client.query(
+                    tenant="t", graph="big", max_size=4, time_limit=1e-12
+                )
+            assert err.value.status == 422
+            admission = err.value.payload["admission"]
+            assert admission["admitted"] is False
+            assert "CG601" in admission["codes"]
+            assert any(
+                d.get("code") == "CG601" for d in admission["diagnostics"]
+            )
+            metrics = client.metrics()
+            assert (
+                'repro_serve_admission_rejected_total{tenant="t"} 1'
+                in metrics
+            )
+            # Per-query override can downgrade to warn and proceed.
+            ok = client.query(
+                tenant="t", graph="big", max_size=3,
+                time_limit=60.0, admission="warn",
+            )
+            assert ok["summary"]["status"] == "ok"
+        finally:
+            handle.stop()
+
+
+class TestDisconnectCancellation:
+    def test_mid_stream_disconnect_cancels_the_run(self):
+        handle = _daemon(max_concurrent=1, admission="off")
+        try:
+            client = ServeClient(handle.host, handle.port, timeout=120.0)
+            # ~5s of serial mining if left alone: far longer than the
+            # drain window below, so an empty slot proves cancellation.
+            graph = erdos_renyi(80, 0.4, seed=7)
+            graph_store().register(graph, "slow")
+            stream = client.stream_query(
+                tenant="t", graph="slow", max_size=5, time_limit=120.0
+            )
+            first = next(stream)
+            assert first["type"] == "accepted"
+            # Wait for the run to occupy the worker slot, then vanish.
+            assert wait_until(lambda: len(handle.daemon._active) == 1)
+            stream.close()
+            assert wait_until(
+                lambda: len(handle.daemon._active) == 0, timeout=20.0
+            ), "run was not cancelled after client disconnect"
+            # The daemon is still healthy and the slot is reusable.
+            client.register_graph("tiny", edges=SMOKE_EDGES, num_vertices=6)
+            result = client.query(tenant="t", graph="tiny", max_size=3)
+            assert result["summary"]["status"] == "ok"
+        finally:
+            handle.stop()
+
+
+class TestLongLivedProcessRegressions:
+    def test_no_metric_carry_over_across_sequential_daemon_runs(self):
+        """Acceptance: 3 identical sequential queries report identical
+        per-run counters — nothing accumulates across runs."""
+        handle = _daemon(admission="off")
+        try:
+            client = ServeClient(handle.host, handle.port)
+            graph = erdos_renyi(24, 0.4, seed=11)
+            graph_store().register(graph, "g")
+            summaries = [
+                client.query(tenant="t", graph="g", max_size=4)["summary"]
+                for _ in range(3)
+            ]
+            baseline = summaries[0]["counters"]
+            assert baseline["matches_found"] > 0
+            for later in summaries[1:]:
+                assert later["counters"] == baseline
+            # Shared-memory lease accounting: the serial scheduler never
+            # publishes, and nothing leaks between runs.
+            for summary in summaries:
+                shm = summary["run"]["shared_graphs"]
+                assert shm["publishes"] == 0
+                assert shm["unlinks"] == 0
+        finally:
+            handle.stop()
+
+    def test_engine_run_twice_in_process_has_fresh_stats(self):
+        """Regression for the cross-run accumulation bug: a second
+        ``ContigraEngine.run()`` on the same engine instance used to
+        inherit the first run's counters."""
+        graph = erdos_renyi(20, 0.4, seed=5)
+        engine = build_mqc_engine(graph, 0.8, 4)
+        first = engine.run()
+        second = engine.run()
+        assert first.stats.as_dict() == second.stats.as_dict()
+        assert second.stats.matches_found > 0
+        assert len(first.valid) == len(second.valid)
+
+    def test_match_sink_streams_every_valid_match(self):
+        graph = erdos_renyi(20, 0.4, seed=5)
+        engine = build_mqc_engine(graph, 0.8, 4)
+        streamed = []
+        result = engine.run(
+            match_sink=lambda pattern, vs: streamed.append((pattern, vs))
+        )
+        assert streamed == result.valid
