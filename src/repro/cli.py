@@ -1151,6 +1151,48 @@ def build_parser() -> argparse.ArgumentParser:
         choices=dataset_keys(),
         help="register this synthetic dataset at startup (repeatable)",
     )
+
+    watch = sub.add_parser(
+        "watch",
+        help="open a standing query against a running daemon and "
+             "stream match deltas (see docs/incremental.md)",
+        description=(
+            "Subscribe to a registered graph on a running repro "
+            "daemon: prints one NDJSON line per delta event "
+            "(match_added / match_retracted / delta summaries) as "
+            "mutation batches land, until interrupted or the daemon "
+            "shuts down."
+        ),
+    )
+    watch.add_argument("graph", help="store name of the graph to watch")
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=8265)
+    watch.add_argument(
+        "--tenant", default="default", help="tenant to account the "
+        "subscription (and its baseline mine) against",
+    )
+    watch.add_argument(
+        "--gamma", type=float, default=0.8, help="quasi-clique density"
+    )
+    watch.add_argument(
+        "--max-size", type=int, default=4, help="largest pattern size"
+    )
+    watch.add_argument(
+        "--min-size", type=int, default=3, help="smallest pattern size"
+    )
+    watch.add_argument(
+        "--scheduler", choices=("serial", "process", "workqueue"),
+        default="serial", help="scheduler for delta re-exploration",
+    )
+    watch.add_argument(
+        "--workers", type=int, default=2,
+        help="workers for parallel schedulers",
+    )
+    watch.add_argument(
+        "--summaries-only", action="store_true",
+        help="print only the per-batch delta summary lines, not "
+             "individual match_added/match_retracted events",
+    )
     return parser
 
 
@@ -1194,6 +1236,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port, timeout=3600.0)
+    stream = client.subscribe(
+        tenant=args.tenant,
+        graph=args.graph,
+        gamma=args.gamma,
+        max_size=args.max_size,
+        min_size=args.min_size,
+        scheduler=args.scheduler,
+        workers=args.workers,
+    )
+    try:
+        for event in stream:
+            if args.summaries_only and event.get("type") in (
+                "match_added", "match_retracted"
+            ):
+                continue
+            print(json.dumps(event), flush=True)
+            if event.get("type") == "closed":
+                break
+    except ServeError as exc:
+        print(json.dumps(exc.payload), file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stream.close()
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -1207,6 +1281,7 @@ def main(argv: Optional[list] = None) -> int:
         "explain": _cmd_explain,
         "analyze": _cmd_analyze,
         "serve": _cmd_serve,
+        "watch": _cmd_watch,
     }
     try:
         return handlers[args.command](args)

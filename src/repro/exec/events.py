@@ -32,6 +32,13 @@ Event vocabulary (the ``on_*`` hooks of the execution model):
                     (payload: unprocessed, failures)
 ``phase_start``     a runtime phase opened (payload: phase, ...)
 ``phase_end``       a runtime phase closed (payload: phase)
+``match_added``     a standing query gained a match after a mutation
+                    batch (payload: subscription, pattern, vertices)
+``match_retracted`` a standing query lost a match after a mutation
+                    batch (payload: subscription, pattern, vertices)
+``delta``           one delta pass for one subscription finished
+                    (payload: subscription, added, retracted,
+                    frontier, revalidated, mode, elapsed)
 ==================  ==================================================
 
 Phases are nested: ``phase_start``/``phase_end`` pairs delimit the
@@ -84,6 +91,9 @@ SHARD_FAILED = "shard_failed"
 RUN_DEGRADED = "run_degraded"
 PHASE_START = "phase_start"
 PHASE_END = "phase_end"
+MATCH_ADDED = "match_added"
+MATCH_RETRACTED = "match_retracted"
+DELTA = "delta"
 
 EVENTS = (
     TASK_START,
@@ -103,7 +113,15 @@ EVENTS = (
     RUN_DEGRADED,
     PHASE_START,
     PHASE_END,
+    MATCH_ADDED,
+    MATCH_RETRACTED,
+    DELTA,
 )
+
+#: Incremental (standing-query) events only fire on subscription delta
+#: passes — single-run completeness checks exclude them, the
+#: incremental suite covers them.
+INCREMENTAL_EVENTS = (MATCH_ADDED, MATCH_RETRACTED, DELTA)
 
 #: Resilience events only fire on faulted runs (retries, exhausted
 #: shards, degraded merges) — clean-run completeness checks exclude

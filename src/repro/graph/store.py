@@ -42,6 +42,7 @@ counters moved.
 from __future__ import annotations
 
 import hashlib
+import logging
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -69,6 +70,7 @@ __all__ = [
     "GraphStore",
     "GraphVersion",
     "MutationBatch",
+    "MutationListener",
     "PATTERN_SCOPE",
     "apply_mutation",
     "derived_cache",
@@ -79,7 +81,16 @@ __all__ = [
     "reset_default_store",
 ]
 
+logger = logging.getLogger(__name__)
+
 _T = TypeVar("_T")
+
+#: Mutation listeners receive ``(name, old, new, batch)`` after the new
+#: snapshot is registered but before superseded artifacts are
+#: invalidated (so they may still read derived state of ``old``).
+MutationListener = Callable[
+    [str, "GraphVersion", "GraphVersion", "MutationBatch"], None
+]
 
 #: Pseudo-version for pattern-scope memos (alignment embeddings,
 #: extension orders, bridge recipes).  These are pure functions of
@@ -198,6 +209,22 @@ class DerivedCache:
             scope[artifact_key] = value
         return value
 
+    def peek(
+        self, graph_version: str, artifact_key: Hashable
+    ) -> Optional[object]:
+        """The cached artifact, or ``None`` — without counters or LRU.
+
+        A presence probe for consumers that fall back to a rebuild
+        through a different path (e.g. the incremental registry's
+        scratch re-mine): it must not inflate the hit/miss series the
+        cache-warmth assertions read.
+        """
+        with self._lock:
+            scope = self._scopes.get(graph_version)
+            if scope is None:
+                return None
+            return scope.get(artifact_key)
+
     def scope(self, graph_version: str) -> Dict[Hashable, object]:
         """The (created-on-demand) artifact dict for one version."""
         with self._lock:
@@ -310,6 +337,51 @@ def publish_derived_cache_metrics(
 # ----------------------------------------------------------------------
 
 
+def _coerce_index(field: str, value: object) -> int:
+    """One integer field of a batch, with a field-level error message.
+
+    Accepts ints and integral floats (JSON numbers arrive as either);
+    rejects bools, fractional floats, and everything else so malformed
+    client payloads fail here — not as a ``TypeError`` deep inside
+    :func:`apply_mutation`.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"{field}: expected an integer, got {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        raise ValueError(f"{field}: expected an integer, got {value!r}")
+    raise ValueError(
+        f"{field}: expected an integer, got {type(value).__name__} {value!r}"
+    )
+
+
+def _coerce_pairs(
+    field: str, entries: Iterable[object]
+) -> Tuple[Tuple[int, int], ...]:
+    out: List[Tuple[int, int]] = []
+    for i, entry in enumerate(entries):
+        if isinstance(entry, (str, bytes)):
+            raise ValueError(
+                f"{field}[{i}]: expected a pair of integers, got {entry!r}"
+            )
+        try:
+            first, second = entry  # type: ignore[misc]
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{field}[{i}]: expected a pair of integers, got {entry!r}"
+            ) from None
+        out.append(
+            (
+                _coerce_index(f"{field}[{i}][0]", first),
+                _coerce_index(f"{field}[{i}][1]", second),
+            )
+        )
+    return tuple(out)
+
+
 @dataclass(frozen=True)
 class MutationBatch:
     """One batch of graph mutations, applied atomically.
@@ -335,12 +407,23 @@ class MutationBatch:
         set_labels: Iterable[Tuple[int, int]] = (),
         add_vertices: int = 0,
     ) -> "MutationBatch":
-        """Build a batch from any iterables (normalized to tuples)."""
+        """Build a batch from any iterables (normalized to tuples).
+
+        Every field is coerced and validated with a field-level
+        ``ValueError`` — including ``add_vertices``, which used to be
+        stored raw and let a float or string count from a parsed JSON
+        payload explode deep inside :func:`apply_mutation`.
+        """
+        count = _coerce_index("add_vertices", add_vertices)
+        if count < 0:
+            raise ValueError(
+                f"add_vertices: must be non-negative, got {count}"
+            )
         return cls(
-            add_edges=tuple((int(u), int(v)) for u, v in add_edges),
-            remove_edges=tuple((int(u), int(v)) for u, v in remove_edges),
-            set_labels=tuple((int(v), int(l)) for v, l in set_labels),
-            add_vertices=add_vertices,
+            add_edges=_coerce_pairs("add_edges", add_edges),
+            remove_edges=_coerce_pairs("remove_edges", remove_edges),
+            set_labels=_coerce_pairs("set_labels", set_labels),
+            add_vertices=count,
         )
 
     @property
@@ -465,9 +548,40 @@ class GraphStore:
         self._retain = derived_retain
         self._cache = cache
         self._lock = threading.RLock()
+        self._listeners: List[MutationListener] = []
 
     def _derived_cache(self) -> DerivedCache:
         return self._cache if self._cache is not None else derived_cache()
+
+    # -- mutation listeners ---------------------------------------------
+
+    def add_listener(self, listener: MutationListener) -> None:
+        """Register a ``(name, old, new, batch)`` mutation callback.
+
+        Listeners fire after the new snapshot is registered but
+        *before* superseded derived artifacts are invalidated, so an
+        incremental consumer (e.g. the standing-query registry) can
+        still read cached state scoped to the old version.  Listener
+        exceptions are logged and swallowed — a broken subscriber must
+        not abort the mutation path.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: MutationListener) -> None:
+        """Remove a previously-added listener (no-op if absent)."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _live_version_keys(self) -> "set[str]":
+        """Content keys inside any name's retained window (call locked)."""
+        live: "set[str]" = set()
+        for versions in self._versions.values():
+            live.update(gv.version_key for gv in versions[-self._retain:])
+        return live
 
     # -- registration and lookup ----------------------------------------
 
@@ -552,6 +666,16 @@ class GraphStore:
         here — the invalidation counters in
         :meth:`DerivedCache.counters` are the observable proof that
         stale artifacts were dropped rather than silently kept.
+
+        Invalidation is guarded by *content liveness across the whole
+        store*, not just this name's history: a content key is spared
+        while it sits inside any name's retained window.  Without the
+        cross-name check, a mutate-then-revert sequence (A→B→A
+        re-registers A's fingerprint) or two names sharing content
+        would drop artifacts still scoped to a latest version.
+
+        Mutation listeners (see :meth:`add_listener`) are notified
+        between registration and invalidation, outside the store lock.
         """
         with self._lock:
             current = self.latest(name)
@@ -559,15 +683,26 @@ class GraphStore:
             entry = self.register(new_graph, name)
             if entry is current:
                 return entry
+            listeners = tuple(self._listeners)
             versions = self._versions[name]
-            retained_keys = {
-                gv.version_key for gv in versions[-self._retain:]
-            }
-            cache = self._derived_cache()
-            for gv in versions[: -self._retain]:
-                if gv.version_key not in retained_keys:
-                    cache.invalidate(gv.version_key)
-            return entry
+            live_keys = self._live_version_keys()
+            stale_keys = [
+                gv.version_key
+                for gv in versions[: -self._retain]
+                if gv.version_key not in live_keys
+            ]
+        for listener in listeners:
+            try:
+                listener(name, current, entry, batch)
+            except Exception:  # noqa: BLE001 — listener isolation
+                logger.exception(
+                    "mutation listener failed for %s (v%d -> v%d)",
+                    name, current.version, entry.version,
+                )
+        cache = self._derived_cache()
+        for key in dict.fromkeys(stale_keys):
+            cache.invalidate(key)
+        return entry
 
 
 # ----------------------------------------------------------------------
@@ -629,12 +764,12 @@ def reset_default_store() -> Tuple[GraphStore, DerivedCache]:
 def run_smoke() -> Dict[str, object]:
     """Mine, mutate, re-mine; assert the invalidation counters moved.
 
-    Exercises the full lifecycle end to end: register a dataset,
-    mine it (building derived artifacts under its content version),
-    apply a mutation batch (superseding the version and invalidating
-    its artifacts), and mine the new version, checking that both
-    mining passes return results and the derived-cache counters show
-    hits, misses, and invalidations all advancing.
+    Exercises the full lifecycle end to end: register a dataset, mine
+    it (building derived artifacts under its content version), apply a
+    mutation batch (superseding the version), mine the new version,
+    then revert.  Asserts the liveness rule both ways: content still
+    held by another name (or re-registered by the revert) keeps its
+    artifacts, while the superseded one-off version is invalidated.
     """
     from ..apps.mqc import maximal_quasi_cliques
     from ..bench.datasets import dataset
@@ -646,6 +781,11 @@ def run_smoke() -> Dict[str, object]:
     # look build-free.  A fresh instance must attach (and build)
     # through the cache created by the reset above.
     raw = dataset("dblp")
+    # The memoized loader registers "dblp" only on first
+    # materialization; after the store reset above, pin the content
+    # under its dataset key explicitly so the liveness assertion
+    # below holds regardless of what materialized it first.
+    store.register(raw, "dblp")
     base = Graph(
         [raw.neighbors(v) for v in raw.vertices()],
         labels=raw.labels,
@@ -663,9 +803,13 @@ def run_smoke() -> Dict[str, object]:
     batch = MutationBatch.of(remove_edges=[(u, v)])
     v2 = store.apply_batch("smoke", batch)
     after_batch = cache.counters()
-    if after_batch["invalidations"] <= mined["invalidations"]:
+    # v1's content is still live: the dataset loader registered the
+    # same fingerprint under the "dblp" name, and the liveness rule
+    # spares content keys retained by *any* name.  Invalidating here
+    # was the pre-liveness bug.
+    if after_batch["invalidations"] != mined["invalidations"]:
         raise AssertionError(
-            "apply_batch did not invalidate superseded derived artifacts"
+            "apply_batch invalidated content still live under another name"
         )
     if v2.fingerprint == v1.fingerprint:
         raise AssertionError("mutation did not change the fingerprint")
@@ -673,10 +817,22 @@ def run_smoke() -> Dict[str, object]:
     second = maximal_quasi_cliques(
         v2.graph, gamma=0.8, max_size=4, min_size=3
     )
+    after_second_mine = cache.counters()
+
+    # A second mutation supersedes v2, whose content no one else
+    # holds — *its* artifacts must be invalidated.
+    v3 = store.apply_batch("smoke", MutationBatch.of(add_edges=[(u, v)]))
     final = cache.counters()
+    if final["invalidations"] <= after_second_mine["invalidations"]:
+        raise AssertionError(
+            "apply_batch did not invalidate superseded derived artifacts"
+        )
+    if v3.fingerprint != v1.fingerprint:
+        raise AssertionError("revert did not restore the fingerprint")
     return {
         "v1": v1.to_dict(),
         "v2": v2.to_dict(),
+        "v3": v3.to_dict(),
         "matches_v1": first.count,
         "matches_v2": second.count,
         "counters": dict(final),

@@ -31,7 +31,31 @@ from .processors import (
 )
 from .stats import ConstraintStats, MiningStats
 
+#: Lazily re-exported from :mod:`repro.mining.incremental` — that
+#: module imports :mod:`repro.core.runtime`, which imports this
+#: package, so an eager import here would be circular.
+_INCREMENTAL_EXPORTS = (
+    "DeltaUpdate",
+    "StandingQuery",
+    "Subscription",
+    "SubscriptionRegistry",
+    "delta_frontier",
+    "expand_frontier",
+    "pattern_radius",
+    "scratch_index",
+)
+
+
+def __getattr__(name):
+    if name in _INCREMENTAL_EXPORTS:
+        from . import incremental
+
+        return getattr(incremental, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    *_INCREMENTAL_EXPORTS,
     "Match",
     "di_matches",
     "di_count",

@@ -1,0 +1,647 @@
+"""Standing queries over dynamic graphs: delta-driven re-exploration.
+
+A batch mine answers a containment query once; a *standing* query
+stays registered against a store name and is re-answered after every
+:class:`~repro.graph.store.MutationBatch` — but only over the region
+the batch could possibly have changed.  The machinery:
+
+* :func:`delta_frontier` — the touched-vertex frontier of a batch:
+  endpoints of added/removed edges, relabeled vertices, and appended
+  vertex ids.
+* :func:`expand_frontier` — BFS expansion of the frontier to the
+  query's *pattern radius* over the union of the old and new
+  adjacency (a match whose existence or containment-validity changed
+  must contain a touched vertex inside the changed P or P⁺ match, and
+  patterns of ``k`` vertices have diameter ``≤ k-1``).
+* :class:`SubscriptionRegistry` — holds :class:`Subscription` objects
+  binding a :class:`StandingQuery` to a store name.  On each batch it
+  re-mines the new version *seeded only from the expanded region's
+  label-partition intersections* (``EngineSession.run_roots`` filters
+  every pattern's label-partition root candidates by the region), then
+  re-validates only matches whose vertex set intersects the inner
+  region.  New matches are published as ``match_added`` events,
+  vanished ones as ``match_retracted`` — a retraction is a lookup in
+  the subscription's per-version match index (kept in the
+  :class:`~repro.graph.store.DerivedCache`), never a re-mine.
+
+Correctness is anchored by a property oracle (see
+``tests/test_incremental.py``): for any (graph, batch, query) the
+incremental added/retracted sets must equal the set-diff of scratch
+re-mines of the two versions, under all three schedulers.
+
+Two-ring argument, in full.  Let ``F`` be the frontier and ``r`` the
+pattern radius (max pattern size, over workload patterns and every
+constraint's P⁺, minus one).  Ring 1 (``region``): any match whose
+existence or validity differs between versions lies within ``r`` hops
+of ``F`` in the union adjacency, so the set of *changed* matches is
+exactly captured by the predicate "vertex set intersects ring 1".
+Ring 2 (``root region``): a valid new-version match intersecting ring
+1 is connected in the new graph, so its exploration root sits within
+``r`` hops of ring 1 — mining restricted to ring-2 roots is complete
+for the predicate.  Matches failing the predicate are carried over
+from the previous index unchanged; promotion overshoot (matches the
+restricted mine finds outside ring 1) is discarded by the same
+predicate, so ``carried ∪ mined∩ring1`` equals a scratch re-mine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    cast,
+)
+
+from ..core.constraints import ConstraintSet
+from ..core.runtime import ContigraEngine, ContigraJob, ContigraResult
+from ..exec.events import DELTA, MATCH_ADDED, MATCH_RETRACTED, EventBus
+from ..exec.scheduler import make_scheduler
+from ..graph.graph import Graph
+from ..graph.store import (
+    DerivedCache,
+    GraphStore,
+    GraphVersion,
+    MutationBatch,
+    derived_cache,
+    graph_store,
+)
+from ..patterns.pattern import Pattern
+
+__all__ = [
+    "DeltaUpdate",
+    "StandingQuery",
+    "Subscription",
+    "SubscriptionRegistry",
+    "delta_frontier",
+    "expand_frontier",
+    "pattern_radius",
+    "scratch_index",
+]
+
+#: A match index entry key: ``(pattern structure key, canonical
+#: assignment)`` — the same identity the shard merger dedups on.
+MatchKey = Tuple[Hashable, Tuple[int, ...]]
+MatchIndex = Dict[MatchKey, Pattern]
+
+DeltaSink = Callable[["DeltaUpdate"], None]
+
+
+# ----------------------------------------------------------------------
+# Delta planning: frontier and region expansion
+# ----------------------------------------------------------------------
+
+
+def delta_frontier(batch: MutationBatch, old_num_vertices: int) -> FrozenSet[int]:
+    """Vertices a batch touches directly.
+
+    Endpoints of added/removed edges, relabel targets, and every
+    appended vertex id (``old_n .. old_n + add_vertices - 1``).
+    """
+    touched: Set[int] = set()
+    for u, v in batch.add_edges:
+        touched.add(u)
+        touched.add(v)
+    for u, v in batch.remove_edges:
+        touched.add(u)
+        touched.add(v)
+    for v, _label in batch.set_labels:
+        touched.add(v)
+    touched.update(
+        range(old_num_vertices, old_num_vertices + batch.add_vertices)
+    )
+    return frozenset(touched)
+
+
+def pattern_radius(constraint_set: ConstraintSet) -> int:
+    """Hop radius a query can see from any touched vertex.
+
+    The largest pattern the query ever matches — a workload pattern or
+    any constraint's P⁺ — has ``k`` vertices and therefore diameter at
+    most ``k - 1``; that is how far a changed match can reach from the
+    vertex the mutation touched.
+    """
+    sizes = [p.num_vertices for p in constraint_set.patterns]
+    sizes.extend(c.p_plus.num_vertices for c in constraint_set.all_constraints)
+    return max(1, max(sizes, default=2) - 1)
+
+
+def expand_frontier(
+    seeds: Iterable[int],
+    hops: int,
+    old_graph: Graph,
+    new_graph: Graph,
+) -> FrozenSet[int]:
+    """BFS-expand ``seeds`` by ``hops`` over the union adjacency.
+
+    The union of the old and new neighbor rows covers matches that
+    exist in either version (a removed edge still carries reach to the
+    match it destroyed; an added one to the match it created).
+    Vertices beyond either graph's range contribute that graph's rows
+    only.
+    """
+    old_n = old_graph.num_vertices
+    new_n = new_graph.num_vertices
+    frontier: Set[int] = {
+        v for v in seeds if 0 <= v < max(old_n, new_n)
+    }
+    region: Set[int] = set(frontier)
+    for _ in range(hops):
+        nxt: Set[int] = set()
+        for v in frontier:
+            if v < old_n:
+                nxt.update(old_graph.neighbors(v))
+            if v < new_n:
+                nxt.update(new_graph.neighbors(v))
+        frontier = nxt - region
+        if not frontier:
+            break
+        region.update(frontier)
+    return frozenset(region)
+
+
+# ----------------------------------------------------------------------
+# Standing queries and delta updates
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StandingQuery:
+    """A containment query held open against a mutating graph.
+
+    ``scheduler`` of ``None``/``"serial"`` mines in-process; the
+    parallel schedulers shard the restricted root region exactly like
+    a batch run shards the full root universe.
+    """
+
+    constraint_set: ConstraintSet
+    scheduler: Optional[str] = None
+    n_workers: int = 2
+    adjacency: str = "auto"
+    time_limit: Optional[float] = None
+
+    @classmethod
+    def mqc(
+        cls,
+        gamma: float,
+        max_size: int,
+        min_size: int = 3,
+        scheduler: Optional[str] = None,
+        n_workers: int = 2,
+        adjacency: str = "auto",
+        time_limit: Optional[float] = None,
+    ) -> "StandingQuery":
+        """Maximal quasi-clique workload (the serving daemon's shape)."""
+        from ..core.constraints import maximality_constraints
+        from ..patterns.quasicliques import quasi_clique_patterns_up_to
+
+        patterns_by_size = quasi_clique_patterns_up_to(
+            max_size, gamma, min_size=min_size
+        )
+        return cls(
+            constraint_set=maximality_constraints(patterns_by_size, induced=True),
+            scheduler=scheduler,
+            n_workers=n_workers,
+            adjacency=adjacency,
+            time_limit=time_limit,
+        )
+
+    def engine(self, graph: Graph) -> ContigraEngine:
+        return ContigraEngine(
+            graph,
+            self.constraint_set,
+            time_limit=self.time_limit,
+            adjacency=self.adjacency,
+        )
+
+    @property
+    def radius(self) -> int:
+        return pattern_radius(self.constraint_set)
+
+
+class _RegionJob(ContigraJob):
+    """A ContigraJob whose exploration universe is a root region.
+
+    Under the serial scheduler the engine runs with the restricted
+    root set directly; under the sharded schedulers ``all_roots``
+    *is* the sharding universe, so restricting it restricts every
+    shard.  Pickles like its parent (process workers rebuild nothing).
+    """
+
+    def __init__(self, engine: ContigraEngine, roots: Sequence[int]) -> None:
+        super().__init__(engine)
+        self._roots = sorted(roots)
+
+    def all_roots(self) -> List[int]:
+        return list(self._roots)
+
+    def run_serial(self, ctx: Optional[Any] = None) -> ContigraResult:
+        return self.engine.run(roots=self._roots, ctx=ctx)
+
+
+def _run_region(
+    query: StandingQuery, graph: Graph, roots: Optional[Sequence[int]]
+) -> ContigraResult:
+    """Mine ``graph`` under ``query`` (roots None = full universe)."""
+    engine = query.engine(graph)
+    if query.scheduler in (None, "serial"):
+        return engine.run(roots=None if roots is None else sorted(roots))
+    scheduler = make_scheduler(query.scheduler, n_workers=query.n_workers)
+    job: ContigraJob = (
+        ContigraJob(engine) if roots is None else _RegionJob(engine, roots)
+    )
+    result: ContigraResult = scheduler.run(job)
+    return result
+
+
+def _index_of(result: ContigraResult) -> MatchIndex:
+    return {
+        (pattern.structure_key(), assignment): pattern
+        for pattern, assignment in result.valid
+    }
+
+
+def scratch_index(graph: Graph, query: StandingQuery) -> MatchIndex:
+    """Full re-mine of ``graph`` as a match index (the oracle path)."""
+    return _index_of(_run_region(query, graph, None))
+
+
+def _match_dict(pattern: Pattern, assignment: Tuple[int, ...]) -> Dict[str, Any]:
+    return {
+        "pattern": pattern.name or f"P{pattern.num_vertices}",
+        "vertices": list(assignment),
+    }
+
+
+@dataclass
+class DeltaUpdate:
+    """One delta pass for one subscription, ready for the event bus."""
+
+    subscription: str
+    graph: str
+    old_ref: str
+    new_ref: str
+    version_key: str
+    added: List[Tuple[Pattern, Tuple[int, ...]]]
+    retracted: List[Tuple[Pattern, Tuple[int, ...]]]
+    frontier_size: int
+    region_size: int
+    root_region_size: int
+    revalidated: int
+    matches: int
+    mode: str  # "delta" | "scratch" | "noop"
+    elapsed: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "delta",
+            "subscription": self.subscription,
+            "graph": self.graph,
+            "old": self.old_ref,
+            "new": self.new_ref,
+            "version_key": self.version_key,
+            "added": [_match_dict(p, a) for p, a in self.added],
+            "retracted": [_match_dict(p, a) for p, a in self.retracted],
+            "frontier": self.frontier_size,
+            "region": self.region_size,
+            "root_region": self.root_region_size,
+            "revalidated": self.revalidated,
+            "matches": self.matches,
+            "mode": self.mode,
+            "elapsed": self.elapsed,
+        }
+
+
+@dataclass
+class Subscription:
+    """One standing query bound to one store name."""
+
+    id: str
+    name: str
+    query: StandingQuery
+    tenant: Optional[str] = None
+    sink: Optional[DeltaSink] = None
+    last_version_key: str = ""
+    matches: int = 0
+    deltas: int = 0
+    added_total: int = 0
+    retracted_total: int = 0
+    created_at: float = field(default_factory=time.time)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "graph": self.name,
+            "tenant": self.tenant,
+            "scheduler": self.query.scheduler or "serial",
+            "radius": self.query.radius,
+            "version_key": self.last_version_key,
+            "matches": self.matches,
+            "deltas": self.deltas,
+            "added_total": self.added_total,
+            "retracted_total": self.retracted_total,
+        }
+
+
+# ----------------------------------------------------------------------
+# SubscriptionRegistry
+# ----------------------------------------------------------------------
+
+
+class SubscriptionRegistry:
+    """Standing containment queries over a :class:`GraphStore`.
+
+    ``attach()`` wires the registry into the store's mutation-listener
+    hook; from then on every :meth:`GraphStore.apply_batch` drives one
+    delta pass per subscription on the mutated name (on the mutating
+    thread, before the store invalidates superseded artifacts — which
+    is what keeps the old version's match index readable).
+
+    Per-version match indexes live in the :class:`DerivedCache` under
+    ``("standing_matches", subscription_id)``, scoped to the content
+    version key like every other derived artifact — so the index
+    follows the store's retention/liveness rules, and a cache-evicted
+    index degrades to a scratch rebuild (``mode="scratch"``), never to
+    a wrong answer.
+    """
+
+    def __init__(
+        self,
+        store: Optional[GraphStore] = None,
+        cache: Optional[DerivedCache] = None,
+        bus: Optional[EventBus] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
+        self._store = store if store is not None else graph_store()
+        self._cache = cache if cache is not None else derived_cache()
+        self.bus = bus if bus is not None else EventBus()
+        self._metrics = metrics
+        self._subs: Dict[str, Subscription] = {}
+        self._lock = threading.Lock()
+        # Delta passes are serialized: concurrent apply_batch calls on
+        # one name would otherwise interleave index reads/writes.
+        self._delta_lock = threading.Lock()
+        self._seq = 0
+        self._attached_store: Optional[GraphStore] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self, store: Optional[GraphStore] = None) -> None:
+        """Start receiving mutation notifications from ``store``."""
+        target = store if store is not None else self._store
+        self.detach()
+        target.add_listener(self.on_batch)
+        self._attached_store = target
+
+    def detach(self) -> None:
+        if self._attached_store is not None:
+            self._attached_store.remove_listener(self.on_batch)
+            self._attached_store = None
+
+    # -- subscription management ----------------------------------------
+
+    def subscribe(
+        self,
+        name: str,
+        query: StandingQuery,
+        sink: Optional[DeltaSink] = None,
+        tenant: Optional[str] = None,
+    ) -> Subscription:
+        """Open a standing query against store name ``name``.
+
+        Eagerly mines the current latest version to seed the match
+        index (a subscription must know its baseline before it can
+        report deltas).  Raises :class:`KeyError` for an unknown name.
+        """
+        latest = self._store.latest(name)
+        with self._lock:
+            self._seq += 1
+            sub_id = f"sub-{self._seq}"
+        sub = Subscription(
+            id=sub_id, name=name, query=query, tenant=tenant, sink=sink
+        )
+        index = self._index_for(sub, latest)
+        sub.last_version_key = latest.version_key
+        sub.matches = len(index)
+        with self._lock:
+            self._subs[sub.id] = sub
+        return sub
+
+    def unsubscribe(self, sub_id: str) -> bool:
+        with self._lock:
+            return self._subs.pop(sub_id, None) is not None
+
+    def get(self, sub_id: str) -> Subscription:
+        with self._lock:
+            if sub_id not in self._subs:
+                raise KeyError(f"unknown subscription {sub_id!r}")
+            return self._subs[sub_id]
+
+    def subscriptions(self) -> List[Subscription]:
+        with self._lock:
+            return sorted(self._subs.values(), key=lambda s: s.id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    # -- the delta pass -------------------------------------------------
+
+    def on_batch(
+        self,
+        name: str,
+        old: GraphVersion,
+        new: GraphVersion,
+        batch: MutationBatch,
+    ) -> List[DeltaUpdate]:
+        """Store-listener entry point: one delta pass per subscription.
+
+        Matches the :data:`~repro.graph.store.MutationListener`
+        signature; the returned updates are for direct callers (tests,
+        benchmarks) — listener dispatch ignores them.
+        """
+        with self._lock:
+            targets = [s for s in self._subs.values() if s.name == name]
+        updates = []
+        for sub in sorted(targets, key=lambda s: s.id):
+            updates.append(self._delta(sub, old, new, batch))
+        return updates
+
+    def _index_key(self, sub: Subscription) -> Hashable:
+        return ("standing_matches", sub.id)
+
+    def _index_for(self, sub: Subscription, version: GraphVersion) -> MatchIndex:
+        """The subscription's match index for ``version`` (build = scratch mine)."""
+        return self._cache.get_or_build(
+            version.version_key,
+            self._index_key(sub),
+            lambda: scratch_index(version.graph, sub.query),
+        )
+
+    def _delta(
+        self,
+        sub: Subscription,
+        old: GraphVersion,
+        new: GraphVersion,
+        batch: MutationBatch,
+    ) -> DeltaUpdate:
+        with self._delta_lock:
+            started = time.perf_counter()
+            key = self._index_key(sub)
+            cached_old = cast(
+                Optional[MatchIndex], self._cache.peek(old.version_key, key)
+            )
+            mode = "delta" if cached_old is not None else "scratch"
+            old_index: MatchIndex = (
+                cached_old
+                if cached_old is not None
+                else scratch_index(old.graph, sub.query)
+            )
+
+            frontier = delta_frontier(batch, old.graph.num_vertices)
+            radius = sub.query.radius
+            region = expand_frontier(frontier, radius, old.graph, new.graph)
+            root_region = expand_frontier(
+                region, radius, old.graph, new.graph
+            )
+
+            if not region:
+                new_index: MatchIndex = dict(old_index)
+                local_new: MatchIndex = {}
+                local_old: MatchIndex = {}
+                mode = "noop"
+            else:
+                mined = _index_of(
+                    _run_region(sub.query, new.graph, sorted(root_region))
+                )
+                local_new = {
+                    mk: p
+                    for mk, p in mined.items()
+                    if not region.isdisjoint(mk[1])
+                }
+                local_old = {
+                    mk: p
+                    for mk, p in old_index.items()
+                    if not region.isdisjoint(mk[1])
+                }
+                new_index = {
+                    mk: p
+                    for mk, p in old_index.items()
+                    if region.isdisjoint(mk[1])
+                }
+                new_index.update(local_new)
+
+            # Deterministic event order (assignment, then structure) —
+            # structure keys of unrelated patterns are not mutually
+            # orderable, so compare their reprs.
+            order = lambda kv: (kv[0][1], repr(kv[0][0]))  # noqa: E731
+            added = [
+                (p, mk[1])
+                for mk, p in sorted(local_new.items(), key=order)
+                if mk not in local_old
+            ]
+            retracted = [
+                (p, mk[1])
+                for mk, p in sorted(local_old.items(), key=order)
+                if mk not in local_new
+            ]
+
+            stored = self._cache.get_or_build(
+                new.version_key, key, lambda: new_index
+            )
+            update = DeltaUpdate(
+                subscription=sub.id,
+                graph=sub.name,
+                old_ref=old.ref,
+                new_ref=new.ref,
+                version_key=new.version_key,
+                added=added,
+                retracted=retracted,
+                frontier_size=len(frontier),
+                region_size=len(region),
+                root_region_size=len(root_region),
+                revalidated=len(local_old),
+                matches=len(stored),
+                mode=mode,
+                elapsed=time.perf_counter() - started,
+            )
+            sub.last_version_key = new.version_key
+            sub.matches = len(stored)
+            sub.deltas += 1
+            sub.added_total += len(added)
+            sub.retracted_total += len(retracted)
+
+        self._publish(sub, update)
+        return update
+
+    def _publish(self, sub: Subscription, update: DeltaUpdate) -> None:
+        for pattern, assignment in update.added:
+            self.bus.emit(
+                MATCH_ADDED,
+                subscription=sub.id,
+                graph=sub.name,
+                **_match_dict(pattern, assignment),
+            )
+        for pattern, assignment in update.retracted:
+            self.bus.emit(
+                MATCH_RETRACTED,
+                subscription=sub.id,
+                graph=sub.name,
+                **_match_dict(pattern, assignment),
+            )
+        self.bus.emit(
+            DELTA,
+            subscription=sub.id,
+            graph=sub.name,
+            added=len(update.added),
+            retracted=len(update.retracted),
+            frontier=update.frontier_size,
+            revalidated=update.revalidated,
+            mode=update.mode,
+            elapsed=update.elapsed,
+        )
+        self._observe(update)
+        if sub.sink is not None:
+            try:
+                sub.sink(update)
+            except Exception:  # noqa: BLE001 — sink isolation
+                import logging
+
+                logging.getLogger(__name__).exception(
+                    "delta sink failed for subscription %s", sub.id
+                )
+
+    def _observe(self, update: DeltaUpdate) -> None:
+        if self._metrics is None:
+            return
+        self._metrics.histogram(
+            "repro_incremental_frontier_size",
+            help_text="Touched-vertex frontier size per delta pass",
+        ).observe(float(update.frontier_size))
+        self._metrics.histogram(
+            "repro_incremental_revalidated_matches",
+            help_text="Existing matches re-validated per delta pass",
+        ).observe(float(update.revalidated))
+        self._metrics.histogram(
+            "repro_incremental_delta_seconds",
+            help_text="Wall-clock seconds per delta pass",
+        ).observe(update.elapsed)
+        self._metrics.counter(
+            "repro_incremental_matches_added",
+            help_text="Matches added across all delta passes",
+        ).inc(float(len(update.added)))
+        self._metrics.counter(
+            "repro_incremental_matches_retracted",
+            help_text="Matches retracted across all delta passes",
+        ).inc(float(len(update.retracted)))

@@ -13,7 +13,7 @@ See ``docs/serving.md`` for the endpoint reference, the tenancy model
 from __future__ import annotations
 
 from .admission import AdmissionDecision, admit_query
-from .client import ServeClient
+from .client import ServeClient, ServeError
 from .config import ServeConfig, TenantConfig
 from .daemon import DaemonHandle, MiningDaemon, serve_in_thread
 from .ratelimit import TokenBucket
@@ -24,6 +24,7 @@ __all__ = [
     "MiningDaemon",
     "ServeClient",
     "ServeConfig",
+    "ServeError",
     "TenantConfig",
     "TokenBucket",
     "admit_query",

@@ -2,10 +2,12 @@
 
 ``--smoke`` boots a daemon on an ephemeral port, registers a small
 graph, streams one MQC query through the full intake path (rate
-limit → admission → queue → worker slot → NDJSON), scrapes
+limit → admission → queue → worker slot → NDJSON), opens a standing
+query, applies one mutation batch and asserts the delta stream
+delivers the resulting ``match_added`` + ``delta`` events, scrapes
 ``/metrics``, shuts down cleanly, and prints a JSON report.  A nonzero
 exit code means some stage of that round trip broke — this is the CI
-``serve-smoke`` job's entry point.
+``serve-smoke`` and ``incremental-smoke`` jobs' entry point.
 """
 
 from __future__ import annotations
@@ -47,15 +49,59 @@ def _smoke() -> int:
         report["summary"] = summary
         matches = [e for e in events if e.get("type") == "match"]
         report["streamed_matches"] = len(matches)
+        # Standing query round trip: subscribe, mutate (a disjoint
+        # triangle appended to the graph — a guaranteed new maximal
+        # quasi-clique), and assert the delta stream delivers it.
+        registered = client.graphs()
+        n = next(
+            g["num_vertices"] for g in registered if g["name"] == "smoke"
+        )
+        stream = client.subscribe(
+            tenant="smoke-ci", graph="smoke", gamma=0.8, max_size=4
+        )
+        subscribed = next(stream)
+        report["subscribed"] = subscribed.get("type") == "subscribed"
+        report["baseline_matches"] = subscribed.get("matches")
+        client.mutate_graph(
+            "smoke",
+            add_vertices=3,
+            add_edges=[[n, n + 1], [n, n + 2], [n + 1, n + 2]],
+        )
+        delta_events: List[Dict[str, Any]] = []
+        for event in stream:
+            delta_events.append(event)
+            if event.get("type") == "delta":
+                break
+        stream.close()
+        delta = delta_events[-1] if delta_events else {}
+        report["delta"] = delta
+        delta_added = [
+            e for e in delta_events if e.get("type") == "match_added"
+        ]
+        new_triangle = sorted([n, n + 1, n + 2])
+        report["delta_ok"] = (
+            report["subscribed"]
+            and delta.get("type") == "delta"
+            and delta.get("mode") == "delta"
+            and any(
+                sorted(e.get("vertices", [])) == new_triangle
+                for e in delta_added
+            )
+            and delta.get("frontier") == 3
+        )
         metrics = client.metrics()
         report["metrics_ok"] = (
             'repro_serve_queries_total{tenant="smoke-ci"} 1' in metrics
+            and 'repro_serve_subscriptions_total{tenant="smoke-ci"} 1'
+            in metrics
+            and "repro_incremental_frontier_size" in metrics
         )
         ok = (
             report["accepted"]
             and summary.get("status") == "ok"
             and len(matches) > 0
             and summary.get("matches") == len(matches)
+            and report["delta_ok"]
             and report["metrics_ok"]
         )
         report["ok"] = ok

@@ -131,6 +131,29 @@ class ServeClient:
         params.setdefault("stream", False)
         return self._json("POST", "/query", params)
 
+    def subscriptions(self) -> List[Dict[str, Any]]:
+        """Standing queries currently registered on the daemon."""
+        return list(
+            self._json("GET", "/subscriptions").get("subscriptions", [])
+        )
+
+    def unsubscribe(self, sub_id: str) -> Dict[str, Any]:
+        return self._json("DELETE", f"/subscriptions/{sub_id}")
+
+    def subscribe(self, **params: Any) -> Iterator[Dict[str, Any]]:
+        """Open a standing query: yields decoded NDJSON delta events.
+
+        The first event is ``subscribed`` (subscription id + baseline
+        match count); after each mutation batch on the subscribed
+        graph the stream carries ``match_added`` /
+        ``match_retracted`` lines and one ``delta`` summary.  The
+        stream ends with a ``closed`` event on daemon shutdown or
+        explicit unsubscribe; closing the generator tears down the
+        socket, which the daemon treats as a disconnect and removes
+        the subscription.
+        """
+        return self._stream("POST", "/subscriptions", params)
+
     def stream_query(self, **params: Any) -> Iterator[Dict[str, Any]]:
         """Streamed query: yields decoded NDJSON events.
 
@@ -142,12 +165,17 @@ class ServeClient:
         daemon treats as a disconnect and cancels the run.
         """
         params.setdefault("stream", True)
+        return self._stream("POST", "/query", params)
+
+    def _stream(
+        self, method: str, path: str, params: Dict[str, Any]
+    ) -> Iterator[Dict[str, Any]]:
         conn = self._connect()
         started = False
         try:
             conn.request(
-                "POST",
-                "/query",
+                method,
+                path,
                 body=json.dumps(params).encode("utf-8"),
                 headers={"Content-Type": "application/json"},
             )

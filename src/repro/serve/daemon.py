@@ -50,6 +50,11 @@ from ..exec.context import TaskContext
 from ..exec.scheduler import SCHEDULER_NAMES, make_scheduler
 from ..graph.graph import Graph
 from ..graph.store import GraphStore, MutationBatch, graph_store
+from ..mining.incremental import (
+    DeltaUpdate,
+    StandingQuery,
+    SubscriptionRegistry,
+)
 from ..obs import MetricsRegistry, RunScope
 from ..patterns.pattern import Pattern
 from .admission import admit_query
@@ -151,6 +156,15 @@ class MiningDaemon:
         self.config = config or ServeConfig()
         self.store = store if store is not None else graph_store()
         self.registry = MetricsRegistry()
+        #: Standing queries: delta passes run on the mutating thread
+        #: (the executor slot applying the batch) and publish into the
+        #: per-stream queues via their sinks.
+        self.subscriptions = SubscriptionRegistry(
+            store=self.store,
+            cache=self.store._derived_cache(),
+            metrics=self.registry,
+        )
+        self._sub_queues: Dict[str, "asyncio.Queue[Dict[str, Any]]"] = {}
         self._buckets: Dict[str, TokenBucket] = {}
         self._pending: "asyncio.PriorityQueue[Tuple[int, int, QueryRun]]"
         self.shutdown_event: asyncio.Event
@@ -180,6 +194,7 @@ class MiningDaemon:
             self._loop.create_task(self._worker_loop())
             for _ in range(self.config.max_concurrent)
         ]
+        self.subscriptions.attach(self.store)
         self._server = await asyncio.start_server(
             self._handle_client, host=self.config.host, port=self.config.port
         )
@@ -205,6 +220,22 @@ class MiningDaemon:
 
     async def stop(self) -> None:
         """Tear down workers, socket, and the run executor."""
+        self.subscriptions.detach()
+        # Wake every long-lived subscription stream with a terminal
+        # sentinel *before* closing the server: on Python 3.12+
+        # ``wait_closed`` waits for active connection handlers, and a
+        # delta stream would otherwise hold shutdown open forever.
+        for queue in list(self._sub_queues.values()):
+            queue.put_nowait(
+                {"type": "closed", "reason": "daemon shutdown"}
+            )
+        # ... and wait for the pumps to flush it: the stop coroutine is
+        # the loop's last work, so without this the sentinel write
+        # races loop close and clients see a dead socket instead of an
+        # orderly goodbye.  Each stream handler pops its queue on exit.
+        deadline = time.monotonic() + 5.0
+        while self._sub_queues and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
         for worker in self._workers:
             worker.cancel()
         for worker in self._workers:
@@ -353,8 +384,18 @@ class MiningDaemon:
         ):
             name = path[len("/graphs/"):-len("/mutate")]
             await self._send_json(
-                writer, 200, self._mutate_graph(name, _json_body(body))
+                writer, 200, await self._mutate_graph(name, _json_body(body))
             )
+            return
+        if path == "/subscriptions" and method == "GET":
+            await self._send_json(writer, 200, self._list_subscriptions())
+            return
+        if path == "/subscriptions" and method == "POST":
+            await self._handle_subscribe(_json_body(body), reader, writer)
+            return
+        if path.startswith("/subscriptions/") and method == "DELETE":
+            sub_id = path[len("/subscriptions/"):]
+            await self._send_json(writer, 200, self._unsubscribe(sub_id))
             return
         if path == "/queue" and method == "GET":
             await self._send_json(writer, 200, self._queue_state())
@@ -367,8 +408,9 @@ class MiningDaemon:
             await self._send_json(writer, 200, {"status": "draining"})
             return
         if path in (
-            "/health", "/metrics", "/graphs", "/queue", "/query", "/shutdown"
-        ):
+            "/health", "/metrics", "/graphs", "/queue", "/query",
+            "/subscriptions", "/shutdown",
+        ) or path.startswith("/subscriptions/"):
             raise QueryError(405, {"error": f"{method} not allowed on {path}"})
         raise QueryError(404, {"error": f"unknown endpoint {path}"})
 
@@ -384,6 +426,7 @@ class MiningDaemon:
             ),
             "active_runs": len(self._active),
             "queued": self._pending.qsize(),
+            "subscriptions": len(self.subscriptions),
             "max_concurrent": self.config.max_concurrent,
             "admission": self.config.admission,
         }
@@ -447,7 +490,7 @@ class MiningDaemon:
         version = self.store.register(graph, name)
         return {"registered": version.to_dict()}
 
-    def _mutate_graph(
+    async def _mutate_graph(
         self, name: str, body: Dict[str, Any]
     ) -> Dict[str, Any]:
         allowed = {"add_edges", "remove_edges", "set_labels", "add_vertices"}
@@ -456,29 +499,236 @@ class MiningDaemon:
             raise QueryError(
                 400, {"error": f"unknown mutation keys {sorted(unknown)}"}
             )
+        # The parsed JSON feeds MutationBatch.of directly: its
+        # field-level coercion is the validation layer, and whatever it
+        # rejects (string counts, fractional floats, ragged pairs)
+        # surfaces as a 400 naming the offending field — never a 500
+        # from deep inside apply_mutation.
         try:
             batch = MutationBatch.of(
-                add_edges=[
-                    (int(u), int(v)) for u, v in body.get("add_edges", [])
-                ],
-                remove_edges=[
-                    (int(u), int(v)) for u, v in body.get("remove_edges", [])
-                ],
-                set_labels=[
-                    (int(vertex), int(label))
-                    for vertex, label in body.get("set_labels", [])
-                ],
-                add_vertices=int(body.get("add_vertices", 0)),
+                add_edges=body.get("add_edges", ()),
+                remove_edges=body.get("remove_edges", ()),
+                set_labels=body.get("set_labels", ()),
+                add_vertices=body.get("add_vertices", 0),
             )
         except (TypeError, ValueError) as exc:
             raise QueryError(400, {"error": f"bad mutation payload: {exc}"})
+        # apply_batch runs on the executor: with standing queries
+        # attached it triggers their delta re-mines synchronously, and
+        # that work must not stall the event loop.
+        assert self._loop is not None and self._executor is not None
         try:
-            version = self.store.apply_batch(name, batch)
+            version = await self._loop.run_in_executor(
+                self._executor,
+                lambda: self.store.apply_batch(name, batch),
+            )
         except KeyError as exc:
             raise QueryError(404, {"error": str(exc.args[0])})
         except ValueError as exc:
             raise QueryError(400, {"error": str(exc)})
         return {"mutated": version.to_dict()}
+
+    # ------------------------------------------------------------------
+    # Standing queries (subscriptions + delta streams)
+    # ------------------------------------------------------------------
+
+    def _list_subscriptions(self) -> Dict[str, Any]:
+        return {
+            "subscriptions": [
+                sub.to_dict() for sub in self.subscriptions.subscriptions()
+            ]
+        }
+
+    def _unsubscribe(self, sub_id: str) -> Dict[str, Any]:
+        if not self.subscriptions.unsubscribe(sub_id):
+            raise QueryError(
+                404, {"error": f"unknown subscription {sub_id!r}"}
+            )
+        # If a stream is attached, end it; its pump unregisters the
+        # queue on the way out.
+        queue = self._sub_queues.get(sub_id)
+        if queue is not None:
+            queue.put_nowait({"type": "closed", "reason": "unsubscribed"})
+        return {"unsubscribed": sub_id}
+
+    def _delta_events(
+        self, sub_id: str, tenant: str, update: DeltaUpdate
+    ) -> List[Dict[str, Any]]:
+        """NDJSON lines for one delta pass: adds, retractions, summary."""
+        lines: List[Dict[str, Any]] = []
+        for pattern, assignment in update.added:
+            lines.append(
+                {
+                    "type": "match_added",
+                    "subscription": sub_id,
+                    "pattern": pattern.name or f"P{pattern.num_vertices}",
+                    "vertices": list(assignment),
+                }
+            )
+        for pattern, assignment in update.retracted:
+            lines.append(
+                {
+                    "type": "match_retracted",
+                    "subscription": sub_id,
+                    "pattern": pattern.name or f"P{pattern.num_vertices}",
+                    "vertices": list(assignment),
+                }
+            )
+        lines.append(update.to_dict())
+        self.registry.counter(
+            "repro_serve_delta_events_total",
+            labels={"tenant": tenant},
+            help_text="Delta-stream events delivered, by tenant",
+        ).inc(float(len(lines)))
+        return lines
+
+    async def _handle_subscribe(
+        self,
+        body: Dict[str, Any],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """``POST /subscriptions``: open a standing query, stream deltas.
+
+        The response is a long-lived NDJSON stream: one ``subscribed``
+        line (subscription id + baseline match count), then
+        ``match_added`` / ``match_retracted`` / ``delta`` lines after
+        every mutation batch on the subscribed graph, until the client
+        disconnects (which tears the subscription down — same
+        disconnect-watcher the query stream uses) or the daemon shuts
+        down (terminal ``closed`` line).
+        """
+        assert self._loop is not None and self._executor is not None
+        params, tenant = self._parse_query(body)
+        self._tenant_counter(
+            "repro_serve_subscriptions_total",
+            tenant.name,
+            "Subscription requests received, by tenant",
+        )
+        if self._draining:
+            raise QueryError(
+                503, {"error": "daemon is draining", "tenant": tenant.name}
+            )
+        self._acquire_tokens(tenant, params["cost"])
+        name = params["graph"].partition("@")[0]
+        try:
+            graph = self.store.latest(name).graph
+        except KeyError as exc:
+            raise QueryError(404, {"error": str(exc.args[0])})
+        constraint_set = self._constraint_set(params)
+        decision = admit_query(
+            graph,
+            constraint_set,
+            params["admission"],
+            budget_seconds=params["time_limit"],
+            budget_bytes=tenant.budget_bytes,
+            scheduler=params["scheduler"],
+            n_workers=params["workers"],
+        )
+        if not decision.admitted:
+            self._tenant_counter(
+                "repro_serve_admission_rejected_total",
+                tenant.name,
+                "Queries rejected by the CG6xx admission gate",
+            )
+            raise QueryError(
+                422,
+                {
+                    "error": "admission rejected",
+                    "tenant": tenant.name,
+                    "admission": decision.to_dict(),
+                },
+            )
+        query = StandingQuery(
+            constraint_set=constraint_set,
+            scheduler=params["scheduler"],
+            n_workers=params["workers"],
+            time_limit=params["time_limit"],
+        )
+        loop = self._loop
+        queue: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue()
+
+        def sink(update: DeltaUpdate) -> None:
+            # Runs on the mutating thread (executor slot): hand each
+            # NDJSON line to the stream queue on the daemon's loop.
+            lines = self._delta_events(
+                update.subscription, tenant.name, update
+            )
+            for line in lines:
+                loop.call_soon_threadsafe(queue.put_nowait, line)
+
+        try:
+            # The baseline mine happens off-loop like any other run.
+            sub = await loop.run_in_executor(
+                self._executor,
+                lambda: self.subscriptions.subscribe(
+                    name, query, sink=sink, tenant=tenant.name
+                ),
+            )
+        except KeyError as exc:
+            raise QueryError(404, {"error": str(exc.args[0])})
+        self._sub_queues[sub.id] = queue
+        self.registry.gauge(
+            "repro_serve_active_subscriptions",
+            help_text="Standing queries with a live delta stream",
+        ).inc()
+        try:
+            writer.write(self._head(200, "application/x-ndjson"))
+            writer.write(
+                _encode(
+                    {
+                        "type": "subscribed",
+                        "subscription": sub.id,
+                        "tenant": tenant.name,
+                        "graph": name,
+                        "matches": sub.matches,
+                        "radius": query.radius,
+                        "admission": decision.to_dict(),
+                    }
+                )
+                + b"\n"
+            )
+            await writer.drain()
+            await self._pump_subscription(queue, reader, writer)
+        finally:
+            self._sub_queues.pop(sub.id, None)
+            self.subscriptions.unsubscribe(sub.id)
+            self.registry.gauge(
+                "repro_serve_active_subscriptions",
+                help_text="Standing queries with a live delta stream",
+            ).dec()
+
+    async def _pump_subscription(
+        self,
+        queue: "asyncio.Queue[Dict[str, Any]]",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Forward delta events until disconnect or a ``closed`` line."""
+        watcher = asyncio.ensure_future(reader.read(1))
+        try:
+            while True:
+                getter = asyncio.ensure_future(queue.get())
+                done, _ = await asyncio.wait(
+                    {getter, watcher},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if getter not in done:
+                    # EOF from the client: the subscription dies with
+                    # the connection (the caller unsubscribes).
+                    getter.cancel()
+                    return
+                event = getter.result()
+                try:
+                    writer.write(_encode(event) + b"\n")
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    return
+                if event.get("type") == "closed":
+                    return
+        finally:
+            if not watcher.done():
+                watcher.cancel()
 
     def _render_metrics(self) -> str:
         from ..graph.aux import publish_aux_graph_metrics
@@ -512,6 +762,44 @@ class MiningDaemon:
             bucket = TokenBucket(tenant.rate, tenant.burst)
             self._buckets[tenant.name] = bucket
         return bucket
+
+    def _acquire_tokens(self, tenant: TenantConfig, cost: float) -> None:
+        """Charge ``cost`` tokens or raise the right intake error.
+
+        A temporary deficit is a 429 with the bucket's retry-after; a
+        cost above the tenant's burst capacity can *never* be granted
+        (the bucket reports ``retry_after=inf``), so it is a 400 — a
+        429 would send a well-behaved client into an endless retry
+        loop.
+        """
+        granted, retry_after = self._bucket_for(tenant).try_acquire(cost)
+        if granted:
+            return
+        if retry_after == float("inf"):
+            raise QueryError(
+                400,
+                {
+                    "error": (
+                        f"cost {cost:g} exceeds tenant burst capacity "
+                        f"{self._bucket_for(tenant).burst}; "
+                        "this request can never be granted"
+                    ),
+                    "tenant": tenant.name,
+                },
+            )
+        self._tenant_counter(
+            "repro_serve_rate_limited_total",
+            tenant.name,
+            "Queries refused by the tenant token bucket",
+        )
+        raise QueryError(
+            429,
+            {
+                "error": "rate limited",
+                "tenant": tenant.name,
+                "retry_after_seconds": round(retry_after, 4),
+            },
+        )
 
     def _tenant_counter(self, name: str, tenant: str, help_text: str) -> None:
         self.registry.counter(
@@ -547,8 +835,15 @@ class MiningDaemon:
             raise QueryError(
                 400, {"error": "admission must be off/warn/strict"}
             )
+        try:
+            cost = float(body.get("cost", 1.0))
+        except (TypeError, ValueError):
+            raise QueryError(400, {"error": "'cost' must be a number"})
+        if cost <= 0:
+            raise QueryError(400, {"error": "'cost' must be positive"})
         time_limit = body.get("time_limit", tenant.budget_seconds)
         params: Dict[str, Any] = {
+            "cost": cost,
             "workload": "mqc",
             "graph": graph_ref,
             "gamma": float(body.get("gamma", 0.8)),
@@ -594,21 +889,7 @@ class MiningDaemon:
             raise QueryError(
                 503, {"error": "daemon is draining", "tenant": tenant.name}
             )
-        granted, retry_after = self._bucket_for(tenant).try_acquire()
-        if not granted:
-            self._tenant_counter(
-                "repro_serve_rate_limited_total",
-                tenant.name,
-                "Queries refused by the tenant token bucket",
-            )
-            raise QueryError(
-                429,
-                {
-                    "error": "rate limited",
-                    "tenant": tenant.name,
-                    "retry_after_seconds": round(retry_after, 4),
-                },
-            )
+        self._acquire_tokens(tenant, params["cost"])
         try:
             graph = self.store.resolve(params["graph"]).graph
         except KeyError as exc:

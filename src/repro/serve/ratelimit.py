@@ -5,6 +5,12 @@ tokens per second against a monotonic clock.  ``try_acquire`` is
 non-blocking — the daemon turns a refusal into an HTTP 429 carrying
 the bucket's own retry-after estimate, instead of queueing work the
 tenant is not entitled to yet.
+
+A request for more tokens than ``burst`` can never be granted (tokens
+cap at ``burst``), so ``try_acquire`` reports it as
+``(False, float("inf"))`` rather than a finite retry-after that would
+send a well-behaved client into an endless retry loop.  The daemon
+maps that to HTTP 400, not 429.
 """
 
 from __future__ import annotations
@@ -43,8 +49,13 @@ class TokenBucket:
         """Take ``tokens`` if available.
 
         Returns ``(granted, retry_after_seconds)``; ``retry_after`` is
-        0 on success and the time until the deficit refills otherwise.
+        0 on success, the time until the deficit refills on a
+        temporary refusal, and ``float("inf")`` when ``tokens``
+        exceeds ``burst`` — a request that no amount of waiting can
+        satisfy.
         """
+        if tokens > self.burst:
+            return False, float("inf")
         current = time.monotonic() if now is None else now
         with self._lock:
             self._refill(current)

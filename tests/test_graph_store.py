@@ -517,6 +517,256 @@ class TestSharedGraphPayloads:
 
 
 # ----------------------------------------------------------------------
+# Invalidation liveness guard (cross-name / mutate-revert regression)
+# ----------------------------------------------------------------------
+
+
+class TestInvalidationLiveness:
+    """``apply_batch`` must spare content keys that any name's retained
+    window still holds — the pre-fix code invalidated by one name's
+    history alone, dropping artifacts still scoped to a latest
+    version elsewhere (or to the revert target of an A→B→A cycle)."""
+
+    def test_two_names_sharing_content_keep_caches_warm(self):
+        cache = DerivedCache()
+        store = GraphStore(cache=cache)
+        g = erdos_renyi(12, 0.35, seed=41, name="shared")
+        store.register(g, "a")
+        store.register(_rebuilt(g), "b")  # same content, second name
+        cache.get_or_build(g.version_key, "probe", dict)
+        before = cache.counters()["invalidations"]
+
+        edge = next(
+            (u, v) for u in g.vertices() for v in g.neighbors(u) if u < v
+        )
+        v2 = store.apply_batch("a", MutationBatch.of(remove_edges=[edge]))
+        # "a" moved on, but "b" still holds the old content as its
+        # latest: the shared artifacts must stay warm.
+        assert cache.counters()["invalidations"] == before
+        assert cache.peek(g.version_key, "probe") is not None
+
+        # Reverting supersedes v2, whose content no name holds — *that*
+        # is invalidated, while the shared key stays live (it is both
+        # "b"'s latest and now "a"'s again).
+        cache.get_or_build(v2.version_key, "probe", dict)
+        v3 = store.apply_batch("a", MutationBatch.of(add_edges=[edge]))
+        assert v3.fingerprint == g.fingerprint
+        assert cache.counters()["invalidations"] > before
+        assert cache.peek(v2.version_key, "probe") is None
+        assert cache.peek(g.version_key, "probe") is not None
+
+    def test_mutate_revert_cycle_keeps_caches_warm(self):
+        cache = DerivedCache()
+        store = GraphStore(derived_retain=2, cache=cache)
+        g = erdos_renyi(12, 0.35, seed=43, name="cycle")
+        v1 = store.register(g, "x")
+        cache.get_or_build(v1.version_key, "probe", dict)
+        edge = next(
+            (u, v) for u in g.vertices() for v in g.neighbors(u) if u < v
+        )
+        before = cache.counters()["invalidations"]
+        v2 = store.apply_batch("x", MutationBatch.of(remove_edges=[edge]))
+        v3 = store.apply_batch("x", MutationBatch.of(add_edges=[edge]))
+        assert v3.fingerprint == v1.fingerprint  # A -> B -> A
+        # v1's content is the latest content again: still warm.
+        assert cache.counters()["invalidations"] == before
+        assert cache.peek(v1.version_key, "probe") is not None
+
+        # One more mutation pushes v2 (the one-off B content) out of
+        # the retained window: B is dropped, A stays warm throughout.
+        non_edge = next(
+            (a, b)
+            for a in g.vertices()
+            for b in range(a + 1, g.num_vertices)
+            if b not in g.neighbors(a)
+        )
+        cache.get_or_build(v2.version_key, "probe", dict)
+        store.apply_batch("x", MutationBatch.of(add_edges=[non_edge]))
+        assert cache.peek(v2.version_key, "probe") is None
+        assert cache.peek(v1.version_key, "probe") is not None
+
+    def test_listener_sees_old_version_before_invalidation(self):
+        cache = DerivedCache()
+        store = GraphStore(cache=cache)
+        g = erdos_renyi(10, 0.4, seed=47, name="evt")
+        v1 = store.register(g, "evt")
+        cache.get_or_build(v1.version_key, "probe", dict)
+        observed = []
+
+        def listener(name, old, new, batch):
+            # Fired after registration, before invalidation: the old
+            # version's artifacts are still readable.
+            observed.append(
+                (name, old.ref, new.ref,
+                 cache.peek(old.version_key, "probe") is not None)
+            )
+
+        non_edge = next(
+            (a, b)
+            for a in g.vertices()
+            for b in range(a + 1, g.num_vertices)
+            if b not in g.neighbors(a)
+        )
+        store.add_listener(listener)
+        store.apply_batch("evt", MutationBatch.of(add_edges=[non_edge]))
+        assert observed == [("evt", "evt@v1", "evt@v2", True)]
+        # ... and afterwards the superseded scope is gone (only "evt"
+        # held that content).
+        assert cache.peek(v1.version_key, "probe") is None
+        store.remove_listener(listener)
+        store.remove_listener(listener)  # absent remove is a no-op
+        store.apply_batch("evt", MutationBatch.of(remove_edges=[non_edge]))
+        assert len(observed) == 1
+
+    def test_failing_listener_does_not_abort_mutation(self):
+        store = GraphStore(cache=DerivedCache())
+        g = erdos_renyi(8, 0.4, seed=53, name="boom")
+        store.register(g, "boom")
+
+        def bad(name, old, new, batch):
+            raise RuntimeError("listener crashed")
+
+        edge = next(
+            (u, v) for u in g.vertices() for v in g.neighbors(u) if u < v
+        )
+        store.add_listener(bad)
+        entry = store.apply_batch(
+            "boom", MutationBatch.of(remove_edges=[edge])
+        )
+        assert entry.version == 2
+
+
+# ----------------------------------------------------------------------
+# MutationBatch.of validation (malformed-payload regression)
+# ----------------------------------------------------------------------
+
+
+class TestMutationBatchValidation:
+    """``MutationBatch.of`` must coerce and validate every field with
+    field-level errors — a string or float count from a parsed JSON
+    payload used to be stored raw and explode deep inside
+    ``apply_mutation``."""
+
+    def test_add_vertices_rejects_string(self):
+        with pytest.raises(ValueError, match="add_vertices"):
+            MutationBatch.of(add_vertices="3")
+
+    def test_add_vertices_rejects_bool(self):
+        with pytest.raises(ValueError, match="add_vertices"):
+            MutationBatch.of(add_vertices=True)
+
+    def test_add_vertices_rejects_fractional_float(self):
+        with pytest.raises(ValueError, match="add_vertices"):
+            MutationBatch.of(add_vertices=2.5)
+
+    def test_add_vertices_accepts_integral_float(self):
+        # JSON numbers may decode as floats; 2.0 means 2.
+        assert MutationBatch.of(add_vertices=2.0).add_vertices == 2
+
+    def test_add_vertices_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MutationBatch.of(add_vertices=-1)
+
+    def test_edge_lists_reject_strings_with_indexed_message(self):
+        with pytest.raises(ValueError, match=r"add_edges\[0\]"):
+            MutationBatch.of(add_edges=["01"])
+        with pytest.raises(ValueError, match=r"remove_edges\[1\]"):
+            MutationBatch.of(remove_edges=[(0, 1), 7])
+
+    def test_edge_elements_coerced_with_positional_message(self):
+        with pytest.raises(ValueError, match=r"add_edges\[0\]\[1\]"):
+            MutationBatch.of(add_edges=[(0, "1")])
+        with pytest.raises(ValueError, match=r"set_labels\[0\]\[0\]"):
+            MutationBatch.of(set_labels=[(1.5, 0)])
+        batch = MutationBatch.of(add_edges=[[0.0, 1.0]])
+        assert batch.add_edges == ((0, 1),)
+
+    def test_wrong_arity_pairs_rejected(self):
+        with pytest.raises(ValueError, match=r"add_edges\[0\]"):
+            MutationBatch.of(add_edges=[(0, 1, 2)])
+        with pytest.raises(ValueError, match=r"set_labels\[0\]"):
+            MutationBatch.of(set_labels=[(1,)])
+
+
+# ----------------------------------------------------------------------
+# Mutate-while-mining: in-flight runs keep their bound snapshot
+# ----------------------------------------------------------------------
+
+
+class TestMutateWhileMining:
+    def test_batch_applied_mid_run_does_not_change_bound_graph(self):
+        graph = erdos_renyi(20, 0.35, seed=59, name="inflight")
+        store = graph_store()
+        v1 = store.register(graph, "inflight")
+        engine = build_mqc_engine(graph, 0.8, 4)
+        reference = engine.run()
+        bound_key = v1.version_key
+
+        edge = next(
+            (u, v)
+            for u in graph.vertices()
+            for v in graph.neighbors(u)
+            if u < v
+        )
+        mutated_during_run = []
+
+        def sink(pattern, vertices):
+            # The first match triggers a concurrent mutation: the
+            # in-flight run must keep mining its bound v1 snapshot.
+            if not mutated_during_run:
+                entry = store.apply_batch(
+                    "inflight", MutationBatch.of(remove_edges=[edge])
+                )
+                mutated_during_run.append(entry)
+
+        fresh_engine = build_mqc_engine(graph, 0.8, 4)
+        result = fresh_engine.run(match_sink=sink)
+        assert mutated_during_run, "sink never fired"
+        assert store.latest("inflight").version == 2
+        # Bound version unchanged, and the result is v1's answer.
+        assert fresh_engine.graph.version_key == bound_key
+        assert fresh_engine.graph is graph
+        assert {
+            (p.structure_key(), a) for p, a in result.valid
+        } == {(p.structure_key(), a) for p, a in reference.valid}
+
+    def test_batch_applied_mid_run_keeps_shm_lease(self):
+        from repro.graph.shm import (
+            acquire_graph,
+            publish_graph,
+            published_segment,
+            release_graph,
+            shared_graphs,
+            unpublish_all,
+        )
+
+        graph = erdos_renyi(30, 0.3, seed=61, name="leased")
+        store = graph_store()
+        store.register(graph, "leased")
+        try:
+            publish_graph(graph)
+            fingerprint = acquire_graph(graph)  # an in-flight run's lease
+            assert shared_graphs().lease_count(fingerprint) == 1
+            edge = next(
+                (u, v)
+                for u in graph.vertices()
+                for v in graph.neighbors(u)
+                if u < v
+            )
+            store.apply_batch(
+                "leased", MutationBatch.of(remove_edges=[edge])
+            )
+            # The mutation neither released the lease nor unlinked the
+            # segment out from under the in-flight run.
+            assert shared_graphs().lease_count(fingerprint) == 1
+            assert published_segment(fingerprint) is not None
+            release_graph(fingerprint)
+        finally:
+            shared_graphs().release_attachments()
+            unpublish_all()
+
+
+# ----------------------------------------------------------------------
 # The CI store-smoke entry point
 # ----------------------------------------------------------------------
 

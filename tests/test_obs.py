@@ -17,6 +17,7 @@ from repro.core import maximality_constraints
 from repro.core.runtime import ContigraEngine
 from repro.exec import (
     EVENTS,
+    INCREMENTAL_EVENTS,
     LIFECYCLE_EVENTS,
     RESILIENCE_EVENTS,
     FaultPlan,
@@ -35,7 +36,9 @@ from repro.exec.events import (
     replay_events,
 )
 from repro.graph import erdos_renyi
+from repro.graph.store import GraphStore, MutationBatch
 from repro.mining.cache import SetOperationCache
+from repro.mining.incremental import StandingQuery, SubscriptionRegistry
 from repro.mining.stats import ConstraintStats
 from repro.obs import (
     MetricsRegistry,
@@ -76,12 +79,15 @@ class TestEventVocabularyIsAlive:
         graph = erdos_renyi(20, 0.9, seed=11)
         _, _, _, log = observed_run(graph, SerialScheduler())
         seen = {name for name, _ in log.records}
-        # Cache events need a cache; resilience events need a failure.
+        # Cache events need a cache; resilience events need a
+        # failure; incremental events need a standing query (their
+        # liveness is asserted in tests/test_incremental.py).
         missing = (
             set(EVENTS)
             - seen
             - {CACHE_HIT, CACHE_MISS}
             - set(RESILIENCE_EVENTS)
+            - set(INCREMENTAL_EVENTS)
         )
         assert not missing, f"declared but never emitted: {missing}"
 
@@ -124,6 +130,28 @@ class TestEventVocabularyIsAlive:
         )
         assert degraded.incomplete
         seen |= {name for name, _ in chaos_log.records}
+        # Incremental events need a standing query: append a disjoint
+        # triangle (match_added + delta), then break it
+        # (match_retracted).
+        inc_store = GraphStore()
+        base = erdos_renyi(12, 0.3, seed=5, name="inc")
+        inc_store.register(base, "inc")
+        registry = SubscriptionRegistry(store=inc_store)
+        inc_log = EventLog(registry.bus)
+        registry.attach(inc_store)
+        try:
+            registry.subscribe("inc", StandingQuery.mqc(0.8, 4))
+            n = base.num_vertices
+            inc_store.apply_batch("inc", MutationBatch.of(
+                add_vertices=3,
+                add_edges=[(n, n + 1), (n + 1, n + 2), (n, n + 2)],
+            ))
+            inc_store.apply_batch("inc", MutationBatch.of(
+                remove_edges=[(n, n + 1)],
+            ))
+        finally:
+            registry.detach()
+        seen |= {name for name, _ in inc_log.records}
         assert seen >= set(EVENTS)
 
     def test_cache_events_are_sampled_with_counts(self):

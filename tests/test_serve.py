@@ -85,6 +85,19 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(rate=1.0, burst=0)
 
+    def test_request_above_burst_is_never_grantable(self):
+        # Regression: a cost above burst used to come back with a
+        # finite retry-after, sending well-behaved clients into an
+        # endless retry loop.  It must be the explicit (False, inf)
+        # never-grantable signal instead.
+        bucket = TokenBucket(rate=1.0, burst=2)
+        assert bucket.try_acquire(tokens=3.0, now=100.0) == (
+            False, float("inf"),
+        )
+        # ... and the refusal consumed nothing: a full-burst request
+        # still succeeds immediately.
+        assert bucket.try_acquire(tokens=2.0, now=100.0) == (True, 0.0)
+
 
 class TestServeConfig:
     def test_for_tenant_falls_back_to_default_policy(self):
@@ -431,3 +444,175 @@ class TestLongLivedProcessRegressions:
             match_sink=lambda pattern, vs: streamed.append((pattern, vs))
         )
         assert streamed == result.valid
+
+
+# ----------------------------------------------------------------------
+# Intake validation: never-grantable costs and malformed mutations
+# ----------------------------------------------------------------------
+
+
+class TestIntakeValidation:
+    def test_cost_above_burst_is_400_not_429(self):
+        handle = serve_in_thread(
+            ServeConfig(
+                tenants={"t": TenantConfig("t", rate=1.0, burst=2)},
+                admission="off",
+                port=0,
+            )
+        )
+        try:
+            client = ServeClient(handle.host, handle.port)
+            client.register_graph("tiny", edges=SMOKE_EDGES, num_vertices=6)
+            with pytest.raises(ServeError) as err:
+                client.query(tenant="t", graph="tiny", max_size=3, cost=5)
+            # Waiting cannot satisfy this request: 400, not 429.
+            assert err.value.status == 400
+            assert "never be granted" in err.value.payload["error"]
+            assert "retry_after_seconds" not in err.value.payload
+            # A grantable cost still works afterwards.
+            ok = client.query(tenant="t", graph="tiny", max_size=3, cost=2)
+            assert ok["summary"]["status"] == "ok"
+            with pytest.raises(ServeError) as err:
+                client.query(tenant="t", graph="tiny", max_size=3, cost=-1)
+            assert err.value.status == 400
+        finally:
+            handle.stop()
+
+    def test_malformed_mutation_payloads_get_field_level_400(self):
+        handle = _daemon()
+        try:
+            client = ServeClient(handle.host, handle.port)
+            client.register_graph("m", edges=SMOKE_EDGES, num_vertices=6)
+            with pytest.raises(ServeError) as err:
+                client.mutate_graph("m", add_vertices="3")
+            assert err.value.status == 400
+            assert "add_vertices" in err.value.payload["error"]
+            with pytest.raises(ServeError) as err:
+                client.mutate_graph("m", add_edges=[[0, 1.5]])
+            assert err.value.status == 400
+            assert "add_edges[0][1]" in err.value.payload["error"]
+            with pytest.raises(ServeError) as err:
+                client.mutate_graph("m", add_vertices=-2)
+            assert err.value.status == 400
+            # The graph is untouched by the rejected payloads.
+            assert all(
+                e["ref"] == "m@v1"
+                for e in client.graphs() if e["name"] == "m"
+            )
+        finally:
+            handle.stop()
+
+
+# ----------------------------------------------------------------------
+# Standing queries over the wire
+# ----------------------------------------------------------------------
+
+
+class TestSubscriptions:
+    def test_round_trip_subscribe_mutate_stream_disconnect(self):
+        handle = _daemon()
+        try:
+            client = ServeClient(handle.host, handle.port, timeout=120.0)
+            graph = erdos_renyi(20, 0.3, seed=9)
+            graph_store().register(graph, "dyn")
+            n = graph.num_vertices
+            assert client.subscriptions() == []
+
+            stream = client.subscribe(
+                tenant="alice", graph="dyn", gamma=0.8, max_size=4
+            )
+            subscribed = next(stream)
+            assert subscribed["type"] == "subscribed"
+            sub_id = subscribed["subscription"]
+            assert subscribed["matches"] >= 0
+            assert subscribed["radius"] >= 3
+            listed = client.subscriptions()
+            assert [s["id"] for s in listed] == [sub_id]
+            assert listed[0]["tenant"] == "alice"
+            assert client.health()["subscriptions"] == 1
+
+            # A disjoint appended triangle must arrive as match_added
+            # followed by the delta summary.
+            client.mutate_graph(
+                "dyn",
+                add_vertices=3,
+                add_edges=[[n, n + 1], [n, n + 2], [n + 1, n + 2]],
+            )
+            events = []
+            for event in stream:
+                events.append(event)
+                if event["type"] == "delta":
+                    break
+            added = [e for e in events if e["type"] == "match_added"]
+            assert any(
+                sorted(e["vertices"]) == [n, n + 1, n + 2] for e in added
+            )
+            delta = events[-1]
+            assert delta["subscription"] == sub_id
+            assert delta["mode"] == "delta"
+            assert delta["frontier"] == 3
+
+            metrics = client.metrics()
+            assert (
+                'repro_serve_subscriptions_total{tenant="alice"} 1'
+                in metrics
+            )
+            assert "repro_serve_delta_events_total" in metrics
+
+            # Disconnecting tears the subscription down server-side.
+            stream.close()
+            assert wait_until(
+                lambda: len(handle.daemon.subscriptions) == 0, timeout=20.0
+            ), "disconnect did not remove the subscription"
+        finally:
+            handle.stop()
+
+    def test_explicit_unsubscribe_closes_the_stream(self):
+        handle = _daemon()
+        try:
+            client = ServeClient(handle.host, handle.port, timeout=120.0)
+            graph = erdos_renyi(16, 0.3, seed=11)
+            graph_store().register(graph, "dyn")
+            stream = client.subscribe(tenant="t", graph="dyn", max_size=4)
+            sub_id = next(stream)["subscription"]
+            assert client.unsubscribe(sub_id)["unsubscribed"] == sub_id
+            tail = list(stream)
+            assert tail and tail[-1]["type"] == "closed"
+            assert client.subscriptions() == []
+            with pytest.raises(ServeError) as err:
+                client.unsubscribe("sub-999")
+            assert err.value.status == 404
+        finally:
+            handle.stop()
+
+    def test_subscribe_error_paths(self):
+        handle = _daemon()
+        try:
+            client = ServeClient(handle.host, handle.port)
+            with pytest.raises(ServeError) as err:
+                next(client.subscribe(tenant="t", graph="missing"))
+            assert err.value.status == 404
+            with pytest.raises(ServeError) as err:
+                next(
+                    client.subscribe(
+                        tenant="t", graph="x", scheduler="quantum"
+                    )
+                )
+            assert err.value.status == 400
+        finally:
+            handle.stop()
+
+    def test_daemon_shutdown_sends_closed_sentinel(self):
+        handle = _daemon()
+        client = ServeClient(handle.host, handle.port, timeout=120.0)
+        graph = erdos_renyi(16, 0.3, seed=13)
+        graph_store().register(graph, "dyn")
+        stream = client.subscribe(tenant="t", graph="dyn", max_size=4)
+        assert next(stream)["type"] == "subscribed"
+        # Stopping with a live long-lived stream must not hang (the
+        # sentinel unblocks the pump before the server close waits on
+        # active handlers) and the client sees an orderly goodbye.
+        handle.stop()
+        tail = list(stream)
+        assert any(e["type"] == "closed" for e in tail)
+        assert not handle.thread.is_alive()
